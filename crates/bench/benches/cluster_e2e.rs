@@ -1,0 +1,64 @@
+//! Criterion end-to-end benchmarks of the live threaded cluster: wall-clock
+//! transaction round-trip latency under each consistency configuration.
+
+use bargain_cluster::{Cluster, ClusterConfig};
+use bargain_common::{ConsistencyMode, Value};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn setup(mode: ConsistencyMode) -> Cluster {
+    let cluster = Cluster::start(ClusterConfig { replicas: 3, mode });
+    cluster
+        .execute_ddl("CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL)")
+        .unwrap();
+    let mut s = cluster.connect();
+    for k in 1..=100 {
+        s.run_sql(&[(
+            "INSERT INTO kv (k, v) VALUES (?, ?)",
+            vec![Value::Int(k), Value::Int(0)],
+        )])
+        .unwrap();
+    }
+    cluster
+}
+
+fn bench_cluster_read(c: &mut Criterion) {
+    for mode in [ConsistencyMode::LazyFine, ConsistencyMode::Eager] {
+        let cluster = setup(mode);
+        let mut s = cluster.connect();
+        let mut k = 0i64;
+        c.bench_function(&format!("cluster/read_roundtrip_{}", mode.label()), |b| {
+            b.iter(|| {
+                k = (k % 100) + 1;
+                black_box(
+                    s.run_sql(&[("SELECT v FROM kv WHERE k = ?", vec![Value::Int(k)])])
+                        .unwrap(),
+                )
+            })
+        });
+        cluster.shutdown();
+    }
+}
+
+fn bench_cluster_write(c: &mut Criterion) {
+    for mode in [ConsistencyMode::LazyFine, ConsistencyMode::Eager] {
+        let cluster = setup(mode);
+        let mut s = cluster.connect();
+        let mut k = 0i64;
+        c.bench_function(&format!("cluster/write_roundtrip_{}", mode.label()), |b| {
+            b.iter(|| {
+                k = (k % 100) + 1;
+                black_box(
+                    s.run_sql_with_retry(
+                        &[("UPDATE kv SET v = v + 1 WHERE k = ?", vec![Value::Int(k)])],
+                        100,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        cluster.shutdown();
+    }
+}
+
+criterion_group!(benches, bench_cluster_read, bench_cluster_write);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the replication middleware state
+//! machines: certification, refresh fan-out, load-balancer routing, and the
+//! proxy's ordered apply path.
+
+use bargain_common::{
+    ClientId, ConsistencyMode, ReplicaId, SessionId, TableId, TableSet, TemplateId, TxnId, Value,
+    Version, WriteOp, WriteSet,
+};
+use bargain_core::{Certifier, CertifyRequest, LoadBalancer, Proxy, Refresh, TxnRequest};
+use bargain_sql::TransactionTemplate;
+use bargain_storage::Engine;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn ws(key: i64) -> WriteSet {
+    let mut w = WriteSet::new();
+    w.push(
+        TableId(0),
+        Value::Int(key),
+        WriteOp::Update(vec![Value::Int(key), Value::Int(0)]),
+    );
+    w
+}
+
+fn bench_certify(c: &mut Criterion) {
+    c.bench_function("middleware/certify_disjoint_8replicas", |b| {
+        let mut certifier = Certifier::new((0..8).map(ReplicaId).collect());
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            let snapshot = certifier.version();
+            certifier.prune(Version(snapshot.0.saturating_sub(64)));
+            black_box(
+                certifier
+                    .certify(CertifyRequest {
+                        txn: TxnId(k as u64),
+                        replica: ReplicaId(0),
+                        snapshot,
+                        writeset: ws(k),
+                    })
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_certify_with_conflict_window(c: &mut Criterion) {
+    c.bench_function("middleware/certify_64_version_window", |b| {
+        let mut certifier = Certifier::new(vec![ReplicaId(0), ReplicaId(1)]);
+        // Build up a 64-writeset window the certification must scan.
+        for i in 0..64i64 {
+            let v = certifier.version();
+            certifier
+                .certify(CertifyRequest {
+                    txn: TxnId(i as u64),
+                    replica: ReplicaId(0),
+                    snapshot: v,
+                    writeset: ws(i),
+                })
+                .unwrap();
+        }
+        let old_snapshot = Version(0);
+        let mut k = 1_000i64;
+        b.iter(|| {
+            k += 1;
+            black_box(
+                certifier
+                    .certify(CertifyRequest {
+                        txn: TxnId(k as u64),
+                        replica: ReplicaId(1),
+                        snapshot: old_snapshot,
+                        writeset: ws(k),
+                    })
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_lb_route(c: &mut Criterion) {
+    for mode in [ConsistencyMode::LazyCoarse, ConsistencyMode::LazyFine] {
+        let mut lb = LoadBalancer::new(mode, (0..8).map(ReplicaId).collect(), 4);
+        lb.register_template(TemplateId(0), TableSet::from_iter([TableId(0), TableId(1)]));
+        let mut i = 0u64;
+        c.bench_function(&format!("middleware/lb_route_{}", mode.label()), |b| {
+            b.iter(|| {
+                i += 1;
+                let routed = lb
+                    .route(TxnRequest {
+                        client: ClientId(i % 64),
+                        session: SessionId(i % 64),
+                        template: TemplateId(0),
+                        params: vec![],
+                    })
+                    .unwrap();
+                // Complete it immediately to keep active counts bounded.
+                lb.on_outcome(&bargain_core::TxnOutcome {
+                    txn: routed.txn,
+                    client: routed.client,
+                    session: routed.session,
+                    replica: routed.replica,
+                    committed: true,
+                    commit_version: Some(Version(i)),
+                    observed_version: Version(i),
+                    tables_written: vec![TableId(0)],
+                    abort_reason: None,
+                });
+                black_box(routed.replica)
+            })
+        });
+    }
+}
+
+fn bench_proxy_refresh_path(c: &mut Criterion) {
+    c.bench_function("middleware/proxy_refresh_apply", |b| {
+        let mut engine = Engine::new();
+        bargain_sql::execute_ddl(
+            &mut engine,
+            &bargain_sql::parse("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap(),
+        )
+        .unwrap();
+        engine
+            .load_rows(
+                TableId(0),
+                (1..=1_000i64)
+                    .map(|i| vec![Value::Int(i), Value::Int(0)])
+                    .collect(),
+            )
+            .unwrap();
+        let mut proxy = Proxy::new(ReplicaId(0), ConsistencyMode::LazyCoarse, engine);
+        proxy.register_template(Arc::new(
+            TransactionTemplate::new(TemplateId(0), "r", &["SELECT * FROM t WHERE id = ?"])
+                .unwrap(),
+        ));
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            let events = proxy
+                .on_refresh(Refresh {
+                    origin: ReplicaId(1),
+                    txn: TxnId(v),
+                    commit_version: Version(v),
+                    writeset: ws((v % 1_000) as i64 + 1),
+                })
+                .unwrap();
+            black_box(events.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_certify,
+    bench_certify_with_conflict_window,
+    bench_lb_route,
+    bench_proxy_refresh_path
+);
+criterion_main!(benches);

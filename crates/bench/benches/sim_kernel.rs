@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the discrete-event kernel and a full
+//! small simulation (events per wall-second matters for reproducing the
+//! paper's sweeps quickly).
+
+use bargain_common::ConsistencyMode;
+use bargain_sim::{simulate, CostModel, EventQueue, Resource, SimConfig};
+use bargain_workloads::MicroBenchmark;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule((i * 7919) % 5_000, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_resource(c: &mut Criterion) {
+    c.bench_function("sim/resource_offer_complete_1k", |b| {
+        b.iter(|| {
+            let mut r: Resource<u32> = Resource::new(4);
+            for i in 0..1_000u32 {
+                let _ = black_box(r.offer(i, 10));
+                if i % 2 == 0 {
+                    let _ = black_box(r.complete());
+                }
+            }
+            while r.in_service() > 0 {
+                let _ = r.complete();
+            }
+        })
+    });
+}
+
+fn bench_small_simulation(c: &mut Criterion) {
+    let workload = MicroBenchmark::small(0.3);
+    let cfg = SimConfig {
+        mode: ConsistencyMode::LazyFine,
+        replicas: 3,
+        clients: 8,
+        seed: 1,
+        warmup_ms: 100,
+        measure_ms: 500,
+        costs: CostModel::default(),
+        check_consistency: false,
+        ..SimConfig::default()
+    };
+    c.bench_function("sim/full_micro_500ms_virtual", |b| {
+        b.iter(|| black_box(simulate(&workload, &cfg).committed))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_resource,
+    bench_small_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the SQL front-end: tokenizing, parsing,
+//! prepared-statement execution, and table-set extraction.
+
+use bargain_common::{TemplateId, Value};
+use bargain_sql::{parse, PreparedStatement, TransactionTemplate};
+use bargain_storage::Engine;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const SELECT: &str = "SELECT i_title, i_cost FROM item WHERE i_id = ? AND i_cost > 10";
+const UPDATE: &str = "UPDATE item SET i_stock = i_stock - ?, i_cost = ? WHERE i_id = ?";
+
+fn setup_engine() -> Engine {
+    let mut e = Engine::new();
+    bargain_sql::execute_ddl(
+        &mut e,
+        &parse("CREATE TABLE item (i_id INT PRIMARY KEY, i_title TEXT, i_cost FLOAT, i_stock INT)")
+            .unwrap(),
+    )
+    .unwrap();
+    let t = e.resolve_table("item").unwrap();
+    e.load_rows(
+        t,
+        (1..=5_000i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Text(format!("Item {i}")),
+                    Value::Float(10.0 + i as f64),
+                    Value::Int(100),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    e
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("sql/parse_select", |b| {
+        b.iter(|| black_box(parse(SELECT).unwrap()))
+    });
+    c.bench_function("sql/parse_update", |b| {
+        b.iter(|| black_box(parse(UPDATE).unwrap()))
+    });
+}
+
+fn bench_prepared_point_select(c: &mut Criterion) {
+    let mut e = setup_engine();
+    let stmt = PreparedStatement::prepare(SELECT).unwrap();
+    let txn = e.begin();
+    let mut k = 0i64;
+    c.bench_function("sql/exec_point_select", |b| {
+        b.iter(|| {
+            k = (k % 5_000) + 1;
+            black_box(stmt.execute(&mut e, txn, &[Value::Int(k)]).unwrap())
+        })
+    });
+}
+
+fn bench_prepared_update(c: &mut Criterion) {
+    let mut e = setup_engine();
+    let stmt = PreparedStatement::prepare(UPDATE).unwrap();
+    let mut k = 0i64;
+    c.bench_function("sql/exec_point_update_commit", |b| {
+        b.iter(|| {
+            k = (k % 5_000) + 1;
+            let txn = e.begin();
+            stmt.execute(
+                &mut e,
+                txn,
+                &[Value::Int(1), Value::Float(12.0), Value::Int(k)],
+            )
+            .unwrap();
+            black_box(e.commit_standalone(txn).unwrap())
+        })
+    });
+}
+
+fn bench_scan_filter(c: &mut Criterion) {
+    let mut e = setup_engine();
+    let stmt =
+        PreparedStatement::prepare("SELECT i_id FROM item WHERE i_cost > ? LIMIT 20").unwrap();
+    let txn = e.begin();
+    c.bench_function("sql/exec_filtered_scan_5k", |b| {
+        b.iter(|| black_box(stmt.execute(&mut e, txn, &[Value::Float(4_000.0)]).unwrap()))
+    });
+}
+
+fn bench_index_vs_scan(c: &mut Criterion) {
+    let make = |indexed: bool| {
+        let mut e = setup_engine();
+        if indexed {
+            bargain_sql::execute_ddl(
+                &mut e,
+                &parse("CREATE INDEX item_stock ON item (i_stock)").unwrap(),
+            )
+            .unwrap();
+        }
+        e
+    };
+    let stmt =
+        PreparedStatement::prepare("SELECT i_id FROM item WHERE i_stock = ? LIMIT 20").unwrap();
+    let mut with = make(true);
+    let txn = with.begin();
+    c.bench_function("sql/lookup_5k_indexed", |b| {
+        b.iter(|| black_box(stmt.execute(&mut with, txn, &[Value::Int(100)]).unwrap()))
+    });
+    let mut without = make(false);
+    let txn = without.begin();
+    c.bench_function("sql/lookup_5k_scan", |b| {
+        b.iter(|| black_box(stmt.execute(&mut without, txn, &[Value::Int(100)]).unwrap()))
+    });
+}
+
+fn bench_table_set_extraction(c: &mut Criterion) {
+    let e = setup_engine();
+    let tmpl = TransactionTemplate::new(
+        TemplateId(0),
+        "bench",
+        &[SELECT, UPDATE, "SELECT COUNT(*) FROM item"],
+    )
+    .unwrap();
+    c.bench_function("sql/table_set_extraction", |b| {
+        b.iter(|| black_box(tmpl.table_set(e.catalog()).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_prepared_point_select,
+    bench_prepared_update,
+    bench_scan_filter,
+    bench_index_vs_scan,
+    bench_table_set_extraction
+);
+criterion_main!(benches);

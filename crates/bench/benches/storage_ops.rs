@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks for the storage engine: point reads, updates,
+//! snapshot-isolation commits, refresh application, scans, and GC.
+
+use bargain_common::{TableId, Value, WriteOp, WriteSet};
+use bargain_storage::{Column, ColumnType, Engine, TableSchema};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+const ROWS: i64 = 10_000;
+
+fn engine_with_rows() -> (Engine, TableId) {
+    let mut e = Engine::new();
+    let t = e
+        .create_table(
+            TableSchema::new(
+                "bench",
+                vec![
+                    Column::new("pk", ColumnType::Int),
+                    Column::new("val", ColumnType::Int),
+                    Column::new("pad", ColumnType::Text),
+                ],
+                0,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let pad = "x".repeat(100);
+    e.load_rows(
+        t,
+        (1..=ROWS)
+            .map(|i| vec![Value::Int(i), Value::Int(i), Value::Text(pad.clone())])
+            .collect(),
+    )
+    .unwrap();
+    (e, t)
+}
+
+fn bench_point_read(c: &mut Criterion) {
+    let (mut e, t) = engine_with_rows();
+    let txn = e.begin();
+    let mut k = 0i64;
+    c.bench_function("storage/point_read", |b| {
+        b.iter(|| {
+            k = (k % ROWS) + 1;
+            black_box(e.get(txn, t, &Value::Int(k)).unwrap())
+        })
+    });
+}
+
+fn bench_update_txn(c: &mut Criterion) {
+    let (mut e, t) = engine_with_rows();
+    let mut k = 0i64;
+    c.bench_function("storage/update_commit", |b| {
+        b.iter(|| {
+            k = (k % ROWS) + 1;
+            let txn = e.begin();
+            e.update(
+                txn,
+                t,
+                &Value::Int(k),
+                vec![
+                    Value::Int(k),
+                    Value::Int(k + 1),
+                    Value::Text("y".repeat(100)),
+                ],
+            )
+            .unwrap();
+            black_box(e.commit_standalone(txn).unwrap())
+        })
+    });
+}
+
+fn bench_refresh_apply(c: &mut Criterion) {
+    let (mut e, t) = engine_with_rows();
+    let mut k = 0i64;
+    c.bench_function("storage/refresh_apply", |b| {
+        b.iter(|| {
+            k = (k % ROWS) + 1;
+            let mut ws = WriteSet::new();
+            ws.push(
+                t,
+                Value::Int(k),
+                WriteOp::Update(vec![
+                    Value::Int(k),
+                    Value::Int(0),
+                    Value::Text("z".repeat(100)),
+                ]),
+            );
+            e.apply_refresh(&ws, e.version().next()).unwrap();
+        })
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let (mut e, t) = engine_with_rows();
+    let txn = e.begin();
+    c.bench_function("storage/scan_10k", |b| {
+        b.iter(|| black_box(e.scan(txn, t).unwrap().len()))
+    });
+}
+
+fn bench_gc(c: &mut Criterion) {
+    c.bench_function("storage/gc_after_1k_updates", |b| {
+        b.iter_batched(
+            || {
+                let (mut e, t) = engine_with_rows();
+                for k in 1..=1_000i64 {
+                    let txn = e.begin();
+                    e.update(
+                        txn,
+                        t,
+                        &Value::Int(k),
+                        vec![Value::Int(k), Value::Int(0), Value::Text("g".into())],
+                    )
+                    .unwrap();
+                    e.commit_standalone(txn).unwrap();
+                }
+                e
+            },
+            |mut e| black_box(e.gc()),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_conflict_check(c: &mut Criterion) {
+    let mut big = WriteSet::new();
+    for i in 0..1_000 {
+        big.push(TableId(0), Value::Int(i), WriteOp::Delete);
+    }
+    let mut probe = WriteSet::new();
+    probe.push(TableId(0), Value::Int(500), WriteOp::Delete);
+    c.bench_function("storage/writeset_conflict_1000v1", |b| {
+        b.iter(|| black_box(big.conflicts_with(&probe)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_point_read,
+    bench_update_txn,
+    bench_refresh_apply,
+    bench_scan,
+    bench_gc,
+    bench_conflict_check
+);
+criterion_main!(benches);

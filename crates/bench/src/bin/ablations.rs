@@ -1,0 +1,240 @@
+//! Ablation studies for the design choices DESIGN.md calls out. Not in the
+//! paper's evaluation, but each quantifies a decision the paper made:
+//!
+//! 1. **Apply lane** — the prototype applies refresh writesets sequentially
+//!    inside the DBMS (shared with statement processing) vs a hypothetical
+//!    dedicated apply thread.
+//! 2. **Routing policy** — the paper's least-active-transactions routing vs
+//!    round-robin vs random, under lazy strong consistency. Least
+//!    connections implicitly steers work away from backlogged replicas.
+//! 3. **Early certification** — on vs off: how many doomed transactions are
+//!    cut early instead of paying a full certification round trip.
+//! 4. **Synchronization granularity** — the coarse/fine gap as update
+//!    locality varies: when updates concentrate on a few hot tables,
+//!    fine-grained synchronization lets transactions on cold tables start
+//!    immediately (paper §III-C's read-only-table argument).
+//!
+//! Run with: `cargo run --release -p bargain-bench --bin ablations`
+
+use bargain_bench::{fig_config, print_table, shape_check};
+use bargain_common::ConsistencyMode;
+use bargain_core::RoutingPolicy;
+use bargain_sim::simulate;
+use bargain_workloads::{MicroBenchmark, TpcwMix, TpcwWorkload};
+
+fn main() {
+    let mut ok = true;
+
+    // ------------------------------------------------------------------
+    // 1. Dedicated vs shared apply lane (ordering mix, 8 replicas).
+    // ------------------------------------------------------------------
+    {
+        let mut workload = TpcwWorkload::new(TpcwMix::Ordering);
+        workload.carts = 8 * 50 + 16;
+        let mut rows = Vec::new();
+        for (label, dedicated) in [("sequential (paper)", true), ("shared workers", false)] {
+            let mut cfg = fig_config(ConsistencyMode::Eager, 8, 400);
+            cfg.costs.dedicated_apply_lane = dedicated;
+            let r = simulate(&workload, &cfg);
+            rows.push(vec![
+                label.to_owned(),
+                format!("{:.0}", r.tps),
+                format!("{:.1}", r.avg_response_ms),
+                format!("{:.2}", r.avg_sync_delay_ms),
+            ]);
+        }
+        print_table(
+            "Ablation 1 — refresh application discipline (Eager, ordering, 8 replicas)",
+            &["apply lane", "TPS", "resp_ms", "global_ms"],
+            &rows,
+        );
+        println!(
+            "note: sequential application is what pins eager to the slowest replica;\n\
+             with a shared pool the apply path parallelizes and eager's penalty shrinks."
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Routing policy under LazyCoarse at high update load.
+    // ------------------------------------------------------------------
+    {
+        let workload = MicroBenchmark::with_update_ratio(0.75);
+        let mut rows = Vec::new();
+        let mut resp = Vec::new();
+        for (label, policy) in [
+            ("least-connections (paper)", RoutingPolicy::LeastConnections),
+            ("round-robin", RoutingPolicy::RoundRobin),
+            ("random", RoutingPolicy::Random),
+        ] {
+            let mut cfg = fig_config(ConsistencyMode::LazyCoarse, 8, 64);
+            cfg.routing = policy;
+            let r = simulate(&workload, &cfg);
+            assert_eq!(r.violations, 0);
+            resp.push(r.avg_response_ms);
+            rows.push(vec![
+                label.to_owned(),
+                format!("{:.0}", r.tps),
+                format!("{:.1}", r.avg_response_ms),
+                format!("{:.2}", r.avg_sync_delay_ms),
+            ]);
+        }
+        print_table(
+            "Ablation 2 — load-balancer routing policy (LazyCoarse, 75% updates, 8 replicas)",
+            &["policy", "TPS", "resp_ms", "start_delay_ms"],
+            &rows,
+        );
+        ok &= shape_check(
+            "least-connections responds no slower than random routing",
+            resp[0] <= resp[2] * 1.10,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Early certification on vs off.
+    // ------------------------------------------------------------------
+    {
+        // Multi-statement update transactions (TPC-W buy-confirm holds its
+        // partial writeset across 7 statements) on a tiny item table
+        // maximize the window in which early certification can fire.
+        let workload = TpcwWorkload {
+            items: 25,
+            think_time_ms: 5.0,
+            carts: 8 * 50 + 16,
+            ..TpcwWorkload::new(TpcwMix::Ordering)
+        };
+        let mut rows = Vec::new();
+        let mut early_counts = Vec::new();
+        for (label, enabled) in [("on (paper)", true), ("off", false)] {
+            let mut cfg = fig_config(ConsistencyMode::LazyCoarse, 8, 400);
+            cfg.early_certification = enabled;
+            let r = simulate(&workload, &cfg);
+            assert_eq!(r.violations, 0);
+            early_counts.push(r.early_aborts);
+            rows.push(vec![
+                label.to_owned(),
+                format!("{:.0}", r.tps),
+                format!("{}", r.aborted),
+                format!("{}", r.early_aborts),
+                format!("{}", r.certifier_aborts),
+            ]);
+        }
+        print_table(
+            "Ablation 3 — early certification (LazyCoarse, TPC-W ordering, 25 items)",
+            &[
+                "early certification",
+                "TPS",
+                "aborts",
+                "early",
+                "at certifier",
+            ],
+            &rows,
+        );
+        ok &= shape_check(
+            "early certification catches conflicts before the certifier round",
+            early_counts[0] > 0 && early_counts[1] == 0,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Synchronization granularity vs update locality.
+    // ------------------------------------------------------------------
+    {
+        let mut rows = Vec::new();
+        let mut fine_delay = Vec::new();
+        let mut coarse_delay = Vec::new();
+        for hot in [1usize, 2, 4] {
+            // Sub-saturated operating point: delays reflect propagation
+            // lag, not bottleneck queueing (where all modes converge).
+            let workload = MicroBenchmark {
+                update_ratio: 0.5,
+                hot_tables: Some(hot),
+                think_time_ms: 30.0,
+                ..MicroBenchmark::default()
+            };
+            let mut pair = Vec::new();
+            for mode in [ConsistencyMode::LazyCoarse, ConsistencyMode::LazyFine] {
+                let r = simulate(&workload, &fig_config(mode, 8, 64));
+                assert_eq!(r.violations, 0, "{mode} hot={hot}");
+                pair.push(r);
+            }
+            coarse_delay.push(pair[0].avg_sync_delay_ms);
+            fine_delay.push(pair[1].avg_sync_delay_ms);
+            rows.push(vec![
+                format!("{hot} of 4 tables hot"),
+                format!("{:.2}", pair[0].avg_sync_delay_ms),
+                format!("{:.2}", pair[1].avg_sync_delay_ms),
+                format!("{:.0}", pair[0].tps),
+                format!("{:.0}", pair[1].tps),
+            ]);
+        }
+        print_table(
+            "Ablation 4 — granularity vs update locality (50% updates, 8 replicas)",
+            &[
+                "locality",
+                "coarse delay ms",
+                "fine delay ms",
+                "coarse TPS",
+                "fine TPS",
+            ],
+            &rows,
+        );
+        // With 1 hot table, 37.5% of transactions (reads on the three
+        // cold tables) start with zero delay under fine-grained sync.
+        ok &= shape_check(
+            "with 1 hot table, fine start delay is clearly below coarse",
+            fine_delay[0] < coarse_delay[0] * 0.85,
+        );
+        // Sub-millisecond delays at the higher locality levels are noisy;
+        // the robust claims are the 1-hot advantage (checked above) and
+        // that fine never does materially worse than coarse.
+        ok &= shape_check(
+            "fine start delay never materially above coarse",
+            fine_delay
+                .iter()
+                .zip(&coarse_delay)
+                .all(|(f, c)| *f <= c * 1.25 + 0.15),
+        );
+        ok &= shape_check(
+            "fine's advantage shrinks as updates spread over all tables",
+            (coarse_delay[2] - fine_delay[2]) <= (coarse_delay[0] - fine_delay[0]) + 0.1,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Certification-conflict rate vs key skew.
+    // ------------------------------------------------------------------
+    {
+        let mut rows = Vec::new();
+        let mut abort_rates = Vec::new();
+        for skew in [0.0, 0.9, 1.3] {
+            let workload = MicroBenchmark {
+                rows_per_table: 1_000,
+                update_ratio: 1.0,
+                key_skew: skew,
+                ..MicroBenchmark::default()
+            };
+            let r = simulate(&workload, &fig_config(ConsistencyMode::LazyFine, 8, 64));
+            assert_eq!(r.violations, 0);
+            let total = r.committed + r.aborted;
+            let rate = r.aborted as f64 / total.max(1) as f64;
+            abort_rates.push(rate);
+            rows.push(vec![
+                format!("zipf {skew:.1}"),
+                format!("{:.0}", r.tps),
+                format!("{}", r.aborted),
+                format!("{:.2}%", rate * 100.0),
+            ]);
+        }
+        print_table(
+            "Ablation 5 — conflict rate vs key skew (LazyFine, 100% updates)",
+            &["key distribution", "TPS", "aborts", "abort rate"],
+            &rows,
+        );
+        ok &= shape_check(
+            "abort rate rises with key skew",
+            abort_rates[0] < abort_rates[1] && abort_rates[1] < abort_rates[2],
+        );
+    }
+
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # bargain-cluster
+//!
+//! A live, threaded in-process deployment of the replicated database: the
+//! same `bargain-core` state machines the simulator hosts, but running on
+//! real OS threads connected by channels — one thread per replica (proxy +
+//! storage engine), one for the certifier, one for the load balancer.
+//!
+//! This is the deployment applications embed:
+//!
+//! ```
+//! use bargain_cluster::{Cluster, ClusterConfig};
+//! use bargain_common::{ConsistencyMode, Value};
+//!
+//! let cluster = Cluster::start(ClusterConfig {
+//!     replicas: 3,
+//!     mode: ConsistencyMode::LazyFine,
+//!     ..ClusterConfig::default()
+//! });
+//! cluster
+//!     .execute_ddl("CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)")
+//!     .unwrap();
+//!
+//! let mut alice = cluster.connect();
+//! alice
+//!     .run_sql(&[("INSERT INTO accounts (id, balance) VALUES (?, ?)",
+//!                 vec![Value::Int(1), Value::Int(100)])])
+//!     .unwrap();
+//!
+//! // Strong consistency: any later transaction from any session observes
+//! // the committed state, whichever replica serves it.
+//! let mut bob = cluster.connect();
+//! let (_, results) = bob
+//!     .run_sql(&[("SELECT balance FROM accounts WHERE id = ?", vec![Value::Int(1)])])
+//!     .unwrap();
+//! assert_eq!(results[0].rows().unwrap()[0][0], Value::Int(100));
+//! cluster.shutdown();
+//! ```
+
+mod runtime;
+mod session;
+
+pub use runtime::{Cluster, ClusterConfig, ClusterStats};
+pub use session::{Session, TxnResult};

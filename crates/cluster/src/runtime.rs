@@ -1,0 +1,517 @@
+//! The threaded runtime: replica, certifier, and load-balancer threads
+//! connected by channels.
+//!
+//! Topology (one channel per arrow direction; crossbeam unbounded):
+//!
+//! ```text
+//! Session ──ToLb::Run──▶ LB thread ──ToReplica::Txn──▶ replica threads
+//!    ▲                      │  ▲                          │      │
+//!    └──────reply───────────┘  └──ToLb::Outcome───────────┘      │
+//!                                                                ▼
+//!        replica threads ◀─Refresh/Decision/Global── certifier thread
+//!                        ──ToCertifier::Certify/Applied──▶
+//! ```
+//!
+//! All protocol logic lives in the `bargain-core` state machines; the
+//! threads only move messages and execute statements.
+
+use crate::session::{Session, TxnResult};
+use bargain_common::{ConsistencyMode, Error, ReplicaId, Result, TableSet, TxnId, Version};
+use bargain_core::{
+    Certifier, CertifyDecision, CertifyRequest, FinishAction, LoadBalancer, Proxy, ProxyEvent,
+    Refresh, RoutedTxn, StartDecision, StatementOutcome, TxnOutcome, TxnRequest,
+};
+use bargain_sql::{execute_ddl, parse, QueryResult, Statement, TransactionTemplate};
+use bargain_storage::Engine;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of database replicas (threads).
+    pub replicas: usize,
+    /// The consistency configuration.
+    pub mode: ConsistencyMode,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            replicas: 3,
+            mode: ConsistencyMode::LazyFine,
+        }
+    }
+}
+
+/// A snapshot of cluster-wide counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterStats {
+    /// Transactions routed by the load balancer.
+    pub routed: u64,
+    /// Committed transactions observed by the load balancer.
+    pub commits: u64,
+    /// Aborted transactions observed by the load balancer.
+    pub aborts: u64,
+    /// The system version (`V_system`) at the load balancer.
+    pub v_system: Version,
+}
+
+pub(crate) enum ToLb {
+    Run {
+        template: Arc<TransactionTemplate>,
+        table_set: TableSet,
+        request: TxnRequest,
+        reply: Sender<TxnResult>,
+    },
+    Outcome {
+        outcome: TxnOutcome,
+        results: Vec<QueryResult>,
+    },
+    Ddl {
+        stmt: Box<Statement>,
+        ack: Sender<Result<()>>,
+    },
+    Stats {
+        reply: Sender<ClusterStats>,
+    },
+    Shutdown,
+}
+
+enum ToReplica {
+    Txn {
+        routed: RoutedTxn,
+        template: Arc<TransactionTemplate>,
+    },
+    Refresh(Refresh),
+    Decision(CertifyDecision),
+    GlobalCommit(TxnId),
+    Ddl {
+        stmt: Box<Statement>,
+        ack: Sender<Result<()>>,
+    },
+    Shutdown,
+}
+
+enum ToCertifier {
+    Certify(CertifyRequest),
+    Applied {
+        replica: ReplicaId,
+        version: Version,
+    },
+    Shutdown,
+}
+
+/// Handle to a running in-process replicated database cluster.
+pub struct Cluster {
+    lb_tx: Sender<ToLb>,
+    /// A catalog-only engine mirroring the replicas' DDL, used to resolve
+    /// table-sets for ad-hoc transactions.
+    catalog_engine: Arc<Mutex<Engine>>,
+    next_client: Arc<AtomicU64>,
+    next_template: Arc<AtomicU32>,
+    replicas: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Starts a cluster with empty databases.
+    #[must_use]
+    pub fn start(config: ClusterConfig) -> Cluster {
+        Self::start_with_setup(config, |_| Ok(()))
+    }
+
+    /// Starts a cluster, running `setup` (DDL + initial load) on every
+    /// replica's engine before the threads spin up. All replicas must be
+    /// set up identically; `setup` runs once per replica.
+    pub fn start_with_setup(
+        config: ClusterConfig,
+        setup: impl Fn(&mut Engine) -> Result<()>,
+    ) -> Cluster {
+        assert!(config.replicas >= 1, "need at least one replica");
+        let replica_ids: Vec<ReplicaId> = (0..config.replicas as u32).map(ReplicaId).collect();
+
+        let mut engines = Vec::with_capacity(config.replicas);
+        for _ in 0..config.replicas {
+            let mut e = Engine::new();
+            setup(&mut e).expect("cluster setup succeeds");
+            engines.push(e);
+        }
+        let mut catalog_engine = Engine::new();
+        setup(&mut catalog_engine).expect("cluster setup succeeds");
+
+        let (lb_tx, lb_rx) = unbounded::<ToLb>();
+        let (cert_tx, cert_rx) = unbounded::<ToCertifier>();
+        let mut replica_txs = Vec::new();
+        let mut replica_rxs = Vec::new();
+        for _ in 0..config.replicas {
+            let (tx, rx) = unbounded::<ToReplica>();
+            replica_txs.push(tx);
+            replica_rxs.push(rx);
+        }
+
+        let mut handles = Vec::new();
+
+        // Replica threads.
+        for (i, (engine, rx)) in engines.into_iter().zip(replica_rxs).enumerate() {
+            let proxy = Proxy::new(replica_ids[i], config.mode, engine);
+            let lb = lb_tx.clone();
+            let cert = cert_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("bargain-replica-{i}"))
+                    .spawn(move || replica_main(proxy, rx, lb, cert))
+                    .expect("spawn replica thread"),
+            );
+        }
+
+        // Certifier thread.
+        {
+            let mut certifier = Certifier::new(replica_ids.clone());
+            certifier.set_eager(config.mode == ConsistencyMode::Eager);
+            let replica_txs = replica_txs.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("bargain-certifier".into())
+                    .spawn(move || certifier_main(certifier, cert_rx, replica_txs))
+                    .expect("spawn certifier thread"),
+            );
+        }
+
+        // Load-balancer thread.
+        {
+            let n_tables = catalog_engine.catalog().len();
+            let lb = LoadBalancer::new(config.mode, replica_ids, n_tables);
+            let cert = cert_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("bargain-lb".into())
+                    .spawn(move || lb_main(lb, lb_rx, replica_txs, cert))
+                    .expect("spawn lb thread"),
+            );
+        }
+
+        Cluster {
+            lb_tx,
+            catalog_engine: Arc::new(Mutex::new(catalog_engine)),
+            next_client: Arc::new(AtomicU64::new(0)),
+            next_template: Arc::new(AtomicU32::new(1 << 20)),
+            replicas: config.replicas,
+            handles,
+        }
+    }
+
+    /// Opens a client session. Each session is one consistency session
+    /// (the scope of the `Session` configuration's guarantee).
+    #[must_use]
+    pub fn connect(&self) -> Session {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        Session::new(
+            id,
+            self.lb_tx.clone(),
+            Arc::clone(&self.catalog_engine),
+            Arc::clone(&self.next_template),
+        )
+    }
+
+    /// Executes DDL on every replica (and the catalog mirror). DDL is not
+    /// transactional; run it before issuing transactions that use the
+    /// table.
+    pub fn execute_ddl(&self, sql: &str) -> Result<()> {
+        let stmt = parse(sql)?;
+        let (ack_tx, ack_rx) = unbounded();
+        self.lb_tx
+            .send(ToLb::Ddl {
+                stmt: Box::new(stmt.clone()),
+                ack: ack_tx,
+            })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        for _ in 0..self.replicas {
+            ack_rx
+                .recv()
+                .map_err(|_| Error::Protocol("cluster is shut down".into()))??;
+        }
+        execute_ddl(&mut self.catalog_engine.lock(), &stmt)?;
+        Ok(())
+    }
+
+    /// Current cluster-wide counters.
+    pub fn stats(&self) -> Result<ClusterStats> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.lb_tx
+            .send(ToLb::Stats { reply: reply_tx })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Stops all threads. In-flight transactions are abandoned.
+    pub fn shutdown(self) {
+        let _ = self.lb_tx.send(ToLb::Shutdown);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Thread main loops
+// ----------------------------------------------------------------------
+
+fn replica_main(
+    mut proxy: Proxy,
+    rx: Receiver<ToReplica>,
+    lb: Sender<ToLb>,
+    cert: Sender<ToCertifier>,
+) {
+    let mut n_stmts: HashMap<TxnId, usize> = HashMap::new();
+    let mut results: HashMap<TxnId, Vec<QueryResult>> = HashMap::new();
+    // Background GC cadence: vacuum the version chains every so many
+    // messages processed.
+    let mut since_gc: u32 = 0;
+
+    let send_outcome = |outcome: TxnOutcome,
+                        n_stmts: &mut HashMap<TxnId, usize>,
+                        results: &mut HashMap<TxnId, Vec<QueryResult>>,
+                        lb: &Sender<ToLb>| {
+        n_stmts.remove(&outcome.txn);
+        let results = results.remove(&outcome.txn).unwrap_or_default();
+        let _ = lb.send(ToLb::Outcome { outcome, results });
+    };
+
+    // Executes all statements of a started transaction, then finishes it.
+    fn run_txn(
+        proxy: &mut Proxy,
+        txn: TxnId,
+        n: usize,
+        results: &mut HashMap<TxnId, Vec<QueryResult>>,
+        lb: &Sender<ToLb>,
+        cert: &Sender<ToCertifier>,
+        n_stmts: &mut HashMap<TxnId, usize>,
+    ) {
+        for i in 0..n {
+            match proxy.execute_statement(txn, i) {
+                Ok(StatementOutcome::Ok(qr)) => {
+                    results.entry(txn).or_default().push(qr);
+                }
+                Ok(StatementOutcome::EarlyAborted(outcome)) => {
+                    n_stmts.remove(&outcome.txn);
+                    let res = results.remove(&outcome.txn).unwrap_or_default();
+                    let _ = lb.send(ToLb::Outcome {
+                        outcome,
+                        results: res,
+                    });
+                    return;
+                }
+                Err(e) => {
+                    if let Ok(outcome) = proxy.client_abort(txn, &e.to_string()) {
+                        n_stmts.remove(&outcome.txn);
+                        let res = results.remove(&outcome.txn).unwrap_or_default();
+                        let _ = lb.send(ToLb::Outcome {
+                            outcome,
+                            results: res,
+                        });
+                    }
+                    return;
+                }
+            }
+        }
+        match proxy.finish(txn) {
+            Ok(FinishAction::ReadOnlyCommitted(outcome)) => {
+                n_stmts.remove(&outcome.txn);
+                let res = results.remove(&outcome.txn).unwrap_or_default();
+                let _ = lb.send(ToLb::Outcome {
+                    outcome,
+                    results: res,
+                });
+            }
+            Ok(FinishAction::NeedsCertification(req)) => {
+                let _ = cert.send(ToCertifier::Certify(req));
+            }
+            Err(e) => panic!("finish failed: {e}"),
+        }
+    }
+
+    let handle_events = |proxy: &mut Proxy,
+                         events: Vec<ProxyEvent>,
+                         n_stmts: &mut HashMap<TxnId, usize>,
+                         results: &mut HashMap<TxnId, Vec<QueryResult>>,
+                         lb: &Sender<ToLb>,
+                         cert: &Sender<ToCertifier>| {
+        for ev in events {
+            match ev {
+                ProxyEvent::TxnStarted { txn, .. } => {
+                    let n = n_stmts.get(&txn).copied().unwrap_or(0);
+                    run_txn(proxy, txn, n, results, lb, cert, n_stmts);
+                }
+                ProxyEvent::TxnFinished(outcome) => {
+                    n_stmts.remove(&outcome.txn);
+                    let res = results.remove(&outcome.txn).unwrap_or_default();
+                    let _ = lb.send(ToLb::Outcome {
+                        outcome,
+                        results: res,
+                    });
+                }
+                ProxyEvent::AwaitingGlobal { .. } => {}
+                ProxyEvent::CommitApplied { version } => {
+                    let _ = cert.send(ToCertifier::Applied {
+                        replica: proxy.replica(),
+                        version,
+                    });
+                }
+            }
+        }
+    };
+
+    while let Ok(msg) = rx.recv() {
+        since_gc += 1;
+        if since_gc >= 4_096 {
+            since_gc = 0;
+            proxy.engine_mut().gc();
+        }
+        match msg {
+            ToReplica::Txn { routed, template } => {
+                let txn = routed.txn;
+                proxy.register_template(Arc::clone(&template));
+                n_stmts.insert(txn, template.statements.len());
+                results.insert(txn, Vec::new());
+                match proxy.start(routed).expect("start accepts") {
+                    StartDecision::Started { .. } => {
+                        let n = template.statements.len();
+                        run_txn(&mut proxy, txn, n, &mut results, &lb, &cert, &mut n_stmts);
+                    }
+                    StartDecision::Delayed { .. } => {}
+                }
+            }
+            ToReplica::Refresh(refresh) => {
+                let events = proxy.on_refresh(refresh).expect("refresh applies");
+                handle_events(&mut proxy, events, &mut n_stmts, &mut results, &lb, &cert);
+            }
+            ToReplica::Decision(decision) => {
+                let events = proxy.on_decision(decision).expect("decision applies");
+                handle_events(&mut proxy, events, &mut n_stmts, &mut results, &lb, &cert);
+            }
+            ToReplica::GlobalCommit(txn) => {
+                let outcome = proxy.on_global_commit(txn).expect("awaiting global");
+                send_outcome(outcome, &mut n_stmts, &mut results, &lb);
+            }
+            ToReplica::Ddl { stmt, ack } => {
+                let _ = ack.send(execute_ddl(proxy.engine_mut(), &stmt));
+            }
+            ToReplica::Shutdown => break,
+        }
+    }
+}
+
+fn certifier_main(
+    mut certifier: Certifier,
+    rx: Receiver<ToCertifier>,
+    replicas: Vec<Sender<ToReplica>>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToCertifier::Certify(req) => {
+                let origin = req.replica;
+                let (decision, refreshes) = certifier.certify(req).expect("certify accepts");
+                for (target, refresh) in
+                    certifier.refresh_targets(origin).into_iter().zip(refreshes)
+                {
+                    let _ = replicas[target.index()].send(ToReplica::Refresh(refresh));
+                }
+                let _ = replicas[origin.index()].send(ToReplica::Decision(decision));
+            }
+            ToCertifier::Applied { replica, version } => {
+                if let Some((origin, txn)) = certifier.on_commit_applied(replica, version) {
+                    let _ = replicas[origin.index()].send(ToReplica::GlobalCommit(txn));
+                }
+            }
+            ToCertifier::Shutdown => break,
+        }
+    }
+}
+
+fn lb_main(
+    mut lb: LoadBalancer,
+    rx: Receiver<ToLb>,
+    replicas: Vec<Sender<ToReplica>>,
+    cert: Sender<ToCertifier>,
+) {
+    let mut replies: HashMap<TxnId, Sender<TxnResult>> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToLb::Run {
+                template,
+                table_set,
+                request,
+                reply,
+            } => {
+                lb.register_template(template.id, table_set);
+                let routed = match lb.route(request) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // Reply with a synthetic abort outcome.
+                        let _ = reply.send((
+                            TxnOutcome {
+                                txn: TxnId(u64::MAX),
+                                client: bargain_common::ClientId(0),
+                                session: bargain_common::SessionId(0),
+                                replica: ReplicaId(0),
+                                committed: false,
+                                commit_version: None,
+                                observed_version: Version::ZERO,
+                                tables_written: vec![],
+                                abort_reason: Some(e.to_string()),
+                            },
+                            Vec::new(),
+                        ));
+                        continue;
+                    }
+                };
+                replies.insert(routed.txn, reply);
+                let target = routed.replica.index();
+                let _ = replicas[target].send(ToReplica::Txn { routed, template });
+            }
+            ToLb::Outcome { outcome, results } => {
+                lb.on_outcome(&outcome);
+                if let Some(reply) = replies.remove(&outcome.txn) {
+                    let _ = reply.send((outcome, results));
+                }
+            }
+            ToLb::Ddl { stmt, ack } => {
+                for r in &replicas {
+                    let _ = r.send(ToReplica::Ddl {
+                        stmt: stmt.clone(),
+                        ack: ack.clone(),
+                    });
+                }
+            }
+            ToLb::Stats { reply } => {
+                let s = lb.stats();
+                let _ = reply.send(ClusterStats {
+                    routed: s.routed,
+                    commits: s.commits,
+                    aborts: s.aborts,
+                    v_system: lb.v_system(),
+                });
+            }
+            ToLb::Shutdown => {
+                for r in &replicas {
+                    let _ = r.send(ToReplica::Shutdown);
+                }
+                let _ = cert.send(ToCertifier::Shutdown);
+                break;
+            }
+        }
+    }
+}

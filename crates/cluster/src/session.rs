@@ -1,0 +1,145 @@
+//! Client sessions: the application-facing API of the cluster.
+
+use crate::runtime::ToLb;
+use bargain_common::{ClientId, Error, Result, SessionId, TableSet, TemplateId, Value};
+use bargain_core::{TxnOutcome, TxnRequest};
+use bargain_sql::{QueryResult, TransactionTemplate};
+use bargain_storage::Engine;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A committed transaction's outcome and the result of each statement.
+pub type TxnResult = (TxnOutcome, Vec<QueryResult>);
+
+/// A client session. One session is one consistency session: under the
+/// `Session` configuration, guarantees are scoped to it; under the strong
+/// configurations, every session observes every committed transaction.
+///
+/// Sessions are cheap; open one per logical client. A session issues one
+/// transaction at a time (closed loop), mirroring the paper's client model.
+pub struct Session {
+    client: ClientId,
+    session: SessionId,
+    lb: Sender<ToLb>,
+    catalog_engine: Arc<Mutex<Engine>>,
+    next_template: Arc<AtomicU32>,
+    /// Ad-hoc statement sequences prepared by this session, keyed by their
+    /// joined SQL text.
+    cache: HashMap<String, (Arc<TransactionTemplate>, TableSet)>,
+}
+
+impl Session {
+    pub(crate) fn new(
+        id: u64,
+        lb: Sender<ToLb>,
+        catalog_engine: Arc<Mutex<Engine>>,
+        next_template: Arc<AtomicU32>,
+    ) -> Session {
+        Session {
+            client: ClientId(id),
+            session: SessionId(id),
+            lb,
+            catalog_engine,
+            next_template,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// This session's client id.
+    #[must_use]
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Runs one transaction given as a list of `(sql, params)` statements.
+    /// The statements are prepared once (per distinct statement list) and
+    /// the transaction's table-set is extracted statically, so ad-hoc
+    /// transactions get the full fine-grained treatment.
+    ///
+    /// Returns the outcome and each statement's result on commit; an
+    /// [`Error::CertificationConflict`] (retryable) or other error on
+    /// abort.
+    pub fn run_sql(&mut self, stmts: &[(&str, Vec<Value>)]) -> Result<TxnResult> {
+        let key = stmts
+            .iter()
+            .map(|(sql, _)| *sql)
+            .collect::<Vec<_>>()
+            .join(";\n");
+        if !self.cache.contains_key(&key) {
+            let id = TemplateId(self.next_template.fetch_add(1, Ordering::Relaxed));
+            let sqls: Vec<&str> = stmts.iter().map(|(sql, _)| *sql).collect();
+            let template = TransactionTemplate::new(id, &format!("adhoc.{}", id.0), &sqls)?;
+            let table_set = template.table_set(self.catalog_engine.lock().catalog())?;
+            self.cache
+                .insert(key.clone(), (Arc::new(template), table_set));
+        }
+        let (template, table_set) = self.cache.get(&key).expect("just inserted").clone();
+        let params: Vec<Vec<Value>> = stmts.iter().map(|(_, p)| p.clone()).collect();
+        self.run_prepared(&template, table_set, params)
+    }
+
+    /// Runs a pre-built transaction template with the given per-statement
+    /// parameters (the path benchmarks and workload drivers use).
+    pub fn run_template(
+        &mut self,
+        template: &Arc<TransactionTemplate>,
+        params: Vec<Vec<Value>>,
+    ) -> Result<TxnResult> {
+        let table_set = template.table_set(self.catalog_engine.lock().catalog())?;
+        self.run_prepared(template, table_set, params)
+    }
+
+    fn run_prepared(
+        &mut self,
+        template: &Arc<TransactionTemplate>,
+        table_set: TableSet,
+        params: Vec<Vec<Value>>,
+    ) -> Result<TxnResult> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.lb
+            .send(ToLb::Run {
+                template: Arc::clone(template),
+                table_set,
+                request: TxnRequest {
+                    client: self.client,
+                    session: self.session,
+                    template: template.id,
+                    params,
+                },
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        let (outcome, results) = reply_rx
+            .recv()
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        if outcome.committed {
+            Ok((outcome, results))
+        } else {
+            let reason = outcome.abort_reason.unwrap_or_else(|| "aborted".to_owned());
+            if reason.contains("certification") {
+                Err(Error::CertificationConflict(reason))
+            } else {
+                Err(Error::SqlExecution(reason))
+            }
+        }
+    }
+
+    /// Like [`Session::run_sql`], retrying on retryable (certification)
+    /// aborts up to `max_retries` times.
+    pub fn run_sql_with_retry(
+        &mut self,
+        stmts: &[(&str, Vec<Value>)],
+        max_retries: usize,
+    ) -> Result<TxnResult> {
+        let mut attempt = 0;
+        loop {
+            match self.run_sql(stmts) {
+                Err(e) if e.is_retryable() && attempt < max_retries => attempt += 1,
+                other => return other,
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Cluster tests for the extended SQL surface and index paths running
+//! through the full replicated middleware.
+
+use bargain_cluster::{Cluster, ClusterConfig};
+use bargain_common::{ConsistencyMode, Value};
+
+fn sales_cluster() -> Cluster {
+    let cluster = Cluster::start(ClusterConfig {
+        replicas: 3,
+        mode: ConsistencyMode::LazyFine,
+    });
+    cluster
+        .execute_ddl(
+            "CREATE TABLE sale (id INT PRIMARY KEY, region INT NOT NULL, amount INT NOT NULL)",
+        )
+        .unwrap();
+    cluster
+        .execute_ddl("CREATE INDEX sale_region ON sale (region)")
+        .unwrap();
+    let mut s = cluster.connect();
+    for i in 1..=30i64 {
+        s.run_sql(&[(
+            "INSERT INTO sale (id, region, amount) VALUES (?, ?, ?)",
+            vec![Value::Int(i), Value::Int(i % 3), Value::Int(i * 10)],
+        )])
+        .unwrap();
+    }
+    cluster
+}
+
+#[test]
+fn aggregates_through_the_cluster() {
+    let cluster = sales_cluster();
+    let mut s = cluster.connect();
+    let (_, results) = s
+        .run_sql(&[
+            ("SELECT SUM(amount) FROM sale", vec![]),
+            (
+                "SELECT COUNT(*) FROM sale WHERE region = ?",
+                vec![Value::Int(0)],
+            ),
+            (
+                "SELECT MAX(amount) FROM sale WHERE region IN (1, 2)",
+                vec![],
+            ),
+        ])
+        .unwrap();
+    assert_eq!(results[0].rows().unwrap()[0][0], Value::Int(4650));
+    assert_eq!(results[1].rows().unwrap()[0][0], Value::Int(10));
+    assert_eq!(results[2].rows().unwrap()[0][0], Value::Int(290));
+    cluster.shutdown();
+}
+
+#[test]
+fn indexed_reads_stay_strongly_consistent() {
+    // Move a row between regions repeatedly; an indexed query from another
+    // session must always see the row in exactly one region — its latest.
+    let cluster = sales_cluster();
+    let mut writer = cluster.connect();
+    let mut reader = cluster.connect();
+    for round in 0..30 {
+        let region = round % 3;
+        writer
+            .run_sql_with_retry(
+                &[(
+                    "UPDATE sale SET region = ? WHERE id = ?",
+                    vec![Value::Int(region), Value::Int(7)],
+                )],
+                8,
+            )
+            .unwrap();
+        let mut seen_in = Vec::new();
+        for r in 0..3i64 {
+            let (_, results) = reader
+                .run_sql(&[(
+                    "SELECT COUNT(*) FROM sale WHERE region = ? AND id = 7",
+                    vec![Value::Int(r)],
+                )])
+                .unwrap();
+            if results[0].rows().unwrap()[0][0] == Value::Int(1) {
+                seen_in.push(r);
+            }
+        }
+        assert_eq!(
+            seen_in,
+            vec![region],
+            "round {round}: row seen in {seen_in:?}"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn delete_then_reinsert_in_one_transaction() {
+    let cluster = sales_cluster();
+    let mut s = cluster.connect();
+    s.run_sql_with_retry(
+        &[
+            ("DELETE FROM sale WHERE id = ?", vec![Value::Int(5)]),
+            (
+                "INSERT INTO sale (id, region, amount) VALUES (?, ?, ?)",
+                vec![Value::Int(5), Value::Int(2), Value::Int(999)],
+            ),
+        ],
+        8,
+    )
+    .unwrap();
+    let (_, results) = s
+        .run_sql(&[("SELECT amount FROM sale WHERE id = ?", vec![Value::Int(5)])])
+        .unwrap();
+    assert_eq!(results[0].rows().unwrap()[0][0], Value::Int(999));
+    cluster.shutdown();
+}
+
+#[test]
+fn between_and_order_by_through_cluster() {
+    let cluster = sales_cluster();
+    let mut s = cluster.connect();
+    let (_, results) = s
+        .run_sql(&[(
+            "SELECT id FROM sale WHERE id BETWEEN 10 AND 13 ORDER BY id DESC",
+            vec![],
+        )])
+        .unwrap();
+    let ids: Vec<i64> = results[0]
+        .rows()
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
+    assert_eq!(ids, vec![13, 12, 11, 10]);
+    cluster.shutdown();
+}
+
+#[test]
+fn eager_cluster_sustains_concurrent_update_load() {
+    use std::sync::Arc;
+    let cluster = Arc::new(Cluster::start(ClusterConfig {
+        replicas: 4,
+        mode: ConsistencyMode::Eager,
+    }));
+    cluster
+        .execute_ddl("CREATE TABLE hits (id INT PRIMARY KEY, n INT NOT NULL)")
+        .unwrap();
+    {
+        let mut s = cluster.connect();
+        for i in 0..8 {
+            s.run_sql(&[(
+                "INSERT INTO hits (id, n) VALUES (?, ?)",
+                vec![Value::Int(i), Value::Int(0)],
+            )])
+            .unwrap();
+        }
+    }
+    let mut joins = Vec::new();
+    for t in 0..8i64 {
+        let cluster = Arc::clone(&cluster);
+        joins.push(std::thread::spawn(move || {
+            let mut s = cluster.connect();
+            for _ in 0..25 {
+                s.run_sql_with_retry(
+                    &[(
+                        "UPDATE hits SET n = n + 1 WHERE id = ?",
+                        vec![Value::Int(t)],
+                    )],
+                    100,
+                )
+                .unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let mut s = cluster.connect();
+    let (_, results) = s.run_sql(&[("SELECT SUM(n) FROM hits", vec![])]).unwrap();
+    assert_eq!(results[0].rows().unwrap()[0][0], Value::Int(200));
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("still shared"),
+    }
+}

@@ -1,0 +1,140 @@
+//! Consistency configuration selection.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which consistency configuration the replicated system runs.
+///
+/// The paper evaluates four configurations; `Baseline` is an additional
+/// no-synchronization mode (no start delay at all) useful as a scalability
+/// ceiling in ablations — it provides only GSI, not even session
+/// consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConsistencyMode {
+    /// Eager strong consistency: an update transaction commits at *all*
+    /// replicas before the client is acknowledged (global commit delay).
+    Eager,
+    /// Lazy coarse-grained strong consistency: transaction start is delayed
+    /// until the replica has applied *all* updates committed system-wide
+    /// (`V_local >= V_system`).
+    LazyCoarse,
+    /// Lazy fine-grained strong consistency: transaction start is delayed
+    /// until the replica has applied all updates for the tables in the
+    /// transaction's table-set (`V_local >= max V_t over the table-set`).
+    LazyFine,
+    /// Session consistency: transaction start is delayed until the replica
+    /// has applied the updates of the client's own previous transactions.
+    Session,
+    /// No start synchronization at all (GSI only). Not in the paper's
+    /// comparison; used in ablation benches.
+    Baseline,
+}
+
+impl ConsistencyMode {
+    /// All modes the paper compares, in the order its figures list them.
+    pub const PAPER_MODES: [ConsistencyMode; 4] = [
+        ConsistencyMode::LazyCoarse,
+        ConsistencyMode::LazyFine,
+        ConsistencyMode::Session,
+        ConsistencyMode::Eager,
+    ];
+
+    /// Returns `true` if this mode guarantees strong consistency
+    /// (every new transaction observes every previously committed one).
+    #[must_use]
+    pub fn is_strongly_consistent(self) -> bool {
+        matches!(
+            self,
+            ConsistencyMode::Eager | ConsistencyMode::LazyCoarse | ConsistencyMode::LazyFine
+        )
+    }
+
+    /// Returns `true` if this mode guarantees at least session consistency.
+    #[must_use]
+    pub fn is_session_consistent(self) -> bool {
+        !matches!(self, ConsistencyMode::Baseline)
+    }
+
+    /// Returns `true` for the modes that delay transaction *start* (all lazy
+    /// modes); `Eager` instead delays the *commit acknowledgement*.
+    #[must_use]
+    pub fn delays_start(self) -> bool {
+        matches!(
+            self,
+            ConsistencyMode::LazyCoarse | ConsistencyMode::LazyFine | ConsistencyMode::Session
+        )
+    }
+
+    /// Short label used in benchmark output, matching the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ConsistencyMode::Eager => "Eager",
+            ConsistencyMode::LazyCoarse => "LazyCoarse",
+            ConsistencyMode::LazyFine => "LazyFine",
+            ConsistencyMode::Session => "Session",
+            ConsistencyMode::Baseline => "Baseline",
+        }
+    }
+}
+
+impl fmt::Display for ConsistencyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ConsistencyMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "eager" => Ok(ConsistencyMode::Eager),
+            "lazycoarse" | "coarse" => Ok(ConsistencyMode::LazyCoarse),
+            "lazyfine" | "fine" => Ok(ConsistencyMode::LazyFine),
+            "session" => Ok(ConsistencyMode::Session),
+            "baseline" | "none" => Ok(ConsistencyMode::Baseline),
+            other => Err(format!("unknown consistency mode: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strength_classification() {
+        assert!(ConsistencyMode::Eager.is_strongly_consistent());
+        assert!(ConsistencyMode::LazyCoarse.is_strongly_consistent());
+        assert!(ConsistencyMode::LazyFine.is_strongly_consistent());
+        assert!(!ConsistencyMode::Session.is_strongly_consistent());
+        assert!(!ConsistencyMode::Baseline.is_strongly_consistent());
+
+        assert!(ConsistencyMode::Session.is_session_consistent());
+        assert!(!ConsistencyMode::Baseline.is_session_consistent());
+    }
+
+    #[test]
+    fn start_delay_classification() {
+        assert!(!ConsistencyMode::Eager.delays_start());
+        assert!(ConsistencyMode::LazyCoarse.delays_start());
+        assert!(ConsistencyMode::LazyFine.delays_start());
+        assert!(ConsistencyMode::Session.delays_start());
+        assert!(!ConsistencyMode::Baseline.delays_start());
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for m in ConsistencyMode::PAPER_MODES {
+            let parsed: ConsistencyMode = m.label().parse().unwrap();
+            assert_eq!(parsed, m);
+        }
+        assert_eq!(
+            "fine".parse::<ConsistencyMode>().unwrap(),
+            ConsistencyMode::LazyFine
+        );
+        assert!("bogus".parse::<ConsistencyMode>().is_err());
+    }
+}

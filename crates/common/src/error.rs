@@ -1,0 +1,111 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all `bargain` crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the storage engine, SQL layer, and replication
+/// middleware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table name or id did not resolve in the catalog.
+    UnknownTable(String),
+    /// A column name did not resolve in its table.
+    UnknownColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A row with this primary key already exists (insert conflict).
+    DuplicateKey(String),
+    /// Value/row shape does not match the table schema.
+    SchemaMismatch(String),
+    /// The transaction was aborted by certification (write-write conflict
+    /// with a transaction that committed after its snapshot).
+    CertificationConflict(String),
+    /// The transaction was aborted by the proxy's early certification check
+    /// against a pending or arriving refresh writeset (hidden-deadlock
+    /// avoidance).
+    EarlyCertificationConflict(String),
+    /// An operation referenced a transaction the engine does not know, or
+    /// one that already terminated.
+    NoSuchTransaction(String),
+    /// SQL text failed to tokenize or parse.
+    SqlParse(String),
+    /// A statement was valid SQL but cannot be executed (unsupported
+    /// feature, wrong parameter count, type error, ...).
+    SqlExecution(String),
+    /// A replication protocol invariant was violated (e.g. refresh
+    /// writesets arriving out of order without buffering).
+    Protocol(String),
+    /// An I/O failure from the durable log.
+    Io(String),
+}
+
+impl Error {
+    /// Returns `true` for aborts the client is expected to retry
+    /// (certification conflicts), as opposed to programming errors.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::CertificationConflict(_) | Error::EarlyCertificationConflict(_)
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(s) => write!(f, "unknown table: {s}"),
+            Error::UnknownColumn(s) => write!(f, "unknown column: {s}"),
+            Error::TableExists(s) => write!(f, "table already exists: {s}"),
+            Error::DuplicateKey(s) => write!(f, "duplicate primary key: {s}"),
+            Error::SchemaMismatch(s) => write!(f, "schema mismatch: {s}"),
+            Error::CertificationConflict(s) => write!(f, "certification conflict: {s}"),
+            Error::EarlyCertificationConflict(s) => {
+                write!(f, "early certification conflict: {s}")
+            }
+            Error::NoSuchTransaction(s) => write!(f, "no such transaction: {s}"),
+            Error::SqlParse(s) => write!(f, "SQL parse error: {s}"),
+            Error::SqlExecution(s) => write!(f, "SQL execution error: {s}"),
+            Error::Protocol(s) => write!(f, "protocol error: {s}"),
+            Error::Io(s) => write!(f, "I/O error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::UnknownTable("foo".into());
+        assert!(e.to_string().contains("foo"));
+        let e = Error::CertificationConflict("txn 7".into());
+        assert!(e.to_string().contains("certification"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::CertificationConflict(String::new()).is_retryable());
+        assert!(Error::EarlyCertificationConflict(String::new()).is_retryable());
+        assert!(!Error::UnknownTable(String::new()).is_retryable());
+        assert!(!Error::SqlParse(String::new()).is_retryable());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk on fire");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(ref s) if s.contains("disk on fire")));
+    }
+}

@@ -1,0 +1,175 @@
+//! Transaction table-sets.
+//!
+//! The fine-grained technique relies on knowing, *before a transaction
+//! starts*, the set of tables it may access. In automated environments each
+//! transaction is an instance of a predefined template made of prepared
+//! statements, so the table-set can be extracted statically (see
+//! `bargain-sql::tableset`). The table-set is a superset of the
+//! transaction's data-set, hence installing the pending updates for exactly
+//! these tables before start preserves strong consistency.
+
+use crate::ids::TableId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sorted, deduplicated set of table identifiers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TableSet {
+    tables: Vec<TableId>,
+}
+
+impl TableSet {
+    /// The empty table-set (a transaction that touches no tables).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table-set from an arbitrary iterator of table ids.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator
+    pub fn from_iter<I: IntoIterator<Item = TableId>>(iter: I) -> Self {
+        let mut tables: Vec<TableId> = iter.into_iter().collect();
+        tables.sort_unstable();
+        tables.dedup();
+        TableSet { tables }
+    }
+
+    /// Returns `true` if no tables are in the set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Number of tables in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, t: TableId) -> bool {
+        self.tables.binary_search(&t).is_ok()
+    }
+
+    /// Adds a table to the set.
+    pub fn insert(&mut self, t: TableId) {
+        if let Err(pos) = self.tables.binary_search(&t) {
+            self.tables.insert(pos, t);
+        }
+    }
+
+    /// Union with another table-set.
+    pub fn extend(&mut self, other: &TableSet) {
+        for &t in &other.tables {
+            self.insert(t);
+        }
+    }
+
+    /// The tables, in ascending id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TableId> {
+        self.tables.iter()
+    }
+
+    /// Returns `true` if `self` is a subset of `other`.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &TableSet) -> bool {
+        self.tables.iter().all(|&t| other.contains(t))
+    }
+
+    /// Returns `true` if the two sets share any table.
+    #[must_use]
+    pub fn intersects(&self, other: &TableSet) -> bool {
+        // Both are sorted: linear merge scan.
+        let (mut i, mut j) = (0, 0);
+        while i < self.tables.len() && j < other.tables.len() {
+            match self.tables[i].cmp(&other.tables[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", t.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<TableId> for TableSet {
+    fn from_iter<I: IntoIterator<Item = TableId>>(iter: I) -> Self {
+        TableSet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a TableSet {
+    type Item = &'a TableId;
+    type IntoIter = std::slice::Iter<'a, TableId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tables.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ids: &[u32]) -> TableSet {
+        ids.iter().map(|&i| TableId(i)).collect()
+    }
+
+    #[test]
+    fn dedup_and_sort_on_build() {
+        let s = ts(&[3, 1, 3, 2, 1]);
+        assert_eq!(s.len(), 3);
+        let v: Vec<u32> = s.iter().map(|t| t.0).collect();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn contains_and_insert() {
+        let mut s = ts(&[1, 3]);
+        assert!(s.contains(TableId(1)));
+        assert!(!s.contains(TableId(2)));
+        s.insert(TableId(2));
+        assert!(s.contains(TableId(2)));
+        s.insert(TableId(2)); // idempotent
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let a = ts(&[1, 2]);
+        let b = ts(&[1, 2, 3]);
+        let c = ts(&[4, 5]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(TableSet::empty().is_subset_of(&a));
+        assert!(!TableSet::empty().intersects(&a));
+    }
+
+    #[test]
+    fn extend_unions() {
+        let mut a = ts(&[1, 2]);
+        a.extend(&ts(&[2, 3]));
+        assert_eq!(a, ts(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ts(&[2, 1]).to_string(), "{1,2}");
+        assert_eq!(TableSet::empty().to_string(), "{}");
+    }
+}

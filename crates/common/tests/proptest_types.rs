@@ -1,0 +1,234 @@
+//! Property-based tests for the core vocabulary types: writeset coalescing
+//! semantics, conflict symmetry, table-set algebra, and value ordering.
+
+use bargain_common::{TableId, TableSet, Value, WriteOp, WriteSet};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug, Clone)]
+enum RawWrite {
+    Insert(i64, i64),
+    Update(i64, i64),
+    Delete(i64),
+}
+
+fn raw_write() -> impl Strategy<Value = RawWrite> {
+    prop_oneof![
+        (0..10i64, any::<i64>()).prop_map(|(k, v)| RawWrite::Insert(k, v)),
+        (0..10i64, any::<i64>()).prop_map(|(k, v)| RawWrite::Update(k, v)),
+        (0..10i64).prop_map(RawWrite::Delete),
+    ]
+}
+
+/// Applies a raw write sequence to a model of "net effect on each key":
+/// `Some(row)` = row present with image, `None` = deleted, absent = never
+/// touched or insert+delete cancelled.
+fn net_effect(ops: &[RawWrite]) -> HashMap<i64, Option<i64>> {
+    // Track whether the row was born inside this txn to model the
+    // insert+delete cancellation.
+    let mut state: HashMap<i64, (bool, Option<i64>)> = HashMap::new();
+    for op in ops {
+        match op {
+            RawWrite::Insert(k, v) => {
+                let born = !state.contains_key(k) || state[k].1.is_none();
+                let e = state.entry(*k).or_insert((true, None));
+                if e.1.is_none() {
+                    *e = (born, Some(*v));
+                } else {
+                    *e = (e.0, Some(*v));
+                }
+            }
+            RawWrite::Update(k, v) => {
+                let e = state.entry(*k).or_insert((false, None));
+                e.1 = Some(*v);
+            }
+            RawWrite::Delete(k) => {
+                match state.get(k).copied() {
+                    Some((true, _)) => {
+                        // Born and killed inside the txn: no visible write.
+                        state.remove(k);
+                    }
+                    _ => {
+                        state.insert(*k, (false, None));
+                    }
+                }
+            }
+        }
+    }
+    state.into_iter().map(|(k, (_, v))| (k, v)).collect()
+}
+
+/// Converts a raw sequence into WriteSet pushes (mirroring how the engine
+/// records writes).
+fn to_writeset(ops: &[RawWrite]) -> WriteSet {
+    let mut ws = WriteSet::new();
+    let t = TableId(0);
+    for op in ops {
+        match op {
+            RawWrite::Insert(k, v) => ws.push(
+                t,
+                Value::Int(*k),
+                WriteOp::Insert(vec![Value::Int(*k), Value::Int(*v)]),
+            ),
+            RawWrite::Update(k, v) => ws.push(
+                t,
+                Value::Int(*k),
+                WriteOp::Update(vec![Value::Int(*k), Value::Int(*v)]),
+            ),
+            RawWrite::Delete(k) => ws.push(t, Value::Int(*k), WriteOp::Delete),
+        }
+    }
+    ws
+}
+
+/// Filters a raw sequence so it is *engine-legal* w.r.t. a universe where
+/// no keys pre-exist: update/delete only of keys currently live inside the
+/// transaction, insert only of keys not currently live.
+fn legalize(ops: Vec<RawWrite>) -> Vec<RawWrite> {
+    let mut live: BTreeSet<i64> = BTreeSet::new();
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            RawWrite::Insert(k, v) => {
+                if live.insert(k) {
+                    out.push(RawWrite::Insert(k, v));
+                }
+            }
+            RawWrite::Update(k, v) => {
+                if live.contains(&k) {
+                    out.push(RawWrite::Update(k, v));
+                }
+            }
+            RawWrite::Delete(k) => {
+                if live.remove(&k) {
+                    out.push(RawWrite::Delete(k));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Coalescing in WriteSet preserves the net effect of any legal write
+    /// sequence starting from "no rows exist".
+    #[test]
+    fn writeset_coalescing_preserves_net_effect(
+        raw in proptest::collection::vec(raw_write(), 0..40)
+    ) {
+        let ops = legalize(raw);
+        let ws = to_writeset(&ops);
+        let model = net_effect(&ops);
+        // Every model entry with a visible effect appears in the writeset
+        // with the matching op; cancelled rows are absent.
+        let visible: HashMap<i64, Option<i64>> = model
+            .into_iter()
+            .collect();
+        prop_assert_eq!(ws.len(), visible.len(), "entry count mismatch");
+        for e in ws.entries() {
+            let k = e.key.as_int().unwrap();
+            let want = visible.get(&k).expect("unexpected writeset entry");
+            match (&e.op, want) {
+                (WriteOp::Insert(row), Some(v)) | (WriteOp::Update(row), Some(v)) => {
+                    prop_assert_eq!(row[1].as_int().unwrap(), *v);
+                }
+                (WriteOp::Delete, None) => {}
+                other => prop_assert!(false, "mismatched op {:?}", other),
+            }
+        }
+    }
+
+    /// Conflict detection is symmetric and equivalent to key-set
+    /// intersection.
+    #[test]
+    fn conflicts_symmetric_and_exact(
+        a in proptest::collection::vec((0..2u32, 0..20i64), 0..30),
+        b in proptest::collection::vec((0..2u32, 0..20i64), 0..30),
+    ) {
+        let build = |pairs: &[(u32, i64)]| {
+            let mut ws = WriteSet::new();
+            for (t, k) in pairs {
+                ws.push(TableId(*t), Value::Int(*k), WriteOp::Delete);
+            }
+            ws
+        };
+        let wa = build(&a);
+        let wb = build(&b);
+        let keys_a: BTreeSet<(u32, i64)> = a.iter().copied().collect();
+        let keys_b: BTreeSet<(u32, i64)> = b.iter().copied().collect();
+        let expect = keys_a.intersection(&keys_b).next().is_some();
+        prop_assert_eq!(wa.conflicts_with(&wb), expect);
+        prop_assert_eq!(wb.conflicts_with(&wa), expect);
+    }
+
+    /// TableSet behaves exactly like a BTreeSet<u32> under build / insert /
+    /// contains / union / intersects.
+    #[test]
+    fn tableset_is_a_set(
+        xs in proptest::collection::vec(0..50u32, 0..30),
+        ys in proptest::collection::vec(0..50u32, 0..30),
+    ) {
+        let ts_x: TableSet = xs.iter().map(|&i| TableId(i)).collect();
+        let ts_y: TableSet = ys.iter().map(|&i| TableId(i)).collect();
+        let set_x: BTreeSet<u32> = xs.iter().copied().collect();
+        let set_y: BTreeSet<u32> = ys.iter().copied().collect();
+
+        prop_assert_eq!(ts_x.len(), set_x.len());
+        for i in 0..50u32 {
+            prop_assert_eq!(ts_x.contains(TableId(i)), set_x.contains(&i));
+        }
+        prop_assert_eq!(
+            ts_x.intersects(&ts_y),
+            set_x.intersection(&set_y).next().is_some()
+        );
+        prop_assert_eq!(
+            ts_x.is_subset_of(&ts_y),
+            set_x.is_subset(&set_y)
+        );
+        let mut u = ts_x.clone();
+        u.extend(&ts_y);
+        let union: BTreeSet<u32> = set_x.union(&set_y).copied().collect();
+        prop_assert_eq!(u.len(), union.len());
+        // Iteration order is ascending.
+        let order: Vec<u32> = ts_x.iter().map(|t| t.0).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(order, sorted);
+    }
+
+    /// Value ordering is a total order (antisymmetric + transitive on
+    /// sampled triples) and equal values hash equally.
+    #[test]
+    fn value_order_total_and_hash_consistent(
+        a in value_strategy(), b in value_strategy(), c in value_strategy()
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity on this triple.
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        // Hash consistency with equality.
+        if a == b {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let h = |v: &Value| {
+                let mut s = DefaultHasher::new();
+                v.hash(&mut s);
+                s.finish()
+            };
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e9..1.0e9f64).prop_map(Value::Float),
+        "[a-z]{0,6}".prop_map(Value::Text),
+    ]
+}

@@ -1,0 +1,512 @@
+//! The load balancer: client-facing routing plus the version accounting
+//! that implements each consistency configuration.
+//!
+//! The load balancer hides the distributed nature of the cluster. It routes
+//! each transaction to the replica with the fewest active transactions (the
+//! paper's minimalistic policy — no workload-aware routing) and tags the
+//! request with a *start requirement* version:
+//!
+//! | Mode         | Start requirement                                       |
+//! |--------------|---------------------------------------------------------|
+//! | `Eager`      | none — replicas are always current when clients are acked |
+//! | `LazyCoarse` | `V_system`, the newest version acknowledged to any client |
+//! | `LazyFine`   | `max V_t` over the transaction's statically known table-set |
+//! | `Session`    | the version last observed by this client's session      |
+//! | `Baseline`   | none (GSI only; ablation mode)                          |
+//!
+//! Per-table versions `V_t` and the session dictionary are maintained from
+//! the outcomes replicas report back (Table I of the paper walks through the
+//! `V_t` accounting; `lb::tests::table_i_walkthrough` reproduces it).
+
+use crate::messages::{RoutedTxn, TxnOutcome, TxnRequest};
+use bargain_common::{
+    ConsistencyMode, ReplicaId, Result, SessionId, TableSet, TemplateId, TxnId, Version,
+};
+use std::collections::HashMap;
+
+/// How the load balancer picks a replica for each transaction. The paper's
+/// prototype uses least-active-transactions; the alternatives exist for the
+/// routing-policy ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Route to the replica with the fewest active transactions (paper).
+    #[default]
+    LeastConnections,
+    /// Route in strict rotation, ignoring load.
+    RoundRobin,
+    /// Route pseudo-randomly (deterministic xorshift).
+    Random,
+}
+
+/// Counters the load balancer maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadBalancerStats {
+    /// Transactions routed.
+    pub routed: u64,
+    /// Committed outcomes observed.
+    pub commits: u64,
+    /// Aborted outcomes observed.
+    pub aborts: u64,
+}
+
+/// The load balancer state machine.
+pub struct LoadBalancer {
+    mode: ConsistencyMode,
+    replicas: Vec<ReplicaId>,
+    /// Active (routed, not yet completed) transactions per replica.
+    active: Vec<u32>,
+    /// `V_system`: version of the latest transaction committed *and
+    /// acknowledged to clients*.
+    v_system: Version,
+    /// Per-table versions, indexed by `TableId` (fine-grained mode).
+    table_versions: Vec<Version>,
+    /// Session dictionary: newest version each session has observed.
+    sessions: HashMap<SessionId, Version>,
+    /// Statically extracted table-sets per transaction template. In the
+    /// prototype this dictionary is loaded from the database once at
+    /// startup (paper §IV-B); hosts populate it via
+    /// [`LoadBalancer::register_template`].
+    table_sets: HashMap<TemplateId, TableSet>,
+    next_txn: u64,
+    policy: RoutingPolicy,
+    rr_next: usize,
+    rng_state: u64,
+    stats: LoadBalancerStats,
+}
+
+impl LoadBalancer {
+    /// A load balancer for `replicas` running in `mode`, over a database of
+    /// `n_tables` tables.
+    #[must_use]
+    pub fn new(mode: ConsistencyMode, replicas: Vec<ReplicaId>, n_tables: usize) -> Self {
+        let n = replicas.len();
+        LoadBalancer {
+            mode,
+            replicas,
+            active: vec![0; n],
+            v_system: Version::ZERO,
+            table_versions: vec![Version::ZERO; n_tables],
+            sessions: HashMap::new(),
+            table_sets: HashMap::new(),
+            next_txn: 0,
+            policy: RoutingPolicy::LeastConnections,
+            rr_next: 0,
+            rng_state: 0x243F_6A88_85A3_08D3,
+            stats: LoadBalancerStats::default(),
+        }
+    }
+
+    /// Selects the routing policy (default: least connections).
+    pub fn set_policy(&mut self, policy: RoutingPolicy) {
+        self.policy = policy;
+    }
+
+    /// The consistency configuration in force.
+    #[must_use]
+    pub fn mode(&self) -> ConsistencyMode {
+        self.mode
+    }
+
+    /// Registers a transaction template's statically extracted table-set.
+    pub fn register_template(&mut self, template: TemplateId, table_set: TableSet) {
+        self.table_sets.insert(template, table_set);
+    }
+
+    /// `V_system`.
+    #[must_use]
+    pub fn v_system(&self) -> Version {
+        self.v_system
+    }
+
+    /// The recorded version of table `t` (fine-grained accounting).
+    #[must_use]
+    pub fn table_version(&self, t: bargain_common::TableId) -> Version {
+        self.table_versions
+            .get(t.index())
+            .copied()
+            .unwrap_or(Version::ZERO)
+    }
+
+    /// The version last observed by `session`.
+    #[must_use]
+    pub fn session_version(&self, session: SessionId) -> Version {
+        self.sessions
+            .get(&session)
+            .copied()
+            .unwrap_or(Version::ZERO)
+    }
+
+    /// Number of transactions currently routed to `replica` and not yet
+    /// completed.
+    #[must_use]
+    pub fn active_on(&self, replica: ReplicaId) -> u32 {
+        self.active[self.index_of(replica)]
+    }
+
+    /// Statistics.
+    #[must_use]
+    pub fn stats(&self) -> LoadBalancerStats {
+        self.stats
+    }
+
+    fn index_of(&self, replica: ReplicaId) -> usize {
+        self.replicas
+            .iter()
+            .position(|&r| r == replica)
+            .expect("unknown replica")
+    }
+
+    /// Routes a transaction: picks the least-loaded replica, assigns a
+    /// [`TxnId`], and computes the start requirement for the current mode.
+    pub fn route(&mut self, req: TxnRequest) -> Result<RoutedTxn> {
+        let start_requirement = self.start_requirement(req.session, req.template)?;
+        let idx = match self.policy {
+            // Least active transactions; ties broken by replica order for
+            // determinism.
+            RoutingPolicy::LeastConnections => {
+                self.active
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &n)| (n, i))
+                    .expect("at least one replica")
+                    .0
+            }
+            RoutingPolicy::RoundRobin => {
+                let i = self.rr_next % self.replicas.len();
+                self.rr_next = self.rr_next.wrapping_add(1);
+                i
+            }
+            RoutingPolicy::Random => {
+                // xorshift64*: deterministic, seedless routing.
+                let mut x = self.rng_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng_state = x;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % self.replicas.len()
+            }
+        };
+        self.active[idx] += 1;
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.stats.routed += 1;
+        Ok(RoutedTxn {
+            txn,
+            client: req.client,
+            session: req.session,
+            template: req.template,
+            params: req.params,
+            replica: self.replicas[idx],
+            start_requirement,
+        })
+    }
+
+    /// The start requirement the current mode dictates for a transaction of
+    /// `template` from `session`.
+    pub fn start_requirement(&self, session: SessionId, template: TemplateId) -> Result<Version> {
+        Ok(match self.mode {
+            ConsistencyMode::Eager | ConsistencyMode::Baseline => Version::ZERO,
+            ConsistencyMode::LazyCoarse => self.v_system,
+            ConsistencyMode::LazyFine => {
+                let ts = self.table_sets.get(&template).ok_or_else(|| {
+                    bargain_common::Error::Protocol(format!(
+                        "no table-set registered for template {template}"
+                    ))
+                })?;
+                ts.iter()
+                    .map(|&t| self.table_version(t))
+                    .max()
+                    .unwrap_or(Version::ZERO)
+            }
+            ConsistencyMode::Session => self.session_version(session),
+        })
+    }
+
+    /// Records a transaction outcome reported by a replica: updates active
+    /// counts, `V_system`, per-table versions, and the session dictionary.
+    pub fn on_outcome(&mut self, outcome: &TxnOutcome) {
+        let idx = self.index_of(outcome.replica);
+        self.active[idx] = self.active[idx].saturating_sub(1);
+        if !outcome.committed {
+            self.stats.aborts += 1;
+            return;
+        }
+        self.stats.commits += 1;
+        if let Some(v) = outcome.commit_version {
+            if v > self.v_system {
+                self.v_system = v;
+            }
+            for &t in &outcome.tables_written {
+                if t.index() >= self.table_versions.len() {
+                    self.table_versions.resize(t.index() + 1, Version::ZERO);
+                }
+                if v > self.table_versions[t.index()] {
+                    self.table_versions[t.index()] = v;
+                }
+            }
+        }
+        // Session accounting: the session has now observed at least
+        // `observed_version` (commit version for updates, snapshot for
+        // read-only transactions), keeping its snapshots monotone.
+        let entry = self
+            .sessions
+            .entry(outcome.session)
+            .or_insert(Version::ZERO);
+        if outcome.observed_version > *entry {
+            *entry = outcome.observed_version;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bargain_common::{ClientId, TableId};
+
+    fn outcome(
+        replica: u32,
+        session: u64,
+        commit_version: Option<u64>,
+        observed: u64,
+        tables: &[u32],
+    ) -> TxnOutcome {
+        TxnOutcome {
+            txn: TxnId(0),
+            client: ClientId(1),
+            session: SessionId(session),
+            replica: ReplicaId(replica),
+            committed: true,
+            commit_version: commit_version.map(Version),
+            observed_version: Version(observed),
+            tables_written: tables.iter().map(|&t| TableId(t)).collect(),
+            abort_reason: None,
+        }
+    }
+
+    fn request(session: u64, template: u32) -> TxnRequest {
+        TxnRequest {
+            client: ClientId(session),
+            session: SessionId(session),
+            template: TemplateId(template),
+            params: vec![],
+        }
+    }
+
+    fn lb(mode: ConsistencyMode) -> LoadBalancer {
+        let mut lb = LoadBalancer::new(mode, (0..3).map(ReplicaId).collect(), 3);
+        lb.register_template(TemplateId(0), TableSet::from_iter([TableId(0)]));
+        lb.register_template(TemplateId(1), TableSet::from_iter([TableId(1), TableId(2)]));
+        lb
+    }
+
+    #[test]
+    fn least_connections_routing() {
+        let mut lb = lb(ConsistencyMode::LazyCoarse);
+        let a = lb.route(request(1, 0)).unwrap();
+        let b = lb.route(request(2, 0)).unwrap();
+        let c = lb.route(request(3, 0)).unwrap();
+        // Round-robins across equally loaded replicas.
+        assert_eq!(a.replica, ReplicaId(0));
+        assert_eq!(b.replica, ReplicaId(1));
+        assert_eq!(c.replica, ReplicaId(2));
+        // Completing one on replica 1 makes it least-loaded again.
+        lb.on_outcome(&outcome(1, 2, Some(1), 1, &[0]));
+        let d = lb.route(request(4, 0)).unwrap();
+        assert_eq!(d.replica, ReplicaId(1));
+        // Distinct ids.
+        assert_ne!(a.txn, b.txn);
+    }
+
+    #[test]
+    fn coarse_tags_with_v_system() {
+        let mut lb = lb(ConsistencyMode::LazyCoarse);
+        assert_eq!(
+            lb.route(request(1, 0)).unwrap().start_requirement,
+            Version::ZERO
+        );
+        lb.on_outcome(&outcome(0, 1, Some(7), 7, &[0]));
+        assert_eq!(lb.v_system(), Version(7));
+        assert_eq!(
+            lb.route(request(2, 0)).unwrap().start_requirement,
+            Version(7)
+        );
+    }
+
+    #[test]
+    fn eager_and_baseline_never_delay_start() {
+        for mode in [ConsistencyMode::Eager, ConsistencyMode::Baseline] {
+            let mut lb = lb(mode);
+            lb.on_outcome(&outcome(0, 1, Some(9), 9, &[0, 1, 2]));
+            assert_eq!(
+                lb.route(request(2, 1)).unwrap().start_requirement,
+                Version::ZERO
+            );
+        }
+    }
+
+    #[test]
+    fn fine_uses_max_table_version_of_table_set() {
+        let mut lb = lb(ConsistencyMode::LazyFine);
+        // Commit v1 writing table 0; commit v2 writing tables 1,2.
+        lb.on_outcome(&outcome(0, 1, Some(1), 1, &[0]));
+        lb.on_outcome(&outcome(1, 1, Some(2), 2, &[1, 2]));
+        // Template 0 touches table 0 only: requirement v1, not v2.
+        assert_eq!(
+            lb.route(request(2, 0)).unwrap().start_requirement,
+            Version(1)
+        );
+        // Template 1 touches tables 1,2: requirement v2.
+        assert_eq!(
+            lb.route(request(3, 1)).unwrap().start_requirement,
+            Version(2)
+        );
+    }
+
+    #[test]
+    fn fine_requires_registered_table_set() {
+        let mut lb = lb(ConsistencyMode::LazyFine);
+        assert!(lb.route(request(1, 99)).is_err());
+    }
+
+    #[test]
+    fn session_tracks_per_session_versions() {
+        let mut lb = lb(ConsistencyMode::Session);
+        lb.on_outcome(&outcome(0, 1, Some(5), 5, &[0]));
+        lb.on_outcome(&outcome(1, 2, Some(9), 9, &[0]));
+        assert_eq!(
+            lb.route(request(1, 0)).unwrap().start_requirement,
+            Version(5)
+        );
+        assert_eq!(
+            lb.route(request(2, 0)).unwrap().start_requirement,
+            Version(9)
+        );
+        // A session that committed nothing has no requirement.
+        assert_eq!(
+            lb.route(request(3, 0)).unwrap().start_requirement,
+            Version::ZERO
+        );
+    }
+
+    #[test]
+    fn session_observes_read_snapshots_monotonically() {
+        let mut lb = lb(ConsistencyMode::Session);
+        // Read-only outcome that observed snapshot v6 on some replica.
+        lb.on_outcome(&outcome(0, 1, None, 6, &[]));
+        assert_eq!(lb.session_version(SessionId(1)), Version(6));
+        // An older observation does not move the session backwards.
+        lb.on_outcome(&outcome(1, 1, None, 3, &[]));
+        assert_eq!(lb.session_version(SessionId(1)), Version(6));
+    }
+
+    #[test]
+    fn aborted_outcomes_only_release_the_slot() {
+        let mut lb = lb(ConsistencyMode::LazyCoarse);
+        let routed = lb.route(request(1, 0)).unwrap();
+        assert_eq!(lb.active_on(routed.replica), 1);
+        lb.on_outcome(&TxnOutcome {
+            committed: false,
+            commit_version: None,
+            observed_version: Version(4),
+            abort_reason: Some("certification".into()),
+            ..outcome(0, 1, None, 0, &[])
+        });
+        assert_eq!(lb.active_on(routed.replica), 0);
+        assert_eq!(lb.v_system(), Version::ZERO);
+        assert_eq!(lb.session_version(SessionId(1)), Version::ZERO);
+        assert_eq!(lb.stats().aborts, 1);
+    }
+
+    /// Reproduces Table I of the paper: six update transactions over tables
+    /// (A, B, C) = (0, 1, 2), and the database/table versions after each.
+    #[test]
+    fn table_i_walkthrough() {
+        let mut lb = lb(ConsistencyMode::LazyFine);
+        let a = 0u32;
+        let b = 1u32;
+        let c = 2u32;
+        // T1 updates {A} at v1.
+        lb.on_outcome(&outcome(0, 1, Some(1), 1, &[a]));
+        assert_eq!(
+            (
+                lb.v_system().0,
+                lb.table_version(TableId(a)).0,
+                lb.table_version(TableId(b)).0,
+                lb.table_version(TableId(c)).0
+            ),
+            (1, 1, 0, 0)
+        );
+        // T2 updates {B, C} at v2.
+        lb.on_outcome(&outcome(0, 1, Some(2), 2, &[b, c]));
+        assert_eq!(
+            (
+                lb.v_system().0,
+                lb.table_version(TableId(a)).0,
+                lb.table_version(TableId(b)).0,
+                lb.table_version(TableId(c)).0
+            ),
+            (2, 1, 2, 2)
+        );
+        // T3 updates {B} at v3.
+        lb.on_outcome(&outcome(0, 1, Some(3), 3, &[b]));
+        assert_eq!((lb.v_system().0, lb.table_version(TableId(b)).0), (3, 3));
+        // T4 updates {C} at v4.
+        lb.on_outcome(&outcome(0, 1, Some(4), 4, &[c]));
+        assert_eq!((lb.v_system().0, lb.table_version(TableId(c)).0), (4, 4));
+        // T5 updates {B, C} at v5.
+        lb.on_outcome(&outcome(0, 1, Some(5), 5, &[b, c]));
+        assert_eq!(
+            (
+                lb.v_system().0,
+                lb.table_version(TableId(a)).0,
+                lb.table_version(TableId(b)).0,
+                lb.table_version(TableId(c)).0
+            ),
+            (5, 1, 5, 5)
+        );
+        // T6 reads/writes table A only: the fine-grained requirement is v1
+        // (table A's version), not v5 (the database version) — the paper's
+        // key observation.
+        assert_eq!(
+            lb.start_requirement(SessionId(9), TemplateId(0)).unwrap(),
+            Version(1)
+        );
+    }
+
+    #[test]
+    fn round_robin_ignores_load() {
+        let mut lb = lb(ConsistencyMode::LazyCoarse);
+        lb.set_policy(RoutingPolicy::RoundRobin);
+        let picks: Vec<u32> = (0..6)
+            .map(|i| lb.route(request(i, 0)).unwrap().replica.0)
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_routing_is_deterministic_and_spread() {
+        let mut a = lb(ConsistencyMode::LazyCoarse);
+        a.set_policy(RoutingPolicy::Random);
+        let mut b = lb(ConsistencyMode::LazyCoarse);
+        b.set_policy(RoutingPolicy::Random);
+        let pa: Vec<u32> = (0..50)
+            .map(|i| a.route(request(i, 0)).unwrap().replica.0)
+            .collect();
+        let pb: Vec<u32> = (0..50)
+            .map(|i| b.route(request(i, 0)).unwrap().replica.0)
+            .collect();
+        assert_eq!(pa, pb, "seedless xorshift routing must be deterministic");
+        for r in 0..3u32 {
+            assert!(pa.contains(&r), "replica {r} never chosen in 50 draws");
+        }
+    }
+
+    #[test]
+    fn outcome_for_table_beyond_initial_count_grows_accounting() {
+        let mut lb = LoadBalancer::new(ConsistencyMode::LazyFine, vec![ReplicaId(0)], 1);
+        lb.route(request(1, 0)).ok(); // ignore missing template here
+        lb.on_outcome(&outcome(0, 1, Some(1), 1, &[5]));
+        assert_eq!(lb.table_version(TableId(5)), Version(1));
+        assert_eq!(lb.table_version(TableId(3)), Version::ZERO);
+    }
+}

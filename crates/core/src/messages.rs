@@ -1,0 +1,202 @@
+//! Protocol messages exchanged between clients, the load balancer, the
+//! replicas' proxies, and the certifier.
+//!
+//! The hosts (`bargain-sim`, `bargain-cluster`) are responsible for
+//! *transporting* these messages; the state machines only produce and
+//! consume them.
+
+use bargain_common::{
+    ClientId, ReplicaId, SessionId, TableId, TemplateId, TxnId, Value, Version, WriteSet,
+};
+
+/// A client's request to run one transaction (client → load balancer).
+///
+/// The client names a [`TemplateId`] — a predefined transaction type whose
+/// prepared statements and table-set the system knows statically — and
+/// supplies the positional parameters for each statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnRequest {
+    /// Requesting client.
+    pub client: ClientId,
+    /// The client's session (scope of session consistency).
+    pub session: SessionId,
+    /// Which transaction template to run.
+    pub template: TemplateId,
+    /// Parameters for each statement of the template, in statement order.
+    pub params: Vec<Vec<Value>>,
+}
+
+/// A transaction routed to a replica (load balancer → proxy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedTxn {
+    /// System-wide transaction id assigned by the load balancer.
+    pub txn: TxnId,
+    /// Originating client and session.
+    pub client: ClientId,
+    /// Session the transaction belongs to.
+    pub session: SessionId,
+    /// Template to execute.
+    pub template: TemplateId,
+    /// Statement parameters.
+    pub params: Vec<Vec<Value>>,
+    /// Target replica chosen by the load balancer.
+    pub replica: ReplicaId,
+    /// The minimum local database version the replica must reach before the
+    /// transaction may start ([`Version::ZERO`] means "start immediately").
+    /// This single field encodes all four consistency configurations.
+    pub start_requirement: Version,
+}
+
+/// The proxy's answer to "can this transaction start now?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartDecision {
+    /// The replica is current enough; the transaction began at the given
+    /// snapshot.
+    Started {
+        /// The snapshot version the transaction reads at (the replica's
+        /// `V_local` at start).
+        snapshot: Version,
+    },
+    /// The replica must first apply more updates; the transaction is queued
+    /// and will start (producing [`ProxyEvent::TxnStarted`]) once the
+    /// replica reaches the start requirement.
+    ///
+    /// [`ProxyEvent::TxnStarted`]: crate::proxy::ProxyEvent::TxnStarted
+    Delayed {
+        /// The version the replica must reach.
+        required: Version,
+        /// The replica's current version.
+        current: Version,
+    },
+}
+
+/// A request to certify an update transaction (proxy → certifier).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifyRequest {
+    /// The committing transaction.
+    pub txn: TxnId,
+    /// Replica hosting the transaction.
+    pub replica: ReplicaId,
+    /// The snapshot version the transaction read at.
+    pub snapshot: Version,
+    /// The transaction's complete writeset.
+    pub writeset: WriteSet,
+}
+
+/// The certifier's decision (certifier → originating proxy).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertifyDecision {
+    /// Commit at the assigned global version.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+        /// Global commit version (the `V_commit` value assigned).
+        commit_version: Version,
+    },
+    /// Abort: the writeset conflicts with a transaction that committed
+    /// after `snapshot`.
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+        /// The version of the conflicting committed transaction.
+        conflicting_version: Version,
+    },
+}
+
+/// A certified writeset propagated to a non-originating replica
+/// (certifier → proxy), a.k.a. a *refresh transaction*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Refresh {
+    /// Replica where the transaction originally executed.
+    pub origin: ReplicaId,
+    /// The committed transaction.
+    pub txn: TxnId,
+    /// Global commit version; refreshes must be applied in this order.
+    pub commit_version: Version,
+    /// The writes to install.
+    pub writeset: WriteSet,
+}
+
+/// Final outcome of a transaction (proxy → load balancer → client).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnOutcome {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Originating client and session (echoed for the load balancer's
+    /// bookkeeping).
+    pub client: ClientId,
+    /// Session the transaction belonged to.
+    pub session: SessionId,
+    /// Replica that executed the transaction.
+    pub replica: ReplicaId,
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// For committed update transactions: the global commit version.
+    pub commit_version: Option<Version>,
+    /// The newest database state the client is known to have observed: the
+    /// commit version for update transactions, the snapshot for read-only
+    /// ones. Drives the load balancer's `V_system` and session accounting.
+    pub observed_version: Version,
+    /// Tables the transaction actually wrote (for the fine-grained
+    /// technique's per-table version accounting). Empty for read-only or
+    /// aborted transactions.
+    pub tables_written: Vec<TableId>,
+    /// Human-readable abort reason, if aborted.
+    pub abort_reason: Option<String>,
+}
+
+impl TxnOutcome {
+    /// Shorthand for "committed and wrote something".
+    #[must_use]
+    pub fn is_committed_update(&self) -> bool {
+        self.committed && self.commit_version.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        let base = TxnOutcome {
+            txn: TxnId(1),
+            client: ClientId(1),
+            session: SessionId(1),
+            replica: ReplicaId(0),
+            committed: true,
+            commit_version: Some(Version(3)),
+            observed_version: Version(3),
+            tables_written: vec![TableId(0)],
+            abort_reason: None,
+        };
+        assert!(base.is_committed_update());
+
+        let ro = TxnOutcome {
+            commit_version: None,
+            tables_written: vec![],
+            observed_version: Version(2),
+            ..base.clone()
+        };
+        assert!(ro.committed);
+        assert!(!ro.is_committed_update());
+    }
+
+    #[test]
+    fn start_decision_variants() {
+        let s = StartDecision::Started {
+            snapshot: Version(4),
+        };
+        assert!(matches!(s, StartDecision::Started { .. }));
+        let d = StartDecision::Delayed {
+            required: Version(9),
+            current: Version(4),
+        };
+        match d {
+            StartDecision::Delayed { required, current } => {
+                assert!(required > current);
+            }
+            StartDecision::Started { .. } => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The discrete-event kernel: a virtual clock, an ordered event queue, and
+//! finite-capacity FIFO resources.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Virtual time, in microseconds since simulation start.
+pub type SimTime = u64;
+
+/// One microsecond-granularity millisecond.
+pub const MS: SimTime = 1_000;
+
+struct HeapItem<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapItem<E> {}
+impl<E> PartialOrd for HeapItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapItem<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap: earliest time first, then insertion order
+        // (which makes simulation fully deterministic).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapItem<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute time (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let time = at.max(self.now);
+        self.heap.push(HeapItem {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let item = self.heap.pop()?;
+        debug_assert!(item.time >= self.now, "time went backwards");
+        self.now = item.time;
+        Some((item.time, item.event))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A finite-capacity FIFO service resource (a replica's CPU, the
+/// certifier's CPU). Jobs are offered with a service duration; at most
+/// `capacity` jobs are in service at once, the rest queue in FIFO order.
+///
+/// The resource does not own the event queue; instead [`Resource::offer`]
+/// and [`Resource::complete`] return the jobs to schedule, which the caller
+/// turns into events. `J` is the caller's job payload.
+pub struct Resource<J> {
+    capacity: usize,
+    in_service: usize,
+    queue: VecDeque<(J, SimTime)>,
+    /// Total busy-time accumulated (utilization accounting).
+    pub busy_time: SimTime,
+    /// Jobs served.
+    pub served: u64,
+}
+
+impl<J> Resource<J> {
+    /// A resource with `capacity` parallel servers.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "resource needs at least one server");
+        Resource {
+            capacity,
+            in_service: 0,
+            queue: VecDeque::new(),
+            busy_time: 0,
+            served: 0,
+        }
+    }
+
+    /// Offers a job needing `duration` of service. Returns `Some(duration)`
+    /// if the job enters service now (caller schedules its completion after
+    /// `duration`), or `None` if it queued.
+    #[must_use]
+    pub fn offer(&mut self, job: J, duration: SimTime) -> Option<(J, SimTime)> {
+        if self.in_service < self.capacity {
+            self.in_service += 1;
+            self.busy_time += duration;
+            self.served += 1;
+            Some((job, duration))
+        } else {
+            self.queue.push_back((job, duration));
+            None
+        }
+    }
+
+    /// Reports a job completion. Returns the next queued job entering
+    /// service, if any (caller schedules its completion after the returned
+    /// duration).
+    #[must_use]
+    pub fn complete(&mut self) -> Option<(J, SimTime)> {
+        debug_assert!(self.in_service > 0, "completion without service");
+        self.in_service -= 1;
+        if let Some((job, duration)) = self.queue.pop_front() {
+            self.in_service += 1;
+            self.busy_time += duration;
+            self.served += 1;
+            Some((job, duration))
+        } else {
+            None
+        }
+    }
+
+    /// Jobs currently waiting (not in service).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently in service.
+    #[must_use]
+    pub fn in_service(&self) -> usize {
+        self.in_service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        // Scheduling "in the past" clamps to now.
+        q.schedule_at(3, ());
+        let (t, ()) = q.pop().unwrap();
+        assert_eq!(t, 10);
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "first");
+        q.pop();
+        q.schedule(5, "second");
+        assert_eq!(q.pop(), Some((15, "second")));
+    }
+
+    #[test]
+    fn resource_serves_up_to_capacity() {
+        let mut r: Resource<&str> = Resource::new(2);
+        assert!(r.offer("a", 10).is_some());
+        assert!(r.offer("b", 10).is_some());
+        assert!(r.offer("c", 10).is_none()); // queued
+        assert_eq!(r.queued(), 1);
+        assert_eq!(r.in_service(), 2);
+        let next = r.complete();
+        assert_eq!(next, Some(("c", 10)));
+        assert_eq!(r.queued(), 0);
+        assert!(r.complete().is_none());
+        assert!(r.complete().is_none());
+        assert_eq!(r.in_service(), 0);
+        assert_eq!(r.served, 3);
+        assert_eq!(r.busy_time, 30);
+    }
+
+    #[test]
+    fn resource_fifo_order() {
+        let mut r: Resource<u32> = Resource::new(1);
+        assert!(r.offer(1, 5).is_some());
+        assert!(r.offer(2, 5).is_none());
+        assert!(r.offer(3, 5).is_none());
+        assert_eq!(r.complete().unwrap().0, 2);
+        assert_eq!(r.complete().unwrap().0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_capacity_rejected() {
+        let _ = Resource::<()>::new(0);
+    }
+}

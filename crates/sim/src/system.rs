@@ -1,0 +1,733 @@
+//! The full-system simulation: clients, load balancer, certifier, and
+//! replicas exchanging protocol messages over a modelled network, with
+//! replica CPUs and the certifier as queueing resources.
+//!
+//! Message flow (one transaction):
+//!
+//! ```text
+//! client ──issue──▶ LB ──route──▶ proxy ▷ (version wait) ▷ statements*
+//!    ▲                              │ read-only: local commit ──────────┐
+//!    │                              └ update: writeset ──▶ certifier    │
+//!    │                                         decision ◀── (WAL force) │
+//!    │                    (sync wait, ordered apply, commit)            │
+//!    │          eager only: all replicas applied ─▶ global commit       │
+//!    └───────────────────────── ack ◀── LB ◀── outcome ◀────────────────┘
+//!                                      refreshes ──▶ other replicas
+//! ```
+//!
+//! Every run is deterministic given [`SimConfig::seed`] and doubles as a
+//! consistency check: begins and client-visible acks stream into a
+//! [`ConsistencyChecker`] and the report carries the violation count for
+//! the mode's claimed guarantee (zero for every mode except `Baseline`,
+//! which claims nothing and demonstrably delivers stale reads).
+
+use crate::cost::CostModel;
+use crate::kernel::{EventQueue, Resource, SimTime, MS};
+use crate::metrics::{SimReport, TxnRecord};
+use bargain_common::{
+    ClientId, ConsistencyMode, Error, ReplicaId, TableSet, TemplateId, TxnId, Version,
+};
+use bargain_core::{
+    Certifier, CertifyDecision, CertifyRequest, ConsistencyChecker, LoadBalancer, Proxy,
+    ProxyEvent, Refresh, RoutedTxn, StartDecision, TxnOutcome, TxnRequest,
+};
+use bargain_storage::Engine;
+use bargain_workloads::{ClientContext, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Consistency configuration under test.
+    pub mode: ConsistencyMode,
+    /// Number of database replicas.
+    pub replicas: usize,
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// RNG seed (fixes the entire run).
+    pub seed: u64,
+    /// Warm-up interval (virtual ms) excluded from measurement.
+    pub warmup_ms: u64,
+    /// Measurement interval (virtual ms).
+    pub measure_ms: u64,
+    /// The cost model.
+    pub costs: CostModel,
+    /// Whether to stream events into the consistency checker.
+    pub check_consistency: bool,
+    /// Load-balancer routing policy (ablation; default least connections).
+    pub routing: bargain_core::RoutingPolicy,
+    /// Whether proxies perform early certification (ablation; default on).
+    pub early_certification: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mode: ConsistencyMode::LazyFine,
+            replicas: 4,
+            clients: 32,
+            seed: 42,
+            warmup_ms: 2_000,
+            measure_ms: 10_000,
+            costs: CostModel::default(),
+            check_consistency: true,
+            routing: bargain_core::RoutingPolicy::LeastConnections,
+            early_certification: true,
+        }
+    }
+}
+
+/// Which per-replica service lane a job runs on: the multi-worker query
+/// lane, or the single "apply lane" on which commits and refresh writesets
+/// are applied sequentially in global order (mirroring the prototype's
+/// sequential refresh application).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    Worker,
+    Apply,
+}
+
+enum ReplicaJob {
+    Stmt { txn: TxnId, stmt_idx: usize },
+    RoCommit { txn: TxnId },
+    Decision { decision: CertifyDecision },
+    RefreshApply { refresh: Refresh },
+}
+
+enum Event {
+    ClientIssue {
+        client: usize,
+    },
+    ArriveAtReplica {
+        routed: RoutedTxn,
+    },
+    ReplicaDone {
+        replica: usize,
+        lane: Lane,
+        job: ReplicaJob,
+    },
+    ArriveAtCertifier {
+        req: CertifyRequest,
+    },
+    CertifierDone {
+        req: CertifyRequest,
+    },
+    DecisionAtReplica {
+        replica: usize,
+        decision: CertifyDecision,
+    },
+    RefreshAtReplica {
+        replica: usize,
+        refresh: Refresh,
+    },
+    AppliedAtCertifier {
+        replica: ReplicaId,
+        version: Version,
+    },
+    GlobalCommitAtReplica {
+        replica: usize,
+        txn: TxnId,
+    },
+    OutcomeAtLb {
+        outcome: TxnOutcome,
+    },
+    AckAtClient {
+        outcome: TxnOutcome,
+    },
+    PruneTick,
+    GcTick,
+}
+
+#[derive(Default)]
+struct TxnTrack {
+    client: usize,
+    template: TemplateId,
+    n_stmts: usize,
+    issued_at: SimTime,
+    arrived_at: SimTime,
+    started_at: SimTime,
+    queries_done_at: SimTime,
+    decision_at: SimTime,
+    local_commit_at: SimTime,
+    version_us: SimTime,
+    queries_us: SimTime,
+    certify_us: SimTime,
+    sync_us: SimTime,
+    commit_us: SimTime,
+    global_us: SimTime,
+    is_update: bool,
+    aborted: bool,
+}
+
+struct Sim<'w> {
+    cfg: SimConfig,
+    workload: &'w dyn Workload,
+    queue: EventQueue<Event>,
+    rng: SmallRng,
+    lb: LoadBalancer,
+    certifier: Certifier,
+    proxies: Vec<Proxy>,
+    replica_res: Vec<Resource<ReplicaJob>>,
+    apply_res: Vec<Resource<ReplicaJob>>,
+    cert_res: Resource<CertifyRequest>,
+    clients: Vec<ClientContext>,
+    tracks: HashMap<TxnId, TxnTrack>,
+    template_tables: HashMap<TemplateId, TableSet>,
+    stmt_is_update: HashMap<TemplateId, Vec<bool>>,
+    checker: ConsistencyChecker,
+    records: Vec<TxnRecord>,
+    measure_start: SimTime,
+    end_time: SimTime,
+}
+
+/// Runs one simulation and returns its report.
+pub fn simulate(workload: &dyn Workload, cfg: &SimConfig) -> SimReport {
+    let mut sim = Sim::build(workload, cfg.clone());
+    sim.run();
+    sim.report()
+}
+
+impl<'w> Sim<'w> {
+    fn build(workload: &'w dyn Workload, cfg: SimConfig) -> Self {
+        assert!(cfg.replicas >= 1, "need at least one replica");
+        assert!(cfg.clients >= 1, "need at least one client");
+        let replica_ids: Vec<ReplicaId> = (0..cfg.replicas as u32).map(ReplicaId).collect();
+
+        // Build one engine per replica with identical initial state.
+        let templates: Vec<Arc<_>> = workload.templates().into_iter().map(Arc::new).collect();
+        let mut proxies = Vec::with_capacity(cfg.replicas);
+        let mut n_tables = 0;
+        let mut template_tables = HashMap::new();
+        let mut stmt_is_update = HashMap::new();
+        for &rid in &replica_ids {
+            let mut engine = Engine::new();
+            workload
+                .install(&mut engine)
+                .expect("workload installs cleanly");
+            n_tables = engine.catalog().len();
+            if template_tables.is_empty() {
+                for t in &templates {
+                    template_tables.insert(
+                        t.id,
+                        t.table_set(engine.catalog())
+                            .expect("template tables resolve"),
+                    );
+                    stmt_is_update
+                        .insert(t.id, t.statements.iter().map(|s| s.is_update()).collect());
+                }
+            }
+            let mut proxy = Proxy::new(rid, cfg.mode, engine);
+            proxy.set_early_certification(cfg.early_certification);
+            for t in &templates {
+                proxy.register_template(Arc::clone(t));
+            }
+            proxies.push(proxy);
+        }
+
+        let mut lb = LoadBalancer::new(cfg.mode, replica_ids.clone(), n_tables);
+        lb.set_policy(cfg.routing);
+        for (tid, ts) in &template_tables {
+            lb.register_template(*tid, ts.clone());
+        }
+        let mut certifier = Certifier::new(replica_ids);
+        certifier.set_eager(cfg.mode == ConsistencyMode::Eager);
+
+        let replica_res = (0..cfg.replicas)
+            .map(|_| Resource::new(cfg.costs.replica_workers))
+            .collect();
+        // The apply "lane": either the shared worker pool (faithful — refresh
+        // application contends with statement execution inside the DBMS) or
+        // a dedicated single server (ablation).
+        let apply_res = (0..cfg.replicas).map(|_| Resource::new(1)).collect();
+        let clients = (0..cfg.clients as u64)
+            .map(|i| ClientContext::new(cfg.seed, ClientId(i)))
+            .collect();
+
+        let measure_start = cfg.warmup_ms * MS;
+        let end_time = (cfg.warmup_ms + cfg.measure_ms) * MS;
+        let rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0xA24B_AED4_963E_E407));
+        Sim {
+            cfg,
+            workload,
+            queue: EventQueue::new(),
+            rng,
+            lb,
+            certifier,
+            proxies,
+            replica_res,
+            apply_res,
+            cert_res: Resource::new(1),
+            clients,
+            tracks: HashMap::new(),
+            template_tables,
+            stmt_is_update,
+            checker: ConsistencyChecker::new(),
+            records: Vec::new(),
+            measure_start,
+            end_time,
+        }
+    }
+
+    fn run(&mut self) {
+        // Stagger client start-up over the first 50 virtual ms.
+        for c in 0..self.cfg.clients {
+            let jitter = self.rng.gen_range(0..50 * MS);
+            self.queue
+                .schedule_at(jitter, Event::ClientIssue { client: c });
+        }
+        self.queue.schedule(500 * MS, Event::PruneTick);
+        self.queue.schedule(2_000 * MS, Event::GcTick);
+        while let Some((t, ev)) = self.queue.pop() {
+            if t >= self.end_time {
+                break;
+            }
+            self.handle(ev);
+        }
+    }
+
+    fn report(&mut self) -> SimReport {
+        let (violations, strict) = if self.cfg.check_consistency {
+            (
+                self.checker.violations_for(self.cfg.mode).len(),
+                self.checker.strong_violations().len(),
+            )
+        } else {
+            (0, 0)
+        };
+        let mut report = SimReport::from_records(
+            self.cfg.mode,
+            self.cfg.replicas,
+            self.cfg.clients,
+            self.cfg.measure_ms * MS,
+            &self.records,
+            violations,
+            strict,
+        );
+        for p in &self.proxies {
+            let s = p.stats();
+            report.certifier_aborts += s.certifier_aborts;
+            report.early_aborts += s.early_aborts_statement + s.early_aborts_refresh;
+        }
+        report
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn apply_lane(&self) -> Lane {
+        if self.cfg.costs.dedicated_apply_lane {
+            Lane::Apply
+        } else {
+            Lane::Worker
+        }
+    }
+
+    fn net_delay(&mut self, payload_bytes: usize) -> SimTime {
+        let jitter = if self.cfg.costs.net_jitter_us > 0 {
+            self.rng.gen_range(0..=self.cfg.costs.net_jitter_us)
+        } else {
+            0
+        };
+        self.cfg.costs.net_latency_us + jitter + self.cfg.costs.transfer_cost(payload_bytes)
+    }
+
+    fn offer_replica(&mut self, replica: usize, lane: Lane, job: ReplicaJob, duration: SimTime) {
+        let res = match lane {
+            Lane::Worker => &mut self.replica_res[replica],
+            Lane::Apply => &mut self.apply_res[replica],
+        };
+        if let Some((job, d)) = res.offer(job, duration) {
+            self.queue
+                .schedule(d, Event::ReplicaDone { replica, lane, job });
+        }
+    }
+
+    fn replica_complete(&mut self, replica: usize, lane: Lane) {
+        let res = match lane {
+            Lane::Worker => &mut self.replica_res[replica],
+            Lane::Apply => &mut self.apply_res[replica],
+        };
+        if let Some((job, d)) = res.complete() {
+            self.queue
+                .schedule(d, Event::ReplicaDone { replica, lane, job });
+        }
+    }
+
+    fn send_outcome(&mut self, outcome: TxnOutcome) {
+        let d = self.net_delay(0);
+        self.queue.schedule(d, Event::OutcomeAtLb { outcome });
+    }
+
+    fn on_started(&mut self, replica: usize, txn: TxnId, snapshot: Version) {
+        let now = self.queue.now();
+        let first_cost = {
+            let track = self.tracks.get_mut(&txn).expect("tracked");
+            track.started_at = now;
+            track.version_us = now.saturating_sub(track.arrived_at);
+            let flags = &self.stmt_is_update[&track.template];
+            self.cfg.costs.stmt_cost(replica, flags[0])
+        };
+        if self.cfg.check_consistency {
+            self.checker.record_snapshot(txn, snapshot);
+        }
+        self.offer_replica(
+            replica,
+            Lane::Worker,
+            ReplicaJob::Stmt { txn, stmt_idx: 0 },
+            first_cost,
+        );
+    }
+
+    fn handle_proxy_events(&mut self, replica: usize, events: Vec<ProxyEvent>) {
+        let now = self.queue.now();
+        for ev in events {
+            match ev {
+                ProxyEvent::TxnStarted { txn, snapshot } => {
+                    self.on_started(replica, txn, snapshot);
+                }
+                ProxyEvent::TxnFinished(outcome) => {
+                    if outcome.committed {
+                        if let Some(track) = self.tracks.get_mut(&outcome.txn) {
+                            track.local_commit_at = now;
+                            track.commit_us = self.cfg.costs.commit_us;
+                            track.sync_us = now
+                                .saturating_sub(track.decision_at)
+                                .saturating_sub(self.cfg.costs.commit_us);
+                        }
+                    } else if let Some(track) = self.tracks.get_mut(&outcome.txn) {
+                        track.aborted = true;
+                    }
+                    self.send_outcome(outcome);
+                }
+                ProxyEvent::AwaitingGlobal { txn } => {
+                    if let Some(track) = self.tracks.get_mut(&txn) {
+                        track.local_commit_at = now;
+                        track.commit_us = self.cfg.costs.commit_us;
+                        track.sync_us = now
+                            .saturating_sub(track.decision_at)
+                            .saturating_sub(self.cfg.costs.commit_us);
+                    }
+                }
+                ProxyEvent::CommitApplied { version } => {
+                    let d = self.net_delay(0);
+                    let rid = self.proxies[replica].replica();
+                    self.queue.schedule(
+                        d,
+                        Event::AppliedAtCertifier {
+                            replica: rid,
+                            version,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::ClientIssue { client } => self.on_client_issue(client),
+            Event::ArriveAtReplica { routed } => self.on_arrive_at_replica(routed),
+            Event::ReplicaDone { replica, lane, job } => self.on_replica_done(replica, lane, job),
+            Event::ArriveAtCertifier { req } => {
+                let cost = self.cfg.costs.certification_cost();
+                if let Some((req, d)) = self.cert_res.offer(req, cost) {
+                    self.queue.schedule(d, Event::CertifierDone { req });
+                }
+            }
+            Event::CertifierDone { req } => self.on_certifier_done(req),
+            Event::DecisionAtReplica { replica, decision } => {
+                self.on_decision_at_replica(replica, decision);
+            }
+            Event::RefreshAtReplica { replica, refresh } => {
+                let cost = self.cfg.costs.refresh_cost(replica, &refresh.writeset);
+                let lane = self.apply_lane();
+                self.offer_replica(replica, lane, ReplicaJob::RefreshApply { refresh }, cost);
+            }
+            Event::AppliedAtCertifier { replica, version } => {
+                if let Some((origin, txn)) = self.certifier.on_commit_applied(replica, version) {
+                    let d = self.net_delay(0);
+                    self.queue.schedule(
+                        d,
+                        Event::GlobalCommitAtReplica {
+                            replica: origin.index(),
+                            txn,
+                        },
+                    );
+                }
+            }
+            Event::GlobalCommitAtReplica { replica, txn } => {
+                let now = self.queue.now();
+                let outcome = self.proxies[replica]
+                    .on_global_commit(txn)
+                    .expect("awaiting global");
+                if let Some(track) = self.tracks.get_mut(&txn) {
+                    track.global_us = now.saturating_sub(track.local_commit_at);
+                }
+                self.send_outcome(outcome);
+            }
+            Event::OutcomeAtLb { outcome } => {
+                self.lb.on_outcome(&outcome);
+                let d = self.net_delay(0);
+                self.queue.schedule(d, Event::AckAtClient { outcome });
+            }
+            Event::AckAtClient { outcome } => self.on_ack_at_client(outcome),
+            Event::PruneTick => {
+                let floor = self
+                    .proxies
+                    .iter()
+                    .map(Proxy::min_snapshot_bound)
+                    .min()
+                    .unwrap_or(Version::ZERO);
+                self.certifier.prune(floor);
+                self.queue.schedule(500 * MS, Event::PruneTick);
+            }
+            Event::GcTick => {
+                // Background version-chain garbage collection, as a real
+                // MVCC engine's vacuum would run. Modelled as free (it
+                // executes off the transaction path).
+                for p in &mut self.proxies {
+                    p.engine_mut().gc();
+                }
+                self.queue.schedule(2_000 * MS, Event::GcTick);
+            }
+        }
+    }
+
+    fn on_client_issue(&mut self, client: usize) {
+        let now = self.queue.now();
+        let ctx = &mut self.clients[client];
+        let (template, params) = self.workload.next_transaction(ctx);
+        let request = TxnRequest {
+            client: ctx.client,
+            session: ctx.session,
+            template,
+            params,
+        };
+        let session = ctx.session;
+        let routed = self.lb.route(request).expect("routing succeeds");
+        let n_stmts = self.stmt_is_update[&template].len();
+        self.tracks.insert(
+            routed.txn,
+            TxnTrack {
+                client,
+                template,
+                n_stmts,
+                issued_at: now,
+                ..TxnTrack::default()
+            },
+        );
+        if self.cfg.check_consistency {
+            self.checker.record_issue(
+                routed.txn,
+                session,
+                Some(self.template_tables[&template].clone()),
+            );
+        }
+        // client → LB → replica: two network hops plus LB processing.
+        let d = self.net_delay(0) + self.cfg.costs.lb_route_us + self.net_delay(0);
+        self.queue.schedule(d, Event::ArriveAtReplica { routed });
+    }
+
+    fn on_arrive_at_replica(&mut self, routed: RoutedTxn) {
+        let now = self.queue.now();
+        let replica = routed.replica.index();
+        let txn = routed.txn;
+        if let Some(track) = self.tracks.get_mut(&txn) {
+            track.arrived_at = now;
+        }
+        match self.proxies[replica].start(routed).expect("start accepts") {
+            StartDecision::Started { snapshot } => self.on_started(replica, txn, snapshot),
+            StartDecision::Delayed { .. } => {
+                // Parked: ProxyEvent::TxnStarted will fire from a later
+                // refresh application (the synchronization start delay).
+            }
+        }
+    }
+
+    fn on_replica_done(&mut self, replica: usize, lane: Lane, job: ReplicaJob) {
+        let now = self.queue.now();
+        match job {
+            ReplicaJob::Stmt { txn, stmt_idx } => {
+                // The transaction may have been early-aborted while this
+                // statement was queued or in flight.
+                let alive = self.tracks.get(&txn).map(|t| !t.aborted).unwrap_or(false);
+                if alive {
+                    match self.proxies[replica].execute_statement(txn, stmt_idx) {
+                        Ok(bargain_core::StatementOutcome::Ok(_)) => {
+                            let track = self.tracks.get_mut(&txn).expect("tracked");
+                            if stmt_idx + 1 < track.n_stmts {
+                                let cost = {
+                                    let flags = &self.stmt_is_update[&track.template];
+                                    self.cfg.costs.stmt_cost(replica, flags[stmt_idx + 1])
+                                };
+                                self.offer_replica(
+                                    replica,
+                                    Lane::Worker,
+                                    ReplicaJob::Stmt {
+                                        txn,
+                                        stmt_idx: stmt_idx + 1,
+                                    },
+                                    cost,
+                                );
+                            } else {
+                                track.queries_done_at = now;
+                                track.queries_us = now.saturating_sub(track.started_at);
+                                self.finish_txn(replica, txn);
+                            }
+                        }
+                        Ok(bargain_core::StatementOutcome::EarlyAborted(outcome)) => {
+                            self.tracks.get_mut(&txn).expect("tracked").aborted = true;
+                            self.send_outcome(outcome);
+                        }
+                        Err(Error::NoSuchTransaction(_)) => {
+                            // Aborted between scheduling and execution.
+                        }
+                        Err(e) => panic!("statement execution failed: {e}"),
+                    }
+                }
+            }
+            ReplicaJob::RoCommit { txn } => match self.proxies[replica].finish(txn) {
+                Ok(bargain_core::FinishAction::ReadOnlyCommitted(outcome)) => {
+                    let track = self.tracks.get_mut(&txn).expect("tracked");
+                    track.commit_us = now.saturating_sub(track.queries_done_at);
+                    track.local_commit_at = now;
+                    self.send_outcome(outcome);
+                }
+                Ok(bargain_core::FinishAction::NeedsCertification(_)) => {
+                    unreachable!("RoCommit scheduled only for read-only transactions")
+                }
+                Err(Error::NoSuchTransaction(_)) => {}
+                Err(e) => panic!("read-only commit failed: {e}"),
+            },
+            ReplicaJob::Decision { decision } => {
+                let events = self.proxies[replica]
+                    .on_decision(decision)
+                    .expect("decision applies");
+                self.handle_proxy_events(replica, events);
+            }
+            ReplicaJob::RefreshApply { refresh } => {
+                let events = self.proxies[replica]
+                    .on_refresh(refresh)
+                    .expect("refresh applies");
+                self.handle_proxy_events(replica, events);
+            }
+        }
+        self.replica_complete(replica, lane);
+    }
+
+    fn finish_txn(&mut self, replica: usize, txn: TxnId) {
+        if self.proxies[replica].is_read_only(txn).unwrap_or(false) {
+            let cost = self.cfg.costs.at_replica(replica, self.cfg.costs.commit_us);
+            self.offer_replica(replica, Lane::Worker, ReplicaJob::RoCommit { txn }, cost);
+            return;
+        }
+        self.tracks.get_mut(&txn).expect("tracked").is_update = true;
+        match self.proxies[replica].finish(txn).expect("finish accepts") {
+            bargain_core::FinishAction::NeedsCertification(req) => {
+                let d = self.net_delay(req.writeset.payload_bytes());
+                self.queue.schedule(d, Event::ArriveAtCertifier { req });
+            }
+            bargain_core::FinishAction::ReadOnlyCommitted(_) => {
+                unreachable!("is_read_only was false")
+            }
+        }
+    }
+
+    fn on_certifier_done(&mut self, req: CertifyRequest) {
+        let origin = req.replica;
+        let (decision, refreshes) = self.certifier.certify(req).expect("certify accepts");
+        let d = self.net_delay(0);
+        self.queue.schedule(
+            d,
+            Event::DecisionAtReplica {
+                replica: origin.index(),
+                decision,
+            },
+        );
+        let targets = self.certifier.refresh_targets(origin);
+        for (target, refresh) in targets.into_iter().zip(refreshes) {
+            let d = self.net_delay(refresh.writeset.payload_bytes());
+            self.queue.schedule(
+                d,
+                Event::RefreshAtReplica {
+                    replica: target.index(),
+                    refresh,
+                },
+            );
+        }
+        if let Some((req, d)) = self.cert_res.complete() {
+            self.queue.schedule(d, Event::CertifierDone { req });
+        }
+    }
+
+    fn on_decision_at_replica(&mut self, replica: usize, decision: CertifyDecision) {
+        let now = self.queue.now();
+        match &decision {
+            CertifyDecision::Commit { txn, .. } => {
+                if let Some(track) = self.tracks.get_mut(txn) {
+                    track.decision_at = now;
+                    track.certify_us = now.saturating_sub(track.queries_done_at);
+                }
+                let cost = self.cfg.costs.at_replica(replica, self.cfg.costs.commit_us);
+                let lane = self.apply_lane();
+                self.offer_replica(replica, lane, ReplicaJob::Decision { decision }, cost);
+            }
+            CertifyDecision::Abort { txn, .. } => {
+                if let Some(track) = self.tracks.get_mut(txn) {
+                    track.decision_at = now;
+                    track.certify_us = now.saturating_sub(track.queries_done_at);
+                }
+                let events = self.proxies[replica]
+                    .on_decision(decision)
+                    .expect("abort applies");
+                self.handle_proxy_events(replica, events);
+            }
+        }
+    }
+
+    fn on_ack_at_client(&mut self, outcome: TxnOutcome) {
+        let now = self.queue.now();
+        let Some(track) = self.tracks.remove(&outcome.txn) else {
+            return;
+        };
+        if self.cfg.check_consistency && outcome.committed {
+            self.checker.record_ack_with_tables(
+                outcome.txn,
+                outcome.commit_version,
+                outcome.tables_written.clone(),
+            );
+        }
+        if now >= self.measure_start {
+            self.records.push(TxnRecord {
+                template: track.template,
+                committed: outcome.committed,
+                is_update: track.is_update,
+                issued_at: track.issued_at,
+                response_us: now.saturating_sub(track.issued_at),
+                version_us: track.version_us,
+                queries_us: track.queries_us,
+                certify_us: track.certify_us,
+                sync_us: track.sync_us,
+                commit_us: track.commit_us,
+                global_us: track.global_us,
+            });
+        }
+        // Closed loop: think, then issue the next transaction.
+        let think_ms = self.workload.mean_think_time_ms();
+        let think = (self.clients[track.client].exp_ms(think_ms) * MS as f64) as SimTime;
+        self.queue.schedule(
+            think,
+            Event::ClientIssue {
+                client: track.client,
+            },
+        );
+    }
+}

@@ -1,0 +1,704 @@
+//! Statement execution over the storage engine.
+//!
+//! Execution happens inside an open storage transaction: reads observe the
+//! transaction's snapshot (plus its own writes) and writes are buffered in
+//! the transaction's writeset, exactly what the replication proxy needs to
+//! extract partial writesets for early certification.
+
+use crate::ast::{AggregateFunc, BinaryOp, Expr, OrderDirection, SelectCols, Statement};
+use bargain_common::{Error, Result, Row, Value};
+use bargain_storage::{Column, Engine, TableSchema, TxnHandle};
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Rows returned by a `SELECT` (projection applied).
+    Rows(Vec<Row>),
+    /// Number of rows affected by an `INSERT`/`UPDATE`/`DELETE`.
+    Affected(usize),
+}
+
+impl QueryResult {
+    /// The rows, if this was a `SELECT`.
+    #[must_use]
+    pub fn rows(&self) -> Option<&[Row]> {
+        match self {
+            QueryResult::Rows(r) => Some(r),
+            QueryResult::Affected(_) => None,
+        }
+    }
+
+    /// The affected-row count, if this was DML.
+    #[must_use]
+    pub fn affected(&self) -> Option<usize> {
+        match self {
+            QueryResult::Affected(n) => Some(*n),
+            QueryResult::Rows(_) => None,
+        }
+    }
+}
+
+/// Executes DDL (`CREATE TABLE`) directly against the engine, outside any
+/// transaction. DDL is run identically at every replica before transaction
+/// processing starts.
+pub fn execute_ddl(engine: &mut Engine, stmt: &Statement) -> Result<()> {
+    match stmt {
+        Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        } => {
+            let cols: Vec<Column> = columns
+                .iter()
+                .map(|(n, ty, nullable)| Column {
+                    name: n.clone(),
+                    ty: *ty,
+                    nullable: *nullable,
+                })
+                .collect();
+            let pk = cols
+                .iter()
+                .position(|c| &c.name == primary_key)
+                .ok_or_else(|| {
+                    Error::SqlParse(format!("PRIMARY KEY ({primary_key}) is not a column"))
+                })?;
+            let schema = TableSchema::new(name, cols, pk)?;
+            engine.create_table(schema)?;
+            Ok(())
+        }
+        Statement::CreateIndex { table, column, .. } => {
+            let t = engine.resolve_table(table)?;
+            engine.create_index(t, column)?;
+            Ok(())
+        }
+        other => Err(Error::SqlExecution(format!(
+            "not a DDL statement: {other:?}"
+        ))),
+    }
+}
+
+/// Executes a DML/query statement inside transaction `txn` with the given
+/// positional parameters.
+pub fn execute(
+    engine: &mut Engine,
+    txn: TxnHandle,
+    stmt: &Statement,
+    params: &[Value],
+) -> Result<QueryResult> {
+    let need = stmt.param_count();
+    if params.len() < need {
+        return Err(Error::SqlExecution(format!(
+            "statement expects {need} parameters, got {}",
+            params.len()
+        )));
+    }
+    match stmt {
+        Statement::CreateTable { .. } | Statement::CreateIndex { .. } => Err(Error::SqlExecution(
+            "DDL must go through execute_ddl".into(),
+        )),
+        Statement::Select {
+            cols,
+            table,
+            filter,
+            order_by,
+            limit,
+        } => {
+            let table_id = engine.resolve_table(table)?;
+            let schema = engine.catalog().schema(table_id)?.clone();
+            let mut rows = candidate_rows(engine, txn, table_id, &schema, filter, params)?;
+            if let Some((col, dir)) = order_by {
+                let idx = schema.column_index(col)?;
+                rows.sort_by(|a, b| a[idx].cmp(&b[idx]));
+                if *dir == OrderDirection::Desc {
+                    rows.reverse();
+                }
+            }
+            if let Some(n) = limit {
+                rows.truncate(*n as usize);
+            }
+            let projected = match cols {
+                SelectCols::Star => rows,
+                SelectCols::CountStar => {
+                    vec![vec![Value::Int(rows.len() as i64)]]
+                }
+                SelectCols::Aggregate { func, column } => {
+                    let idx = schema.column_index(column)?;
+                    vec![vec![aggregate(*func, rows.iter().map(|r| &r[idx]))?]]
+                }
+                SelectCols::Columns(names) => {
+                    let idxs: Vec<usize> = names
+                        .iter()
+                        .map(|n| schema.column_index(n))
+                        .collect::<Result<_>>()?;
+                    rows.into_iter()
+                        .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                        .collect()
+                }
+            };
+            Ok(QueryResult::Rows(projected))
+        }
+        Statement::Insert {
+            table,
+            columns,
+            values,
+        } => {
+            let table_id = engine.resolve_table(table)?;
+            let schema = engine.catalog().schema(table_id)?.clone();
+            let mut row: Row = vec![Value::Null; schema.arity()];
+            for (col, expr) in columns.iter().zip(values) {
+                let idx = schema.column_index(col)?;
+                row[idx] = eval(expr, None, params)?;
+            }
+            engine.insert(txn, table_id, row)?;
+            Ok(QueryResult::Affected(1))
+        }
+        Statement::Update {
+            table,
+            sets,
+            filter,
+        } => {
+            let table_id = engine.resolve_table(table)?;
+            let schema = engine.catalog().schema(table_id)?.clone();
+            let matches = candidate_rows(engine, txn, table_id, &schema, filter, params)?;
+            let mut affected = 0;
+            for old in matches {
+                let mut new = old.clone();
+                for (col, expr) in sets {
+                    let idx = schema.column_index(col)?;
+                    new[idx] = eval(expr, Some((&schema, &old)), params)?;
+                }
+                let key = schema.key_of(&old);
+                engine.update(txn, table_id, &key, new)?;
+                affected += 1;
+            }
+            Ok(QueryResult::Affected(affected))
+        }
+        Statement::Delete { table, filter } => {
+            let table_id = engine.resolve_table(table)?;
+            let schema = engine.catalog().schema(table_id)?.clone();
+            let matches = candidate_rows(engine, txn, table_id, &schema, filter, params)?;
+            let mut affected = 0;
+            for row in matches {
+                let key = schema.key_of(&row);
+                engine.delete(txn, table_id, &key)?;
+                affected += 1;
+            }
+            Ok(QueryResult::Affected(affected))
+        }
+    }
+}
+
+/// Rows of `table_id` matching `filter`, using a primary-key point lookup
+/// when the filter pins the key, else a scan.
+fn candidate_rows(
+    engine: &mut Engine,
+    txn: TxnHandle,
+    table_id: bargain_common::TableId,
+    schema: &TableSchema,
+    filter: &Option<Expr>,
+    params: &[Value],
+) -> Result<Vec<Row>> {
+    let pk_name = &schema.columns[schema.pk].name;
+    if let Some(f) = filter {
+        if let Some(key_expr) = pk_equality(f, pk_name) {
+            let key = eval(key_expr, None, params)?;
+            let row = engine.get(txn, table_id, &key)?;
+            return Ok(row
+                .into_iter()
+                .filter(|r| matches_filter(f, schema, r, params).unwrap_or(false))
+                .collect());
+        }
+        // Secondary-index access path: a conjunct constrains an indexed
+        // column to a constant range. The index yields a superset of
+        // candidates; the full filter is re-applied below.
+        for c in index_constraints(f) {
+            let Ok(col_idx) = schema.column_index(&c.column) else {
+                continue;
+            };
+            if !engine.is_indexed(table_id, col_idx)? {
+                continue;
+            }
+            let lo = c.lo.map(|e| eval(e, None, params)).transpose()?;
+            let hi = c.hi.map(|e| eval(e, None, params)).transpose()?;
+            if let Some(rows) =
+                engine.index_lookup(txn, table_id, col_idx, lo.as_ref(), hi.as_ref())?
+            {
+                let mut out = Vec::new();
+                for (_, row) in rows {
+                    if matches_filter(f, schema, &row, params)? {
+                        out.push(row);
+                    }
+                }
+                return Ok(out);
+            }
+        }
+    }
+    let all = engine.scan(txn, table_id)?;
+    let mut out = Vec::new();
+    for (_, row) in all {
+        let keep = match filter {
+            Some(f) => matches_filter(f, schema, &row, params)?,
+            None => true,
+        };
+        if keep {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// A per-column range constraint extracted from a filter's AND-conjuncts:
+/// `lo <= column <= hi` with constant bound expressions. Strict bounds
+/// (`<`, `>`) are widened to inclusive — the index path only needs a
+/// superset, the residual filter removes the boundary rows.
+struct IndexConstraint<'a> {
+    column: String,
+    lo: Option<&'a Expr>,
+    hi: Option<&'a Expr>,
+}
+
+/// Extracts index-usable constraints from the top-level AND tree, equality
+/// constraints first (they prune hardest).
+fn index_constraints(filter: &Expr) -> Vec<IndexConstraint<'_>> {
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<IndexConstraint<'a>>) {
+        match e {
+            Expr::Binary {
+                op: BinaryOp::And,
+                lhs,
+                rhs,
+            } => {
+                walk(lhs, out);
+                walk(rhs, out);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (column, bound, op) = match (lhs.as_ref(), rhs.as_ref()) {
+                    (Expr::Column(c), b) if is_constant(b) => (c.clone(), b, *op),
+                    // Mirror `const OP col` to `col OP' const`.
+                    (b, Expr::Column(c)) if is_constant(b) => {
+                        let flipped = match op {
+                            BinaryOp::Lt => BinaryOp::Gt,
+                            BinaryOp::Le => BinaryOp::Ge,
+                            BinaryOp::Gt => BinaryOp::Lt,
+                            BinaryOp::Ge => BinaryOp::Le,
+                            other => *other,
+                        };
+                        (c.clone(), b, flipped)
+                    }
+                    _ => return,
+                };
+                let (lo, hi) = match op {
+                    BinaryOp::Eq => (Some(bound), Some(bound)),
+                    BinaryOp::Gt | BinaryOp::Ge => (Some(bound), None),
+                    BinaryOp::Lt | BinaryOp::Le => (None, Some(bound)),
+                    _ => return,
+                };
+                out.push(IndexConstraint { column, lo, hi });
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(filter, &mut out);
+    // Equality constraints first.
+    out.sort_by_key(|c| !(c.lo.is_some() && c.hi.is_some()));
+    out
+}
+
+/// If `filter` is a conjunction containing `pk = <param-free-of-columns>`,
+/// returns that key expression (enabling a point lookup).
+fn pk_equality<'a>(filter: &'a Expr, pk_name: &str) -> Option<&'a Expr> {
+    match filter {
+        Expr::Binary {
+            op: BinaryOp::Eq,
+            lhs,
+            rhs,
+        } => match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Column(c), e) if c == pk_name && is_constant(e) => Some(e),
+            (e, Expr::Column(c)) if c == pk_name && is_constant(e) => Some(e),
+            _ => None,
+        },
+        Expr::Binary {
+            op: BinaryOp::And,
+            lhs,
+            rhs,
+        } => pk_equality(lhs, pk_name).or_else(|| pk_equality(rhs, pk_name)),
+        _ => None,
+    }
+}
+
+/// Whether an expression references no columns (evaluable before row
+/// access).
+fn is_constant(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(_) | Expr::Param(_) => true,
+        Expr::Column(_) => false,
+        Expr::Binary { lhs, rhs, .. } => is_constant(lhs) && is_constant(rhs),
+    }
+}
+
+fn matches_filter(
+    filter: &Expr,
+    schema: &TableSchema,
+    row: &[Value],
+    params: &[Value],
+) -> Result<bool> {
+    Ok(truthy(&eval(filter, Some((schema, row)), params)?))
+}
+
+/// SQL truthiness: NULL and 0 are false.
+fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Null => false,
+        Value::Int(i) => *i != 0,
+        Value::Float(f) => *f != 0.0,
+        Value::Text(s) => !s.is_empty(),
+    }
+}
+
+/// Evaluates an expression. `row` supplies column bindings; `None` forbids
+/// column references (INSERT values, point-lookup keys).
+pub fn eval(expr: &Expr, row: Option<(&TableSchema, &[Value])>, params: &[Value]) -> Result<Value> {
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Param(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| Error::SqlExecution(format!("missing parameter {i}"))),
+        Expr::Column(name) => match row {
+            Some((schema, r)) => {
+                let idx = schema.column_index(name)?;
+                Ok(r[idx].clone())
+            }
+            None => Err(Error::SqlExecution(format!(
+                "column reference '{name}' not allowed here"
+            ))),
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval(lhs, row, params)?;
+            let b = eval(rhs, row, params)?;
+            apply_binary(*op, &a, &b)
+        }
+    }
+}
+
+fn apply_binary(op: BinaryOp, a: &Value, b: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    // SQL three-valued logic collapsed to two: comparisons with NULL are
+    // false, arithmetic with NULL is NULL.
+    match op {
+        And => Ok(Value::Int((truthy(a) && truthy(b)) as i64)),
+        Or => Ok(Value::Int((truthy(a) || truthy(b)) as i64)),
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            if a.is_null() || b.is_null() {
+                return Ok(Value::Int(0));
+            }
+            let ord = a.cmp(b);
+            let res = match op {
+                Eq => ord.is_eq(),
+                Ne => ord.is_ne(),
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(res as i64))
+        }
+        Add | Sub => {
+            if a.is_null() || b.is_null() {
+                return Ok(Value::Null);
+            }
+            match (a, b) {
+                (Value::Int(x), Value::Int(y)) => Ok(Value::Int(match op {
+                    Add => x.wrapping_add(*y),
+                    _ => x.wrapping_sub(*y),
+                })),
+                _ => {
+                    let (x, y) = (
+                        a.as_float().ok_or_else(|| type_err(op, a))?,
+                        b.as_float().ok_or_else(|| type_err(op, b))?,
+                    );
+                    Ok(Value::Float(match op {
+                        Add => x + y,
+                        _ => x - y,
+                    }))
+                }
+            }
+        }
+    }
+}
+
+fn type_err(op: BinaryOp, v: &Value) -> Error {
+    Error::SqlExecution(format!("{op:?} not defined for {}", v.type_name()))
+}
+
+/// Computes an aggregate over the column values; NULLs are skipped (SQL
+/// semantics). An empty input yields NULL for MIN/MAX/AVG and 0 for SUM.
+fn aggregate<'a>(func: AggregateFunc, values: impl Iterator<Item = &'a Value>) -> Result<Value> {
+    let vals: Vec<&Value> = values.filter(|v| !v.is_null()).collect();
+    match func {
+        AggregateFunc::Min => Ok(vals.iter().min().copied().cloned().unwrap_or(Value::Null)),
+        AggregateFunc::Max => Ok(vals.iter().max().copied().cloned().unwrap_or(Value::Null)),
+        AggregateFunc::Sum | AggregateFunc::Avg => {
+            if vals.is_empty() {
+                return Ok(if func == AggregateFunc::Sum {
+                    Value::Int(0)
+                } else {
+                    Value::Null
+                });
+            }
+            let all_int = vals.iter().all(|v| matches!(v, Value::Int(_)));
+            if all_int && func == AggregateFunc::Sum {
+                let mut acc = 0i64;
+                for v in &vals {
+                    acc = acc.wrapping_add(v.as_int().expect("checked"));
+                }
+                return Ok(Value::Int(acc));
+            }
+            let mut acc = 0.0f64;
+            for v in &vals {
+                acc += v.as_float().ok_or_else(|| {
+                    Error::SqlExecution(format!("cannot aggregate {} values", v.type_name()))
+                })?;
+            }
+            Ok(Value::Float(if func == AggregateFunc::Avg {
+                acc / vals.len() as f64
+            } else {
+                acc
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn setup() -> (Engine, TxnHandle) {
+        let mut e = Engine::new();
+        execute_ddl(
+            &mut e,
+            &parse("CREATE TABLE t (id INT PRIMARY KEY, v INT NOT NULL, name TEXT NULL)").unwrap(),
+        )
+        .unwrap();
+        let txn = e.begin();
+        for i in 1..=5i64 {
+            execute(
+                &mut e,
+                txn,
+                &parse("INSERT INTO t (id, v, name) VALUES (?, ?, ?)").unwrap(),
+                &[
+                    Value::Int(i),
+                    Value::Int(i * 10),
+                    Value::Text(format!("row{i}")),
+                ],
+            )
+            .unwrap();
+        }
+        e.commit_standalone(txn).unwrap();
+        let txn = e.begin();
+        (e, txn)
+    }
+
+    fn q(e: &mut Engine, txn: TxnHandle, sql: &str, params: &[Value]) -> QueryResult {
+        execute(e, txn, &parse(sql).unwrap(), params).unwrap()
+    }
+
+    #[test]
+    fn point_select() {
+        let (mut e, txn) = setup();
+        let r = q(
+            &mut e,
+            txn,
+            "SELECT v FROM t WHERE id = ?",
+            &[Value::Int(3)],
+        );
+        assert_eq!(r, QueryResult::Rows(vec![vec![Value::Int(30)]]));
+    }
+
+    #[test]
+    fn select_star_and_projection() {
+        let (mut e, txn) = setup();
+        let r = q(&mut e, txn, "SELECT * FROM t WHERE id = 1", &[]);
+        assert_eq!(
+            r.rows().unwrap()[0],
+            vec![Value::Int(1), Value::Int(10), Value::Text("row1".into())]
+        );
+        let r = q(&mut e, txn, "SELECT name, id FROM t WHERE id = 1", &[]);
+        assert_eq!(
+            r.rows().unwrap()[0],
+            vec![Value::Text("row1".into()), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn scan_with_predicate() {
+        let (mut e, txn) = setup();
+        let r = q(
+            &mut e,
+            txn,
+            "SELECT id FROM t WHERE v > 20 AND v <= 40",
+            &[],
+        );
+        let ids: Vec<i64> = r
+            .rows()
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let (mut e, txn) = setup();
+        let r = q(&mut e, txn, "SELECT id FROM t ORDER BY v DESC LIMIT 2", &[]);
+        let ids: Vec<i64> = r
+            .rows()
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![5, 4]);
+    }
+
+    #[test]
+    fn count_star() {
+        let (mut e, txn) = setup();
+        let r = q(&mut e, txn, "SELECT COUNT(*) FROM t WHERE v >= 30", &[]);
+        assert_eq!(r, QueryResult::Rows(vec![vec![Value::Int(3)]]));
+    }
+
+    #[test]
+    fn update_point_and_arith() {
+        let (mut e, txn) = setup();
+        let r = q(
+            &mut e,
+            txn,
+            "UPDATE t SET v = v + 5 WHERE id = ?",
+            &[Value::Int(2)],
+        );
+        assert_eq!(r, QueryResult::Affected(1));
+        let r = q(&mut e, txn, "SELECT v FROM t WHERE id = 2", &[]);
+        assert_eq!(r.rows().unwrap()[0][0], Value::Int(25));
+    }
+
+    #[test]
+    fn update_scan_many() {
+        let (mut e, txn) = setup();
+        let r = q(&mut e, txn, "UPDATE t SET v = 0 WHERE v > 20", &[]);
+        assert_eq!(r, QueryResult::Affected(3));
+        let r = q(&mut e, txn, "SELECT COUNT(*) FROM t WHERE v = 0", &[]);
+        assert_eq!(r.rows().unwrap()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn delete_rows() {
+        let (mut e, txn) = setup();
+        let r = q(&mut e, txn, "DELETE FROM t WHERE id = 1", &[]);
+        assert_eq!(r, QueryResult::Affected(1));
+        let r = q(&mut e, txn, "SELECT COUNT(*) FROM t", &[]);
+        assert_eq!(r.rows().unwrap()[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn insert_defaults_null_and_respects_nullability() {
+        let (mut e, txn) = setup();
+        // name omitted -> NULL, allowed (nullable)
+        let r = q(&mut e, txn, "INSERT INTO t (id, v) VALUES (9, 90)", &[]);
+        assert_eq!(r, QueryResult::Affected(1));
+        // v omitted -> NULL in NOT NULL column: error
+        let err = execute(
+            &mut e,
+            txn,
+            &parse("INSERT INTO t (id) VALUES (10)").unwrap(),
+            &[],
+        );
+        assert!(matches!(err, Err(Error::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let (mut e, txn) = setup();
+        q(&mut e, txn, "INSERT INTO t (id, v) VALUES (9, 90)", &[]);
+        // name is NULL for row 9; equality with NULL never matches.
+        let r = q(&mut e, txn, "SELECT id FROM t WHERE name = 'row1'", &[]);
+        assert_eq!(r.rows().unwrap().len(), 1);
+        let r = q(&mut e, txn, "SELECT id FROM t WHERE name <> 'row1'", &[]);
+        // 4 non-null non-matching rows; NULL row excluded.
+        assert_eq!(r.rows().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn missing_params_rejected() {
+        let (mut e, txn) = setup();
+        let err = execute(
+            &mut e,
+            txn,
+            &parse("SELECT * FROM t WHERE id = ?").unwrap(),
+            &[],
+        );
+        assert!(matches!(err, Err(Error::SqlExecution(_))));
+    }
+
+    #[test]
+    fn unknown_table_and_column() {
+        let (mut e, txn) = setup();
+        assert!(matches!(
+            execute(&mut e, txn, &parse("SELECT * FROM nope").unwrap(), &[]),
+            Err(Error::UnknownTable(_))
+        ));
+        assert!(matches!(
+            execute(&mut e, txn, &parse("SELECT nope FROM t").unwrap(), &[]),
+            Err(Error::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn ddl_through_execute_is_rejected() {
+        let (mut e, txn) = setup();
+        let err = execute(
+            &mut e,
+            txn,
+            &parse("CREATE TABLE x (id INT PRIMARY KEY)").unwrap(),
+            &[],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn pk_equality_detection() {
+        let f = parse("SELECT * FROM t WHERE id = ? AND v > 3").unwrap();
+        match f {
+            Statement::Select {
+                filter: Some(f), ..
+            } => {
+                assert!(pk_equality(&f, "id").is_some());
+                assert!(pk_equality(&f, "v").is_none()); // v > 3 is not equality
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+        // pk = column is not constant: no point lookup.
+        let f = parse("SELECT * FROM t WHERE id = v").unwrap();
+        match f {
+            Statement::Select {
+                filter: Some(f), ..
+            } => {
+                assert!(pk_equality(&f, "id").is_none());
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writes_feed_the_writeset() {
+        let (mut e, txn) = setup();
+        q(&mut e, txn, "UPDATE t SET v = 1 WHERE id = 1", &[]);
+        q(&mut e, txn, "DELETE FROM t WHERE id = 2", &[]);
+        let ws = e.partial_writeset(txn).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert!(ws.writes_row(bargain_common::TableId(0), &Value::Int(1)));
+        assert!(ws.writes_row(bargain_common::TableId(0), &Value::Int(2)));
+    }
+}

@@ -1,0 +1,175 @@
+//! Tests for the extended SQL surface: BETWEEN, IN, and aggregates.
+
+use bargain_common::Value;
+use bargain_sql::{execute, execute_ddl, parse};
+use bargain_storage::Engine;
+
+fn setup() -> Engine {
+    let mut e = Engine::new();
+    execute_ddl(
+        &mut e,
+        &parse(
+            "CREATE TABLE sale (id INT PRIMARY KEY, region INT NOT NULL, \
+             amount FLOAT NOT NULL, qty INT NOT NULL, note TEXT NULL)",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    execute_ddl(
+        &mut e,
+        &parse("CREATE INDEX sale_region ON sale (region)").unwrap(),
+    )
+    .unwrap();
+    let t = e.resolve_table("sale").unwrap();
+    e.load_rows(
+        t,
+        (1..=20i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 4),
+                    Value::Float(i as f64 * 1.5),
+                    Value::Int(i),
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Text(format!("n{i}"))
+                    },
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    e
+}
+
+fn one(e: &mut Engine, sql: &str) -> Value {
+    let txn = e.begin();
+    let r = execute(e, txn, &parse(sql).unwrap(), &[]).unwrap();
+    e.commit_read_only(txn).unwrap();
+    r.rows().unwrap()[0][0].clone()
+}
+
+fn ids(e: &mut Engine, sql: &str) -> Vec<i64> {
+    let txn = e.begin();
+    let r = execute(e, txn, &parse(sql).unwrap(), &[]).unwrap();
+    e.commit_read_only(txn).unwrap();
+    r.rows()
+        .unwrap()
+        .iter()
+        .map(|row| row[0].as_int().unwrap())
+        .collect()
+}
+
+#[test]
+fn between_desugars_to_inclusive_range() {
+    let mut e = setup();
+    assert_eq!(
+        ids(
+            &mut e,
+            "SELECT id FROM sale WHERE id BETWEEN 3 AND 6 ORDER BY id"
+        ),
+        vec![3, 4, 5, 6]
+    );
+    // BETWEEN on an indexed column takes the index path and still agrees.
+    assert_eq!(
+        ids(
+            &mut e,
+            "SELECT id FROM sale WHERE region BETWEEN 1 AND 2 AND id < 9 ORDER BY id"
+        ),
+        vec![1, 2, 5, 6]
+    );
+}
+
+#[test]
+fn in_list_desugars_to_equalities() {
+    let mut e = setup();
+    assert_eq!(
+        ids(
+            &mut e,
+            "SELECT id FROM sale WHERE id IN (2, 11, 17) ORDER BY id"
+        ),
+        vec![2, 11, 17]
+    );
+    assert_eq!(
+        ids(&mut e, "SELECT id FROM sale WHERE qty IN (1) ORDER BY id"),
+        vec![1]
+    );
+    // IN combined with other predicates.
+    assert_eq!(
+        ids(
+            &mut e,
+            "SELECT id FROM sale WHERE region IN (0, 1) AND id <= 5 ORDER BY id"
+        ),
+        vec![1, 4, 5]
+    );
+}
+
+#[test]
+fn aggregates_compute_sql_semantics() {
+    let mut e = setup();
+    assert_eq!(one(&mut e, "SELECT SUM(qty) FROM sale"), Value::Int(210));
+    assert_eq!(one(&mut e, "SELECT MIN(qty) FROM sale"), Value::Int(1));
+    assert_eq!(one(&mut e, "SELECT MAX(qty) FROM sale"), Value::Int(20));
+    assert_eq!(one(&mut e, "SELECT AVG(qty) FROM sale"), Value::Float(10.5));
+    assert_eq!(
+        one(
+            &mut e,
+            "SELECT SUM(amount) FROM sale WHERE id BETWEEN 1 AND 2"
+        ),
+        Value::Float(4.5)
+    );
+}
+
+#[test]
+fn aggregates_skip_nulls_and_handle_empty_sets() {
+    let mut e = setup();
+    // notes are NULL for ids 5,10,15,20: MIN over text skips them.
+    assert_eq!(
+        one(&mut e, "SELECT MIN(note) FROM sale"),
+        Value::Text("n1".into())
+    );
+    // Empty input: SUM -> 0, MIN/AVG -> NULL.
+    assert_eq!(
+        one(&mut e, "SELECT SUM(qty) FROM sale WHERE id > 999"),
+        Value::Int(0)
+    );
+    assert_eq!(
+        one(&mut e, "SELECT MIN(qty) FROM sale WHERE id > 999"),
+        Value::Null
+    );
+    assert_eq!(
+        one(&mut e, "SELECT AVG(qty) FROM sale WHERE id > 999"),
+        Value::Null
+    );
+}
+
+#[test]
+fn aggregate_of_text_sum_is_an_error() {
+    let mut e = setup();
+    let txn = e.begin();
+    let err = execute(
+        &mut e,
+        txn,
+        &parse("SELECT SUM(note) FROM sale").unwrap(),
+        &[],
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn columns_named_like_aggregates_still_work() {
+    let mut e = Engine::new();
+    execute_ddl(
+        &mut e,
+        &parse("CREATE TABLE t (id INT PRIMARY KEY, sum INT NOT NULL)").unwrap(),
+    )
+    .unwrap();
+    let t = e.resolve_table("t").unwrap();
+    e.load_rows(t, vec![vec![Value::Int(1), Value::Int(7)]])
+        .unwrap();
+    // `sum` without parentheses is a plain column reference.
+    assert_eq!(ids(&mut e, "SELECT sum FROM t"), vec![7]);
+    // `sum(sum)` is the aggregate over that column.
+    assert_eq!(one(&mut e, "SELECT SUM(sum) FROM t"), Value::Int(7));
+}

@@ -1,0 +1,249 @@
+//! Tests for the secondary-index access path: CREATE INDEX DDL, planner
+//! selection, snapshot correctness, own-writes visibility, and equivalence
+//! with full scans.
+
+use bargain_common::Value;
+use bargain_sql::{execute, execute_ddl, parse};
+use bargain_storage::Engine;
+use proptest::prelude::*;
+
+fn setup(indexed: bool) -> Engine {
+    let mut e = Engine::new();
+    execute_ddl(
+        &mut e,
+        &parse("CREATE TABLE item (id INT PRIMARY KEY, subject INT NOT NULL, cost INT NOT NULL)")
+            .unwrap(),
+    )
+    .unwrap();
+    if indexed {
+        execute_ddl(
+            &mut e,
+            &parse("CREATE INDEX item_subject ON item (subject)").unwrap(),
+        )
+        .unwrap();
+        execute_ddl(
+            &mut e,
+            &parse("CREATE INDEX item_cost ON item (cost)").unwrap(),
+        )
+        .unwrap();
+    }
+    let t = e.resolve_table("item").unwrap();
+    e.load_rows(
+        t,
+        (1..=200i64)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 10), Value::Int(i * 3)])
+            .collect(),
+    )
+    .unwrap();
+    e
+}
+
+fn query(e: &mut Engine, sql: &str, params: &[Value]) -> Vec<i64> {
+    let txn = e.begin();
+    let r = execute(e, txn, &parse(sql).unwrap(), params).unwrap();
+    e.commit_read_only(txn).unwrap();
+    r.rows()
+        .unwrap()
+        .iter()
+        .map(|row| row[0].as_int().unwrap())
+        .collect()
+}
+
+#[test]
+fn create_index_parses_and_registers() {
+    let mut e = setup(true);
+    let t = e.resolve_table("item").unwrap();
+    assert!(e.is_indexed(t, 1).unwrap());
+    assert!(e.is_indexed(t, 2).unwrap());
+    assert!(!e.is_indexed(t, 0).unwrap());
+    // Idempotent.
+    execute_ddl(
+        &mut e,
+        &parse("CREATE INDEX again ON item (subject)").unwrap(),
+    )
+    .unwrap();
+    assert!(e.is_indexed(t, 1).unwrap());
+    // Unknown column fails.
+    assert!(execute_ddl(&mut e, &parse("CREATE INDEX bad ON item (nope)").unwrap()).is_err());
+}
+
+#[test]
+fn indexed_and_scanned_queries_agree() {
+    let mut with = setup(true);
+    let mut without = setup(false);
+    for sql in [
+        "SELECT id FROM item WHERE subject = ? ORDER BY id",
+        "SELECT id FROM item WHERE subject = ? AND cost > 100 ORDER BY id",
+        "SELECT id FROM item WHERE cost >= ? AND cost <= ? ORDER BY id",
+        "SELECT id FROM item WHERE cost < ? ORDER BY id",
+        "SELECT id FROM item WHERE subject = ? AND id > 100 ORDER BY id",
+    ] {
+        let params: Vec<Value> = (0..parse(sql).unwrap().param_count())
+            .map(|i| Value::Int(3 + i as i64 * 100))
+            .collect();
+        assert_eq!(
+            query(&mut with, sql, &params),
+            query(&mut without, sql, &params),
+            "index/scan divergence for {sql}"
+        );
+    }
+}
+
+#[test]
+fn index_respects_snapshots() {
+    let mut e = setup(true);
+    // An open reader pins the old state.
+    let reader = e.begin();
+    // A writer moves item 5 from subject 5 to subject 9 and commits.
+    let writer = e.begin();
+    execute(
+        &mut e,
+        writer,
+        &parse("UPDATE item SET subject = 9 WHERE id = 5").unwrap(),
+        &[],
+    )
+    .unwrap();
+    e.commit_standalone(writer).unwrap();
+
+    // The reader's indexed query still sees the old subject.
+    let r = execute(
+        &mut e,
+        reader,
+        &parse("SELECT id FROM item WHERE subject = ? ORDER BY id").unwrap(),
+        &[Value::Int(5)],
+    )
+    .unwrap();
+    let ids: Vec<i64> = r
+        .rows()
+        .unwrap()
+        .iter()
+        .map(|x| x[0].as_int().unwrap())
+        .collect();
+    assert!(
+        ids.contains(&5),
+        "reader must still see item 5 under subject 5"
+    );
+
+    // A fresh transaction sees the move.
+    let fresh = e.begin();
+    let r = execute(
+        &mut e,
+        fresh,
+        &parse("SELECT id FROM item WHERE subject = ? ORDER BY id").unwrap(),
+        &[Value::Int(5)],
+    )
+    .unwrap();
+    let ids: Vec<i64> = r
+        .rows()
+        .unwrap()
+        .iter()
+        .map(|x| x[0].as_int().unwrap())
+        .collect();
+    assert!(
+        !ids.contains(&5),
+        "fresh reader must not see item 5 under subject 5"
+    );
+}
+
+#[test]
+fn index_sees_own_uncommitted_writes() {
+    let mut e = setup(true);
+    let txn = e.begin();
+    execute(
+        &mut e,
+        txn,
+        &parse("INSERT INTO item (id, subject, cost) VALUES (?, ?, ?)").unwrap(),
+        &[Value::Int(999), Value::Int(7), Value::Int(1)],
+    )
+    .unwrap();
+    execute(
+        &mut e,
+        txn,
+        &parse("DELETE FROM item WHERE id = 7").unwrap(), // had subject 7
+        &[],
+    )
+    .unwrap();
+    let r = execute(
+        &mut e,
+        txn,
+        &parse("SELECT id FROM item WHERE subject = ? ORDER BY id").unwrap(),
+        &[Value::Int(7)],
+    )
+    .unwrap();
+    let ids: Vec<i64> = r
+        .rows()
+        .unwrap()
+        .iter()
+        .map(|x| x[0].as_int().unwrap())
+        .collect();
+    assert!(ids.contains(&999), "own insert visible through index path");
+    assert!(!ids.contains(&7), "own delete hides the row");
+}
+
+#[test]
+fn index_survives_gc() {
+    let mut e = setup(true);
+    // Churn item 1's subject several times, then GC.
+    for s in [91, 92, 93] {
+        let txn = e.begin();
+        execute(
+            &mut e,
+            txn,
+            &parse("UPDATE item SET subject = ? WHERE id = 1").unwrap(),
+            &[Value::Int(s)],
+        )
+        .unwrap();
+        e.commit_standalone(txn).unwrap();
+    }
+    let removed = e.gc();
+    assert!(removed > 0);
+    // Stale index entries are gone: old-subject lookups no longer return 1,
+    // the current subject does.
+    assert_eq!(
+        query(
+            &mut e,
+            "SELECT id FROM item WHERE subject = ?",
+            &[Value::Int(93)]
+        ),
+        vec![1]
+    );
+    assert!(query(
+        &mut e,
+        "SELECT id FROM item WHERE subject = ?",
+        &[Value::Int(92)]
+    )
+    .is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After any committed update workload, indexed queries and full scans
+    /// agree on every subject bucket.
+    #[test]
+    fn index_equals_scan_after_random_updates(
+        updates in proptest::collection::vec((1..200i64, 0..10i64), 0..50),
+        probe in 0..10i64,
+    ) {
+        let mut with = setup(true);
+        let mut without = setup(false);
+        for (id, subject) in &updates {
+            for e in [&mut with, &mut without] {
+                let txn = e.begin();
+                execute(
+                    e,
+                    txn,
+                    &parse("UPDATE item SET subject = ? WHERE id = ?").unwrap(),
+                    &[Value::Int(*subject), Value::Int(*id)],
+                )
+                .unwrap();
+                e.commit_standalone(txn).unwrap();
+            }
+        }
+        let sql = "SELECT id FROM item WHERE subject = ? ORDER BY id";
+        prop_assert_eq!(
+            query(&mut with, sql, &[Value::Int(probe)]),
+            query(&mut without, sql, &[Value::Int(probe)])
+        );
+    }
+}

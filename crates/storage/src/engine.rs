@@ -1,0 +1,847 @@
+//! The storage engine: catalog + tables + transaction management.
+//!
+//! The engine is single-threaded by design (hosts wrap it in a lock or own
+//! it inside one simulated replica); all methods take `&mut self` or `&self`
+//! and there is no interior mutability.
+
+use crate::schema::{Catalog, TableSchema};
+use crate::table::Table;
+use bargain_common::{Error, Result, Row, TableId, Value, Version, WriteOp, WriteSet};
+use std::collections::HashMap;
+
+/// Handle to an open transaction. Obtained from [`Engine::begin`]; becomes
+/// invalid after commit or abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnHandle(u64);
+
+#[derive(Debug)]
+struct TxnState {
+    snapshot: Version,
+    writes: WriteSet,
+}
+
+/// Counters the engine maintains; used by tests and the simulator's cost
+/// model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Update transactions committed locally (client commits, not refresh).
+    pub commits: u64,
+    /// Transactions aborted (by the caller or by standalone validation).
+    pub aborts: u64,
+    /// Refresh writesets applied.
+    pub refreshes_applied: u64,
+    /// Point reads served.
+    pub reads: u64,
+    /// Row writes buffered.
+    pub writes: u64,
+}
+
+/// The multiversion storage engine one replica hosts.
+#[derive(Debug)]
+pub struct Engine {
+    catalog: Catalog,
+    tables: Vec<Table>,
+    version: Version,
+    txns: HashMap<u64, TxnState>,
+    next_txn: u64,
+    stats: EngineStats,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An empty engine at version 0 with an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            catalog: Catalog::new(),
+            tables: Vec::new(),
+            version: Version::ZERO,
+            txns: HashMap::new(),
+            next_txn: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog and loading
+    // ------------------------------------------------------------------
+
+    /// Creates a table. DDL is not versioned (performed identically at every
+    /// replica before transaction processing starts).
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<TableId> {
+        let id = self.catalog.add_table(schema.clone())?;
+        self.tables.push(Table::new(schema));
+        Ok(id)
+    }
+
+    /// Creates a secondary index over `column` of `table` (by name),
+    /// back-filling from existing data. Idempotent. Like table DDL, index
+    /// DDL runs identically at every replica before transaction processing.
+    pub fn create_index(&mut self, table: TableId, column: &str) -> Result<usize> {
+        let col = self.catalog.schema(table)?.column_index(column)?;
+        self.tables[table.index()].create_index(col);
+        Ok(col)
+    }
+
+    /// Whether `column` (by position) of `table` has a secondary index.
+    pub fn is_indexed(&self, table: TableId, column: usize) -> Result<bool> {
+        self.catalog.schema(table)?;
+        Ok(self.tables[table.index()].has_index(column))
+    }
+
+    /// The catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Resolves a table name.
+    pub fn resolve_table(&self, name: &str) -> Result<TableId> {
+        self.catalog.resolve(name)
+    }
+
+    /// Bulk-loads rows into a table at version 0, before transaction
+    /// processing (initial database population).
+    pub fn load_rows(&mut self, table: TableId, rows: Vec<Row>) -> Result<()> {
+        let schema = self.catalog.schema(table)?.clone();
+        let t = &mut self.tables[table.index()];
+        for row in rows {
+            schema.check_row(&row)?;
+            let key = schema.key_of(&row);
+            if t.latest_commit_of(&key).is_some() {
+                return Err(Error::DuplicateKey(format!(
+                    "{}: load of existing key {key}",
+                    schema.name
+                )));
+            }
+            t.install(key, Some(row), Version::ZERO);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Versions
+    // ------------------------------------------------------------------
+
+    /// `V_local`: the newest commit version this engine has applied.
+    #[must_use]
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Engine statistics.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction lifecycle
+    // ------------------------------------------------------------------
+
+    /// Begins a transaction reading the committed state at the engine's
+    /// current version (the local snapshot, as in GSI).
+    pub fn begin(&mut self) -> TxnHandle {
+        self.begin_at(self.version)
+    }
+
+    /// Begins a transaction at an explicit snapshot version (must not exceed
+    /// the engine's current version — a replica cannot serve a snapshot it
+    /// has not reached).
+    pub fn begin_at(&mut self, snapshot: Version) -> TxnHandle {
+        assert!(
+            snapshot <= self.version,
+            "snapshot {snapshot} beyond local version {}",
+            self.version
+        );
+        let id = self.next_txn;
+        self.next_txn += 1;
+        self.txns.insert(
+            id,
+            TxnState {
+                snapshot,
+                writes: WriteSet::new(),
+            },
+        );
+        TxnHandle(id)
+    }
+
+    fn txn(&self, h: TxnHandle) -> Result<&TxnState> {
+        self.txns
+            .get(&h.0)
+            .ok_or_else(|| Error::NoSuchTransaction(format!("txn {}", h.0)))
+    }
+
+    fn txn_mut(&mut self, h: TxnHandle) -> Result<&mut TxnState> {
+        self.txns
+            .get_mut(&h.0)
+            .ok_or_else(|| Error::NoSuchTransaction(format!("txn {}", h.0)))
+    }
+
+    /// The snapshot version a transaction reads at.
+    pub fn snapshot_of(&self, h: TxnHandle) -> Result<Version> {
+        Ok(self.txn(h)?.snapshot)
+    }
+
+    /// The writes the transaction has buffered so far ("partial writeset"),
+    /// used by the proxy's early certification.
+    pub fn partial_writeset(&self, h: TxnHandle) -> Result<&WriteSet> {
+        Ok(&self.txn(h)?.writes)
+    }
+
+    /// Clones the full writeset for shipping to the certifier at commit
+    /// request time.
+    pub fn take_writeset(&self, h: TxnHandle) -> Result<WriteSet> {
+        Ok(self.txn(h)?.writes.clone())
+    }
+
+    /// Whether the transaction is read-only so far.
+    pub fn is_read_only(&self, h: TxnHandle) -> Result<bool> {
+        Ok(self.txn(h)?.writes.is_empty())
+    }
+
+    /// Aborts a transaction, discarding its buffered writes.
+    pub fn abort(&mut self, h: TxnHandle) -> Result<()> {
+        self.txns
+            .remove(&h.0)
+            .ok_or_else(|| Error::NoSuchTransaction(format!("txn {}", h.0)))?;
+        self.stats.aborts += 1;
+        Ok(())
+    }
+
+    /// Commits a read-only transaction (no version advance, no validation).
+    pub fn commit_read_only(&mut self, h: TxnHandle) -> Result<()> {
+        let state = self
+            .txns
+            .remove(&h.0)
+            .ok_or_else(|| Error::NoSuchTransaction(format!("txn {}", h.0)))?;
+        if !state.writes.is_empty() {
+            self.txns.insert(h.0, state);
+            return Err(Error::Protocol(
+                "commit_read_only on an update transaction".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Commits an update transaction at the version assigned by the
+    /// certifier. The caller (the proxy) is responsible for invoking commits
+    /// and refresh applications in global order: `commit_version` must be
+    /// exactly `self.version().next()`.
+    pub fn commit_at(&mut self, h: TxnHandle, commit_version: Version) -> Result<()> {
+        let state = self
+            .txns
+            .remove(&h.0)
+            .ok_or_else(|| Error::NoSuchTransaction(format!("txn {}", h.0)))?;
+        if commit_version != self.version.next() {
+            self.txns.insert(h.0, state);
+            return Err(Error::Protocol(format!(
+                "commit_at {commit_version} out of order (local version {})",
+                self.version
+            )));
+        }
+        self.apply_writes(&state.writes, commit_version);
+        self.version = commit_version;
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Standalone snapshot-isolation commit with first-committer-wins
+    /// validation: aborts if any written row was overwritten by a
+    /// transaction that committed after this transaction's snapshot.
+    ///
+    /// Returns the commit version on success. Read-only transactions commit
+    /// without advancing the version.
+    pub fn commit_standalone(&mut self, h: TxnHandle) -> Result<Version> {
+        let state = self
+            .txns
+            .get(&h.0)
+            .ok_or_else(|| Error::NoSuchTransaction(format!("txn {}", h.0)))?;
+        if state.writes.is_empty() {
+            self.txns.remove(&h.0);
+            return Ok(self.version);
+        }
+        // First-committer-wins validation.
+        let conflict = state.writes.entries().iter().find_map(|e| {
+            self.tables[e.table.index()]
+                .latest_commit_of(&e.key)
+                .filter(|latest| *latest > state.snapshot)
+                .map(|latest| (e.table, e.key.clone(), latest, state.snapshot))
+        });
+        if let Some((table, key, latest, snapshot)) = conflict {
+            self.txns.remove(&h.0);
+            self.stats.aborts += 1;
+            return Err(Error::CertificationConflict(format!(
+                "row {table}/{key} written at {latest}, snapshot {snapshot}"
+            )));
+        }
+        let state = self.txns.remove(&h.0).expect("checked above");
+        let commit_version = self.version.next();
+        self.apply_writes(&state.writes, commit_version);
+        self.version = commit_version;
+        self.stats.commits += 1;
+        Ok(commit_version)
+    }
+
+    /// Applies a refresh writeset (a transaction committed at another
+    /// replica) at its global commit version, which must be the next version
+    /// locally.
+    pub fn apply_refresh(&mut self, ws: &WriteSet, commit_version: Version) -> Result<()> {
+        if commit_version != self.version.next() {
+            return Err(Error::Protocol(format!(
+                "refresh {commit_version} out of order (local version {})",
+                self.version
+            )));
+        }
+        self.apply_writes(ws, commit_version);
+        self.version = commit_version;
+        self.stats.refreshes_applied += 1;
+        Ok(())
+    }
+
+    fn apply_writes(&mut self, ws: &WriteSet, version: Version) {
+        for e in ws.entries() {
+            let t = &mut self.tables[e.table.index()];
+            match &e.op {
+                WriteOp::Insert(row) | WriteOp::Update(row) => {
+                    t.install(e.key.clone(), Some(row.clone()), version);
+                }
+                WriteOp::Delete => {
+                    t.install(e.key.clone(), None, version);
+                }
+            }
+        }
+    }
+
+    /// Number of transactions currently open.
+    #[must_use]
+    pub fn active_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// The oldest snapshot any open transaction reads at, or `None` if no
+    /// transaction is open. Lower-bounds what version history (here and at
+    /// the certifier) must be retained.
+    #[must_use]
+    pub fn min_active_snapshot(&self) -> Option<Version> {
+        self.txns.values().map(|t| t.snapshot).min()
+    }
+
+    // ------------------------------------------------------------------
+    // Reads and writes (within a transaction)
+    // ------------------------------------------------------------------
+
+    /// Point read: the transaction's own uncommitted write wins, otherwise
+    /// the committed image at the transaction's snapshot.
+    pub fn get(&mut self, h: TxnHandle, table: TableId, key: &Value) -> Result<Option<Row>> {
+        self.stats.reads += 1;
+        let state = self.txn(h)?;
+        for e in state.writes.entries() {
+            if e.table == table && &e.key == key {
+                return Ok(match &e.op {
+                    WriteOp::Insert(r) | WriteOp::Update(r) => Some(r.clone()),
+                    WriteOp::Delete => None,
+                });
+            }
+        }
+        self.catalog.schema(table)?;
+        Ok(self.tables[table.index()].get(key, state.snapshot).cloned())
+    }
+
+    /// Secondary-index lookup: rows visible to the transaction whose
+    /// `column` value lies in `[lo, hi]` (inclusive; `None` = unbounded),
+    /// merged with the transaction's own writes. Returns `Ok(None)` if the
+    /// column has no index (caller falls back to a scan).
+    ///
+    /// Candidates are re-validated against the snapshot, and *all* of the
+    /// transaction's own writes to the table are merged in (callers apply
+    /// the full predicate afterwards), so the result is a superset of the
+    /// matching rows — never missing one.
+    pub fn index_lookup(
+        &mut self,
+        h: TxnHandle,
+        table: TableId,
+        column: usize,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<Option<Vec<(Value, Row)>>> {
+        self.catalog.schema(table)?;
+        let (snapshot, own_writes) = {
+            let state = self.txn(h)?;
+            let writes: Vec<_> = state
+                .writes
+                .entries()
+                .iter()
+                .filter(|e| e.table == table)
+                .cloned()
+                .collect();
+            (state.snapshot, writes)
+        };
+        let t = &self.tables[table.index()];
+        let Some(candidates) = t.index_candidates(column, lo, hi) else {
+            return Ok(None);
+        };
+        let mut rows: Vec<(Value, Row)> = candidates
+            .into_iter()
+            .filter_map(|k| t.get(&k, snapshot).map(|r| (k, r.clone())))
+            .collect();
+        // Overlay the transaction's own writes (superset semantics: add
+        // every own-written row; the caller's filter prunes).
+        for e in own_writes {
+            if let Ok(i) = rows.binary_search_by(|(k, _)| k.cmp(&e.key)) {
+                rows.remove(i);
+            }
+            match e.op {
+                WriteOp::Insert(r) | WriteOp::Update(r) => {
+                    match rows.binary_search_by(|(k, _)| k.cmp(&e.key)) {
+                        Ok(_) => unreachable!("just removed"),
+                        Err(i) => rows.insert(i, (e.key, r)),
+                    }
+                }
+                WriteOp::Delete => {}
+            }
+        }
+        self.stats.reads += rows.len() as u64;
+        Ok(Some(rows))
+    }
+
+    /// Full scan of rows visible to the transaction (committed snapshot
+    /// overlaid with the transaction's own writes), in key order.
+    pub fn scan(&mut self, h: TxnHandle, table: TableId) -> Result<Vec<(Value, Row)>> {
+        let state = self.txn(h)?;
+        let snapshot = state.snapshot;
+        self.catalog.schema(table)?;
+        let mut rows: Vec<(Value, Row)> = self.tables[table.index()]
+            .scan_at(snapshot)
+            .map(|(k, r)| (k.clone(), r.clone()))
+            .collect();
+        // Overlay uncommitted writes.
+        let writes: Vec<_> = state
+            .writes
+            .entries()
+            .iter()
+            .filter(|e| e.table == table)
+            .cloned()
+            .collect();
+        for e in writes {
+            match e.op {
+                WriteOp::Insert(r) | WriteOp::Update(r) => {
+                    match rows.binary_search_by(|(k, _)| k.cmp(&e.key)) {
+                        Ok(i) => rows[i].1 = r,
+                        Err(i) => rows.insert(i, (e.key, r)),
+                    }
+                }
+                WriteOp::Delete => {
+                    if let Ok(i) = rows.binary_search_by(|(k, _)| k.cmp(&e.key)) {
+                        rows.remove(i);
+                    }
+                }
+            }
+        }
+        self.stats.reads += rows.len() as u64;
+        Ok(rows)
+    }
+
+    /// Inserts a new row. Fails with [`Error::DuplicateKey`] if the key is
+    /// visible to this transaction (concurrent inserts of the same key are
+    /// caught later by certification).
+    pub fn insert(&mut self, h: TxnHandle, table: TableId, row: Row) -> Result<()> {
+        let schema = self.catalog.schema(table)?.clone();
+        schema.check_row(&row)?;
+        let key = schema.key_of(&row);
+        if self.get(h, table, &key)?.is_some() {
+            return Err(Error::DuplicateKey(format!("{}: {key}", schema.name)));
+        }
+        self.stats.writes += 1;
+        self.txn_mut(h)?
+            .writes
+            .push(table, key, WriteOp::Insert(row));
+        Ok(())
+    }
+
+    /// Replaces the row with primary key `key` by `row`. Fails if the row is
+    /// not visible to the transaction.
+    pub fn update(&mut self, h: TxnHandle, table: TableId, key: &Value, row: Row) -> Result<()> {
+        let schema = self.catalog.schema(table)?.clone();
+        schema.check_row(&row)?;
+        if schema.key_of(&row) != *key {
+            return Err(Error::SchemaMismatch(format!(
+                "{}: update changes primary key {key}",
+                schema.name
+            )));
+        }
+        if self.get(h, table, key)?.is_none() {
+            return Err(Error::SqlExecution(format!(
+                "{}: update of non-existent key {key}",
+                schema.name
+            )));
+        }
+        self.stats.writes += 1;
+        self.txn_mut(h)?
+            .writes
+            .push(table, key.clone(), WriteOp::Update(row));
+        Ok(())
+    }
+
+    /// Deletes the row with primary key `key`. Fails if the row is not
+    /// visible to the transaction.
+    pub fn delete(&mut self, h: TxnHandle, table: TableId, key: &Value) -> Result<()> {
+        self.catalog.schema(table)?;
+        if self.get(h, table, key)?.is_none() {
+            return Err(Error::SqlExecution(format!(
+                "delete of non-existent key {key}"
+            )));
+        }
+        self.stats.writes += 1;
+        self.txn_mut(h)?
+            .writes
+            .push(table, key.clone(), WriteOp::Delete);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Garbage-collects version history not observable by any open
+    /// transaction. Returns the number of versions removed.
+    pub fn gc(&mut self) -> usize {
+        let horizon = self
+            .txns
+            .values()
+            .map(|t| t.snapshot)
+            .min()
+            .unwrap_or(self.version);
+        self.tables.iter_mut().map(|t| t.gc(horizon)).sum()
+    }
+
+    /// Direct access to a table (read paths in tests and benches).
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        self.catalog.schema(id)?;
+        Ok(&self.tables[id.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    fn engine_with_table() -> (Engine, TableId) {
+        let mut e = Engine::new();
+        let t = e
+            .create_table(
+                TableSchema::new(
+                    "t",
+                    vec![
+                        Column::new("id", ColumnType::Int),
+                        Column::new("v", ColumnType::Int),
+                    ],
+                    0,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (e, t)
+    }
+
+    fn row(id: i64, v: i64) -> Row {
+        vec![Value::Int(id), Value::Int(v)]
+    }
+
+    #[test]
+    fn insert_commit_read_back() {
+        let (mut e, t) = engine_with_table();
+        let txn = e.begin();
+        e.insert(txn, t, row(1, 10)).unwrap();
+        assert_eq!(e.commit_standalone(txn).unwrap(), Version(1));
+
+        let txn2 = e.begin();
+        assert_eq!(e.get(txn2, t, &Value::Int(1)).unwrap(), Some(row(1, 10)));
+        e.commit_read_only(txn2).unwrap();
+    }
+
+    #[test]
+    fn own_writes_visible_before_commit() {
+        let (mut e, t) = engine_with_table();
+        let txn = e.begin();
+        e.insert(txn, t, row(1, 10)).unwrap();
+        assert_eq!(e.get(txn, t, &Value::Int(1)).unwrap(), Some(row(1, 10)));
+        e.update(txn, t, &Value::Int(1), row(1, 11)).unwrap();
+        assert_eq!(e.get(txn, t, &Value::Int(1)).unwrap(), Some(row(1, 11)));
+        e.delete(txn, t, &Value::Int(1)).unwrap();
+        assert_eq!(e.get(txn, t, &Value::Int(1)).unwrap(), None);
+        // insert+delete coalesce: commit is a no-op read-only-equivalent,
+        // but writes were recorded then cancelled, so writeset is empty.
+        assert!(e.is_read_only(txn).unwrap());
+        e.commit_standalone(txn).unwrap();
+        assert_eq!(e.version(), Version::ZERO);
+    }
+
+    #[test]
+    fn snapshot_isolation_hides_concurrent_commit() {
+        let (mut e, t) = engine_with_table();
+        e.load_rows(t, vec![row(1, 10)]).unwrap();
+
+        let reader = e.begin(); // snapshot v0
+        let writer = e.begin();
+        e.update(writer, t, &Value::Int(1), row(1, 99)).unwrap();
+        e.commit_standalone(writer).unwrap();
+
+        // Reader still sees the old image.
+        assert_eq!(e.get(reader, t, &Value::Int(1)).unwrap(), Some(row(1, 10)));
+        e.commit_read_only(reader).unwrap();
+
+        // A new transaction sees the new image.
+        let late = e.begin();
+        assert_eq!(e.get(late, t, &Value::Int(1)).unwrap(), Some(row(1, 99)));
+        e.commit_read_only(late).unwrap();
+    }
+
+    #[test]
+    fn first_committer_wins_aborts_second() {
+        let (mut e, t) = engine_with_table();
+        e.load_rows(t, vec![row(1, 10)]).unwrap();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.update(t1, t, &Value::Int(1), row(1, 11)).unwrap();
+        e.update(t2, t, &Value::Int(1), row(1, 12)).unwrap();
+        e.commit_standalone(t1).unwrap();
+        let err = e.commit_standalone(t2).unwrap_err();
+        assert!(matches!(err, Error::CertificationConflict(_)));
+        // The first commit survived.
+        let check = e.begin();
+        assert_eq!(e.get(check, t, &Value::Int(1)).unwrap(), Some(row(1, 11)));
+    }
+
+    #[test]
+    fn disjoint_writes_both_commit() {
+        let (mut e, t) = engine_with_table();
+        e.load_rows(t, vec![row(1, 10), row(2, 20)]).unwrap();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.update(t1, t, &Value::Int(1), row(1, 11)).unwrap();
+        e.update(t2, t, &Value::Int(2), row(2, 22)).unwrap();
+        e.commit_standalone(t1).unwrap();
+        e.commit_standalone(t2).unwrap();
+        assert_eq!(e.version(), Version(2));
+    }
+
+    #[test]
+    fn write_skew_is_permitted_under_si() {
+        // SI (and GSI) famously allow write skew: two transactions read
+        // overlapping data and write disjoint rows. Both must commit.
+        let (mut e, t) = engine_with_table();
+        e.load_rows(t, vec![row(1, 1), row(2, 1)]).unwrap();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        // Each reads both rows, writes the *other* row.
+        e.get(t1, t, &Value::Int(1)).unwrap();
+        e.get(t1, t, &Value::Int(2)).unwrap();
+        e.get(t2, t, &Value::Int(1)).unwrap();
+        e.get(t2, t, &Value::Int(2)).unwrap();
+        e.update(t1, t, &Value::Int(1), row(1, 0)).unwrap();
+        e.update(t2, t, &Value::Int(2), row(2, 0)).unwrap();
+        assert!(e.commit_standalone(t1).is_ok());
+        assert!(e.commit_standalone(t2).is_ok());
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (mut e, t) = engine_with_table();
+        e.load_rows(t, vec![row(1, 10)]).unwrap();
+        let txn = e.begin();
+        assert!(matches!(
+            e.insert(txn, t, row(1, 99)),
+            Err(Error::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_insert_same_key_certification_conflict() {
+        let (mut e, t) = engine_with_table();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.insert(t1, t, row(5, 1)).unwrap();
+        e.insert(t2, t, row(5, 2)).unwrap(); // allowed: not visible at snapshot
+        e.commit_standalone(t1).unwrap();
+        assert!(matches!(
+            e.commit_standalone(t2),
+            Err(Error::CertificationConflict(_))
+        ));
+    }
+
+    #[test]
+    fn update_delete_of_missing_row_fail() {
+        let (mut e, t) = engine_with_table();
+        let txn = e.begin();
+        assert!(e.update(txn, t, &Value::Int(9), row(9, 0)).is_err());
+        assert!(e.delete(txn, t, &Value::Int(9)).is_err());
+    }
+
+    #[test]
+    fn update_cannot_change_pk() {
+        let (mut e, t) = engine_with_table();
+        e.load_rows(t, vec![row(1, 10)]).unwrap();
+        let txn = e.begin();
+        assert!(matches!(
+            e.update(txn, t, &Value::Int(1), row(2, 10)),
+            Err(Error::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn commit_at_enforces_global_order() {
+        let (mut e, t) = engine_with_table();
+        let txn = e.begin();
+        e.insert(txn, t, row(1, 1)).unwrap();
+        assert!(matches!(
+            e.commit_at(txn, Version(5)),
+            Err(Error::Protocol(_))
+        ));
+        // Handle still valid after the failed commit.
+        e.commit_at(txn, Version(1)).unwrap();
+        assert_eq!(e.version(), Version(1));
+    }
+
+    #[test]
+    fn apply_refresh_in_order() {
+        let (mut e, t) = engine_with_table();
+        let mut ws = WriteSet::new();
+        ws.push(t, Value::Int(1), WriteOp::Insert(row(1, 10)));
+        assert!(matches!(
+            e.apply_refresh(&ws, Version(2)),
+            Err(Error::Protocol(_))
+        ));
+        e.apply_refresh(&ws, Version(1)).unwrap();
+        assert_eq!(e.version(), Version(1));
+        let txn = e.begin();
+        assert_eq!(e.get(txn, t, &Value::Int(1)).unwrap(), Some(row(1, 10)));
+    }
+
+    #[test]
+    fn refresh_interleaves_with_local_commits() {
+        let (mut e, t) = engine_with_table();
+        e.load_rows(t, vec![row(1, 10), row(2, 20)]).unwrap();
+
+        // Local txn starts, then a remote txn commits globally first (v1),
+        // then the local txn commits at v2.
+        let local = e.begin();
+        e.update(local, t, &Value::Int(1), row(1, 11)).unwrap();
+
+        let mut remote = WriteSet::new();
+        remote.push(t, Value::Int(2), WriteOp::Update(row(2, 21)));
+        e.apply_refresh(&remote, Version(1)).unwrap();
+        e.commit_at(local, Version(2)).unwrap();
+
+        let check = e.begin();
+        assert_eq!(e.get(check, t, &Value::Int(1)).unwrap(), Some(row(1, 11)));
+        assert_eq!(e.get(check, t, &Value::Int(2)).unwrap(), Some(row(2, 21)));
+        assert_eq!(e.version(), Version(2));
+    }
+
+    #[test]
+    fn scan_merges_own_writes() {
+        let (mut e, t) = engine_with_table();
+        e.load_rows(t, vec![row(1, 10), row(3, 30)]).unwrap();
+        let txn = e.begin();
+        e.insert(txn, t, row(2, 20)).unwrap();
+        e.delete(txn, t, &Value::Int(3)).unwrap();
+        e.update(txn, t, &Value::Int(1), row(1, 11)).unwrap();
+        let rows = e.scan(txn, t).unwrap();
+        let got: Vec<(i64, i64)> = rows
+            .iter()
+            .map(|(k, r)| (k.as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(got, vec![(1, 11), (2, 20)]);
+    }
+
+    #[test]
+    fn abort_discards_writes() {
+        let (mut e, t) = engine_with_table();
+        let txn = e.begin();
+        e.insert(txn, t, row(1, 10)).unwrap();
+        e.abort(txn).unwrap();
+        assert_eq!(e.version(), Version::ZERO);
+        let check = e.begin();
+        assert_eq!(e.get(check, t, &Value::Int(1)).unwrap(), None);
+        // Handle is dead.
+        assert!(e.get(txn, t, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn begin_at_respects_local_version() {
+        let (mut e, t) = engine_with_table();
+        let txn = e.begin();
+        e.insert(txn, t, row(1, 1)).unwrap();
+        e.commit_standalone(txn).unwrap();
+        // Snapshot in the past: stale but permitted (GSI local snapshot).
+        let old = e.begin_at(Version::ZERO);
+        assert_eq!(e.get(old, t, &Value::Int(1)).unwrap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond local version")]
+    fn begin_at_future_snapshot_panics() {
+        let (mut e, _) = engine_with_table();
+        e.begin_at(Version(3));
+    }
+
+    #[test]
+    fn gc_respects_open_snapshots() {
+        let (mut e, t) = engine_with_table();
+        e.load_rows(t, vec![row(1, 10)]).unwrap();
+        let reader = e.begin(); // snapshot 0
+        let w = e.begin();
+        e.update(w, t, &Value::Int(1), row(1, 11)).unwrap();
+        e.commit_standalone(w).unwrap();
+
+        assert_eq!(e.gc(), 0); // reader pins version 0
+        assert_eq!(e.get(reader, t, &Value::Int(1)).unwrap(), Some(row(1, 10)));
+        e.commit_read_only(reader).unwrap();
+        assert_eq!(e.gc(), 1); // old version now collectable
+        let check = e.begin();
+        assert_eq!(e.get(check, t, &Value::Int(1)).unwrap(), Some(row(1, 11)));
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let (mut e, t) = engine_with_table();
+        let txn = e.begin();
+        e.insert(txn, t, row(1, 1)).unwrap();
+        e.commit_standalone(txn).unwrap();
+        let txn = e.begin();
+        e.get(txn, t, &Value::Int(1)).unwrap();
+        e.abort(txn).unwrap();
+        let s = e.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 1);
+        assert!(s.reads >= 1);
+        assert!(s.writes >= 1);
+    }
+
+    #[test]
+    fn read_only_commit_rejects_updates() {
+        let (mut e, t) = engine_with_table();
+        let txn = e.begin();
+        e.insert(txn, t, row(1, 1)).unwrap();
+        assert!(matches!(e.commit_read_only(txn), Err(Error::Protocol(_))));
+        // Still commitable properly afterwards.
+        assert!(e.commit_standalone(txn).is_ok());
+    }
+
+    #[test]
+    fn load_rows_rejects_duplicates_and_bad_rows() {
+        let (mut e, t) = engine_with_table();
+        e.load_rows(t, vec![row(1, 10)]).unwrap();
+        assert!(e.load_rows(t, vec![row(1, 99)]).is_err());
+        assert!(e
+            .load_rows(t, vec![vec![Value::Int(2)]]) // wrong arity
+            .is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Secondary indexes.
+//!
+//! A secondary index maps `(column value, primary key)` pairs to speed up
+//! equality and range lookups on non-key columns. Because the engine is
+//! multiversion, the index is maintained *inclusively*: an entry is added
+//! for every column value any installed version ever had, and lookups
+//! re-validate candidates against the reader's snapshot (fetch the row's
+//! visible version, then re-check the column value). Stale entries are
+//! removed when garbage collection drops the versions that justified them.
+//!
+//! This is the classic "index points to the key, visibility decided by the
+//! version chain" design used by multiversion engines; it keeps index
+//! maintenance cheap on the write path (pure insertion) at the cost of a
+//! re-check on the read path.
+
+use bargain_common::Value;
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+/// A secondary index over one column of a table.
+#[derive(Debug, Clone)]
+pub struct SecondaryIndex {
+    /// Index of the covered column within the table's schema.
+    pub column: usize,
+    /// `(column value, primary key)` pairs, deduplicated.
+    entries: BTreeSet<(Value, Value)>,
+}
+
+impl SecondaryIndex {
+    /// An empty index over `column`.
+    #[must_use]
+    pub fn new(column: usize) -> Self {
+        SecondaryIndex {
+            column,
+            entries: BTreeSet::new(),
+        }
+    }
+
+    /// Records that some version of row `pk` carries `value` in the covered
+    /// column.
+    pub fn insert(&mut self, value: Value, pk: Value) {
+        self.entries.insert((value, pk));
+    }
+
+    /// Removes the entry for `(value, pk)` (GC path: the last version
+    /// carrying this value is gone).
+    pub fn remove(&mut self, value: &Value, pk: &Value) {
+        self.entries.remove(&(value.clone(), pk.clone()));
+    }
+
+    /// Primary keys of candidate rows whose indexed value lies in
+    /// `[lo, hi]` (either bound optional). Candidates must be re-validated
+    /// against the reader's snapshot.
+    pub fn candidates(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<Value> {
+        let lower = match lo {
+            Some(v) => Bound::Included((v.clone(), Value::Null)),
+            None => Bound::Unbounded,
+        };
+        // (hi, +inf): Value::Text is the maximum-ranked type; a key above
+        // any text is unrepresentable, so use an exclusive bound on the
+        // successor column value instead: range to (hi, max) inclusively by
+        // scanning while the column value equals hi.
+        let iter = self.entries.range((lower, Bound::Unbounded));
+        let mut out = Vec::new();
+        for (value, pk) in iter {
+            if let Some(hi) = hi {
+                if value > hi {
+                    break;
+                }
+            }
+            out.push(pk.clone());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Number of entries (including stale ones awaiting GC).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx_with(pairs: &[(i64, i64)]) -> SecondaryIndex {
+        let mut idx = SecondaryIndex::new(1);
+        for (v, pk) in pairs {
+            idx.insert(Value::Int(*v), Value::Int(*pk));
+        }
+        idx
+    }
+
+    #[test]
+    fn equality_candidates() {
+        let idx = idx_with(&[(5, 1), (5, 2), (7, 3), (3, 4)]);
+        let got = idx.candidates(Some(&Value::Int(5)), Some(&Value::Int(5)));
+        assert_eq!(got, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn range_candidates() {
+        let idx = idx_with(&[(1, 10), (2, 20), (3, 30), (4, 40)]);
+        let got = idx.candidates(Some(&Value::Int(2)), Some(&Value::Int(3)));
+        assert_eq!(got, vec![Value::Int(20), Value::Int(30)]);
+        let open_lo = idx.candidates(None, Some(&Value::Int(2)));
+        assert_eq!(open_lo, vec![Value::Int(10), Value::Int(20)]);
+        let open_hi = idx.candidates(Some(&Value::Int(3)), None);
+        assert_eq!(open_hi, vec![Value::Int(30), Value::Int(40)]);
+    }
+
+    #[test]
+    fn duplicate_values_across_versions_dedup_by_pk() {
+        let mut idx = idx_with(&[(5, 1)]);
+        idx.insert(Value::Int(5), Value::Int(1)); // same version value again
+        assert_eq!(idx.len(), 1);
+        idx.insert(Value::Int(6), Value::Int(1)); // row changed value: both kept
+        assert_eq!(idx.len(), 2);
+        let got = idx.candidates(Some(&Value::Int(5)), Some(&Value::Int(6)));
+        assert_eq!(got, vec![Value::Int(1)]); // deduped candidate list
+    }
+
+    #[test]
+    fn remove_drops_entry() {
+        let mut idx = idx_with(&[(5, 1), (5, 2)]);
+        idx.remove(&Value::Int(5), &Value::Int(1));
+        assert_eq!(
+            idx.candidates(Some(&Value::Int(5)), Some(&Value::Int(5))),
+            vec![Value::Int(2)]
+        );
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn mixed_type_values_order_consistently() {
+        let mut idx = SecondaryIndex::new(0);
+        idx.insert(Value::Text("b".into()), Value::Int(1));
+        idx.insert(Value::Text("a".into()), Value::Int(2));
+        let got = idx.candidates(
+            Some(&Value::Text("a".into())),
+            Some(&Value::Text("a".into())),
+        );
+        assert_eq!(got, vec![Value::Int(2)]);
+    }
+}

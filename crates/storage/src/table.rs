@@ -1,0 +1,263 @@
+//! A versioned table: primary-key ordered map of version chains.
+
+use crate::chain::VersionChain;
+use crate::index::SecondaryIndex;
+use crate::schema::TableSchema;
+use bargain_common::{Row, Value, Version};
+use std::collections::BTreeMap;
+
+/// One table's data: every row keyed by primary key, each key holding its
+/// full version chain, plus any secondary indexes. The `BTreeMap` gives
+/// deterministic, ordered scans.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: BTreeMap<Value, VersionChain>,
+    indexes: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    #[must_use]
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Creates a secondary index over the column at `column`, back-filling
+    /// it from every stored version. Idempotent per column.
+    pub fn create_index(&mut self, column: usize) {
+        if self.indexes.iter().any(|i| i.column == column) {
+            return;
+        }
+        let mut idx = SecondaryIndex::new(column);
+        for (pk, chain) in &self.rows {
+            for v in chain.versions() {
+                if let Some(row) = &v.data {
+                    idx.insert(row[column].clone(), pk.clone());
+                }
+            }
+        }
+        self.indexes.push(idx);
+    }
+
+    /// Whether a secondary index covers `column`.
+    #[must_use]
+    pub fn has_index(&self, column: usize) -> bool {
+        self.indexes.iter().any(|i| i.column == column)
+    }
+
+    /// Candidate primary keys whose indexed `column` value lies in
+    /// `[lo, hi]`, or `None` if the column is not indexed. Candidates must
+    /// be re-validated at the reader's snapshot (the index spans all
+    /// versions).
+    #[must_use]
+    pub fn index_candidates(
+        &self,
+        column: usize,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<Vec<Value>> {
+        self.indexes
+            .iter()
+            .find(|i| i.column == column)
+            .map(|i| i.candidates(lo, hi))
+    }
+
+    /// The table's schema.
+    #[must_use]
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Point read at a snapshot.
+    #[must_use]
+    pub fn get(&self, key: &Value, snapshot: Version) -> Option<&Row> {
+        self.rows.get(key).and_then(|c| c.read_at(snapshot))
+    }
+
+    /// The newest committed version of a row key, regardless of snapshot.
+    /// Used by first-committer-wins validation.
+    #[must_use]
+    pub fn latest_commit_of(&self, key: &Value) -> Option<Version> {
+        self.rows.get(key).and_then(|c| c.latest_commit())
+    }
+
+    /// Whether the key's newest version is a live row.
+    #[must_use]
+    pub fn live_at_head(&self, key: &Value) -> bool {
+        self.rows
+            .get(key)
+            .map(|c| c.live_at_head())
+            .unwrap_or(false)
+    }
+
+    /// Installs a version (live row or tombstone) committed at `version`.
+    pub fn install(&mut self, key: Value, data: Option<Row>, version: Version) {
+        if let Some(row) = &data {
+            for idx in &mut self.indexes {
+                idx.insert(row[idx.column].clone(), key.clone());
+            }
+        }
+        match self.rows.get_mut(&key) {
+            Some(chain) => chain.install(version, data),
+            None => {
+                self.rows
+                    .insert(key, VersionChain::with_initial(version, data));
+            }
+        }
+    }
+
+    /// Ordered scan of all rows live at `snapshot`.
+    pub fn scan_at(&self, snapshot: Version) -> impl Iterator<Item = (&Value, &Row)> {
+        self.rows
+            .iter()
+            .filter_map(move |(k, c)| c.read_at(snapshot).map(|r| (k, r)))
+    }
+
+    /// Ordered range scan (`lo..=hi` on the primary key) of rows live at
+    /// `snapshot`.
+    pub fn range_at<'a>(
+        &'a self,
+        lo: &Value,
+        hi: &Value,
+        snapshot: Version,
+    ) -> impl Iterator<Item = (&'a Value, &'a Row)> {
+        self.rows
+            .range(lo.clone()..=hi.clone())
+            .filter_map(move |(k, c)| c.read_at(snapshot).map(|r| (k, r)))
+    }
+
+    /// Number of distinct keys with any version history (live or dead).
+    #[must_use]
+    pub fn key_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of rows live at `snapshot`.
+    #[must_use]
+    pub fn live_count(&self, snapshot: Version) -> usize {
+        self.scan_at(snapshot).count()
+    }
+
+    /// Total stored versions across all chains (memory proxy).
+    #[must_use]
+    pub fn version_count(&self) -> usize {
+        self.rows.values().map(|c| c.len()).sum()
+    }
+
+    /// Prunes version history unobservable at or after `horizon`; drops
+    /// fully dead keys and rebuilds secondary indexes from the surviving
+    /// versions (dropping stale entries). Returns versions removed.
+    pub fn gc(&mut self, horizon: Version) -> usize {
+        let mut removed = 0;
+        self.rows.retain(|_, chain| {
+            removed += chain.gc(horizon);
+            !chain.is_empty()
+        });
+        if removed > 0 && !self.indexes.is_empty() {
+            let columns: Vec<usize> = self.indexes.iter().map(|i| i.column).collect();
+            self.indexes.clear();
+            for c in columns {
+                self.create_index(c);
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("v", ColumnType::Int),
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    fn row(id: i64, v: i64) -> Row {
+        vec![Value::Int(id), Value::Int(v)]
+    }
+
+    #[test]
+    fn install_and_get() {
+        let mut t = Table::new(schema());
+        t.install(Value::Int(1), Some(row(1, 10)), Version(1));
+        assert_eq!(t.get(&Value::Int(1), Version(1)), Some(&row(1, 10)));
+        assert_eq!(t.get(&Value::Int(1), Version(0)), None);
+        assert_eq!(t.get(&Value::Int(2), Version(9)), None);
+    }
+
+    #[test]
+    fn scan_is_key_ordered_and_snapshotted() {
+        let mut t = Table::new(schema());
+        t.install(Value::Int(3), Some(row(3, 30)), Version(1));
+        t.install(Value::Int(1), Some(row(1, 10)), Version(1));
+        t.install(Value::Int(2), Some(row(2, 20)), Version(2));
+        let at1: Vec<i64> = t
+            .scan_at(Version(1))
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(at1, vec![1, 3]);
+        let at2: Vec<i64> = t
+            .scan_at(Version(2))
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(at2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut t = Table::new(schema());
+        for i in 1..=5 {
+            t.install(Value::Int(i), Some(row(i, i * 10)), Version(1));
+        }
+        let keys: Vec<i64> = t
+            .range_at(&Value::Int(2), &Value::Int(4), Version(1))
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn counts_and_gc() {
+        let mut t = Table::new(schema());
+        t.install(Value::Int(1), Some(row(1, 10)), Version(1));
+        t.install(Value::Int(1), Some(row(1, 11)), Version(2));
+        t.install(Value::Int(2), Some(row(2, 20)), Version(1));
+        t.install(Value::Int(2), None, Version(3)); // delete
+        assert_eq!(t.key_count(), 2);
+        assert_eq!(t.version_count(), 4);
+        assert_eq!(t.live_count(Version(1)), 2);
+        assert_eq!(t.live_count(Version(3)), 1);
+
+        let removed = t.gc(Version(3));
+        // key 1: version at v1 pruned; key 2: both versions dead.
+        assert_eq!(removed, 3);
+        assert_eq!(t.key_count(), 1);
+        assert_eq!(t.get(&Value::Int(1), Version(3)), Some(&row(1, 11)));
+    }
+
+    #[test]
+    fn latest_commit_and_liveness() {
+        let mut t = Table::new(schema());
+        t.install(Value::Int(1), Some(row(1, 10)), Version(4));
+        assert_eq!(t.latest_commit_of(&Value::Int(1)), Some(Version(4)));
+        assert!(t.live_at_head(&Value::Int(1)));
+        t.install(Value::Int(1), None, Version(6));
+        assert_eq!(t.latest_commit_of(&Value::Int(1)), Some(Version(6)));
+        assert!(!t.live_at_head(&Value::Int(1)));
+        assert_eq!(t.latest_commit_of(&Value::Int(9)), None);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-client generation state.
+
+use bargain_common::{ClientId, SessionId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic per-client state: identity, private RNG, and a private id
+/// allocator so concurrent clients never generate colliding primary keys.
+#[derive(Debug)]
+pub struct ClientContext {
+    /// The client's identity.
+    pub client: ClientId,
+    /// The client's session (one session per client, as in the prototype).
+    pub session: SessionId,
+    rng: SmallRng,
+    next_local_id: u64,
+}
+
+impl ClientContext {
+    /// A context seeded deterministically from `(seed, client)`.
+    #[must_use]
+    pub fn new(seed: u64, client: ClientId) -> Self {
+        ClientContext {
+            client,
+            session: SessionId(client.0),
+            rng: SmallRng::seed_from_u64(seed ^ client.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            next_local_id: 0,
+        }
+    }
+
+    /// The client's RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Uniform integer in `[1, n]` (1-based keys).
+    pub fn uniform_key(&mut self, n: u64) -> i64 {
+        self.rng.gen_range(1..=n) as i64
+    }
+
+    /// Zipf-distributed integer in `[1, n]` with exponent `s > 0`
+    /// (continuous-CDF inversion — a standard, deterministic approximation
+    /// that concentrates mass on low keys as `s` grows). `s == 0` falls
+    /// back to uniform.
+    pub fn zipf_key(&mut self, n: u64, s: f64) -> i64 {
+        if s <= 0.0 || n <= 1 {
+            return self.uniform_key(n);
+        }
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let k = if (s - 1.0).abs() < 1e-9 {
+            // s = 1: CDF ~ ln(k)/ln(n+1).
+            ((n as f64 + 1.0).powf(u)).floor()
+        } else {
+            let exp = 1.0 - s;
+            let hi = (n as f64 + 1.0).powf(exp);
+            (u * (hi - 1.0) + 1.0).powf(1.0 / exp).floor()
+        };
+        (k.clamp(1.0, n as f64)) as i64
+    }
+
+    /// Bernoulli draw.
+    pub fn flip(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// A fresh primary key unique across all clients *and* disjoint from
+    /// small pre-loaded key ranges: the high bits carry the client id plus
+    /// one, the low bits a per-client counter.
+    pub fn fresh_id(&mut self) -> i64 {
+        let id = ((self.client.0 + 1) << 32) | self.next_local_id;
+        self.next_local_id += 1;
+        id as i64
+    }
+
+    /// Samples a negative-exponential duration with the given mean,
+    /// truncated at 10× the mean (as remote terminal emulators commonly do).
+    pub fn exp_ms(&mut self, mean_ms: f64) -> f64 {
+        if mean_ms <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        (-mean_ms * u.ln()).min(mean_ms * 10.0)
+    }
+
+    /// Picks an index from a discrete distribution given as weights.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        let mut x = self.rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ClientContext::new(7, ClientId(3));
+        let mut b = ClientContext::new(7, ClientId(3));
+        for _ in 0..100 {
+            assert_eq!(a.uniform_key(1000), b.uniform_key(1000));
+        }
+    }
+
+    #[test]
+    fn different_clients_diverge() {
+        let mut a = ClientContext::new(7, ClientId(1));
+        let mut b = ClientContext::new(7, ClientId(2));
+        let va: Vec<i64> = (0..20).map(|_| a.uniform_key(1_000_000)).collect();
+        let vb: Vec<i64> = (0..20).map(|_| b.uniform_key(1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fresh_ids_unique_across_clients() {
+        let mut a = ClientContext::new(7, ClientId(1));
+        let mut b = ClientContext::new(7, ClientId(2));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(a.fresh_id()));
+            assert!(seen.insert(b.fresh_id()));
+        }
+    }
+
+    #[test]
+    fn uniform_key_in_range() {
+        let mut c = ClientContext::new(1, ClientId(1));
+        for _ in 0..1000 {
+            let k = c.uniform_key(10);
+            assert!((1..=10).contains(&k));
+        }
+    }
+
+    #[test]
+    fn exp_ms_properties() {
+        let mut c = ClientContext::new(1, ClientId(1));
+        assert_eq!(c.exp_ms(0.0), 0.0);
+        let n = 10_000;
+        let mean = 200.0;
+        let sum: f64 = (0..n).map(|_| c.exp_ms(mean)).sum();
+        let avg = sum / n as f64;
+        assert!(
+            (avg - mean).abs() < mean * 0.1,
+            "sample mean {avg} too far from {mean}"
+        );
+        // Truncation bound.
+        for _ in 0..1000 {
+            assert!(c.exp_ms(mean) <= mean * 10.0);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_keys() {
+        let mut c = ClientContext::new(3, ClientId(1));
+        let n = 20_000;
+        let low_uniform = (0..n).filter(|_| c.zipf_key(100, 0.0) <= 10).count();
+        let low_zipf = (0..n).filter(|_| c.zipf_key(100, 1.2) <= 10).count();
+        // Uniform: ~10%; zipf(1.2): the head carries most of the mass.
+        assert!(low_uniform < n / 5, "uniform head too heavy: {low_uniform}");
+        assert!(low_zipf > n / 2, "zipf head too light: {low_zipf} of {n}");
+        // Always in range.
+        for _ in 0..1000 {
+            let k = c.zipf_key(100, 1.2);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn weighted_pick_respects_zero_weights() {
+        let mut c = ClientContext::new(1, ClientId(1));
+        for _ in 0..100 {
+            let i = c.pick_weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! A miniature online bookstore (the paper's motivating domain) running on
+//! the live replicated cluster with the TPC-W schema and transaction
+//! templates, driven by concurrent emulated shoppers.
+//!
+//! Run with: `cargo run --release --example bookstore`
+
+use bargain::cluster::{Cluster, ClusterConfig};
+use bargain::common::{ClientId, ConsistencyMode};
+use bargain::workloads::{ClientContext, TpcwMix, TpcwWorkload, Workload};
+use std::sync::Arc;
+
+const SHOPPERS: u64 = 6;
+const VISITS_PER_SHOPPER: usize = 150;
+
+fn main() {
+    let workload = TpcwWorkload {
+        items: 200,
+        customers: 100,
+        carts: 64,
+        orders: 50,
+        think_time_ms: 0.0,
+        ..TpcwWorkload::new(TpcwMix::Shopping)
+    };
+    let install = workload.clone();
+    let cluster = Arc::new(Cluster::start_with_setup(
+        ClusterConfig {
+            replicas: 3,
+            mode: ConsistencyMode::LazyFine,
+        },
+        move |e| install.install(e),
+    ));
+    let templates: Vec<Arc<_>> = workload.templates().into_iter().map(Arc::new).collect();
+
+    println!(
+        "bookstore open: {} items, 3 replicas, {} shoppers x {} page visits (shopping mix)",
+        workload.items, SHOPPERS, VISITS_PER_SHOPPER
+    );
+
+    let mut threads = Vec::new();
+    for shopper in 0..SHOPPERS {
+        let cluster = Arc::clone(&cluster);
+        let templates = templates.clone();
+        let workload = workload.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut session = cluster.connect();
+            let mut ctx = ClientContext::new(2026, ClientId(shopper));
+            let (mut committed, mut retried) = (0u32, 0u32);
+            for _ in 0..VISITS_PER_SHOPPER {
+                let (tid, params) = workload.next_transaction(&mut ctx);
+                let tmpl = templates.iter().find(|t| t.id == tid).unwrap();
+                loop {
+                    match session.run_template(tmpl, params.clone()) {
+                        Ok(_) => {
+                            committed += 1;
+                            break;
+                        }
+                        Err(e) if e.is_retryable() => retried += 1,
+                        Err(e) => panic!("{}: {e}", tmpl.name),
+                    }
+                }
+            }
+            (committed, retried)
+        }));
+    }
+    let mut total_committed = 0;
+    let mut total_retried = 0;
+    for t in threads {
+        let (c, r) = t.join().unwrap();
+        total_committed += c;
+        total_retried += r;
+    }
+
+    // Verify the bookstore's books balance: every confirmed order has
+    // exactly 3 order lines and one credit-card transaction.
+    let mut auditor = cluster.connect();
+    let count = |s: &mut bargain::cluster::Session, sql: &str| -> i64 {
+        s.run_sql(&[(sql, vec![])]).unwrap().1[0].rows().unwrap()[0][0]
+            .as_int()
+            .unwrap()
+    };
+    let orders = count(&mut auditor, "SELECT COUNT(*) FROM orders");
+    let lines = count(&mut auditor, "SELECT COUNT(*) FROM order_line");
+    let ccs = count(&mut auditor, "SELECT COUNT(*) FROM cc_xacts");
+    println!(
+        "\nclosed for the day: {total_committed} transactions committed, {total_retried} conflict retries"
+    );
+    println!("audit: {orders} orders, {lines} order lines, {ccs} card transactions");
+    assert_eq!(lines, orders * 3, "each order must have exactly 3 lines");
+    assert_eq!(
+        ccs, orders,
+        "each order must have exactly 1 card transaction"
+    );
+    println!("audit passed: atomic multi-statement commits held up under concurrency ✓");
+
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => unreachable!("all shoppers joined"),
+    }
+}

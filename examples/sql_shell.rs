@@ -1,0 +1,123 @@
+//! An interactive SQL shell against a live replicated cluster.
+//!
+//! Every line you type runs as one transaction through the full middleware
+//! path (load balancer → replica proxy → certifier → refresh fan-out),
+//! under the consistency mode given on the command line.
+//!
+//! ```text
+//! cargo run --release --example sql_shell              # 3 replicas, LazyFine
+//! cargo run --release --example sql_shell -- 5 eager   # 5 replicas, Eager
+//! ```
+//!
+//! Shell commands: `\stats` (cluster counters), `\mode`, `\help`, `\quit`.
+//! Semicolon-separated statements on one line run as a single atomic
+//! transaction.
+
+use bargain::cluster::{Cluster, ClusterConfig};
+use bargain::common::{ConsistencyMode, Value};
+use bargain::sql::QueryResult;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let replicas: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let mode: ConsistencyMode = args
+        .get(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(ConsistencyMode::LazyFine);
+
+    let cluster = Cluster::start(ClusterConfig { replicas, mode });
+    let mut session = cluster.connect();
+    println!(
+        "bargain sql shell — {replicas} replicas, {mode} consistency\n\
+         type SQL (semicolons join statements into one transaction), \\help for commands"
+    );
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("bargain> ");
+        std::io::stdout().flush().ok();
+        let Some(Ok(line)) = lines.next() else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "\\quit" | "\\q" | "exit" => break,
+            "\\help" => {
+                println!(
+                    "  CREATE TABLE t (id INT PRIMARY KEY, ...)   DDL, applied on all replicas\n\
+                     \x20 CREATE INDEX i ON t (col)\n\
+                     \x20 SELECT/INSERT/UPDATE/DELETE ...;...        one atomic transaction\n\
+                     \x20 \\stats  \\mode  \\quit"
+                );
+                continue;
+            }
+            "\\stats" => {
+                match cluster.stats() {
+                    Ok(s) => println!(
+                        "routed={} commits={} aborts={} V_system={}",
+                        s.routed, s.commits, s.aborts, s.v_system
+                    ),
+                    Err(e) => println!("error: {e}"),
+                }
+                continue;
+            }
+            "\\mode" => {
+                println!("{mode}");
+                continue;
+            }
+            _ => {}
+        }
+
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with("CREATE") {
+            match cluster.execute_ddl(line) {
+                Ok(()) => println!("ok"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+
+        let stmts: Vec<(&str, Vec<Value>)> = line
+            .split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| (s, Vec::new()))
+            .collect();
+        if stmts.is_empty() {
+            continue;
+        }
+        match session.run_sql(&stmts) {
+            Ok((outcome, results)) => {
+                for r in &results {
+                    render(r);
+                }
+                match outcome.commit_version {
+                    Some(v) => println!("committed at {v} on {:?}", outcome.replica),
+                    None => println!(
+                        "committed (read-only, snapshot {}) on {:?}",
+                        outcome.observed_version, outcome.replica
+                    ),
+                }
+            }
+            Err(e) => println!("aborted: {e}"),
+        }
+    }
+    cluster.shutdown();
+    println!("bye");
+}
+
+fn render(r: &QueryResult) {
+    match r {
+        QueryResult::Affected(n) => println!("({n} rows affected)"),
+        QueryResult::Rows(rows) => {
+            for row in rows {
+                let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+                println!("  {}", cells.join(" | "));
+            }
+            println!("({} rows)", rows.len());
+        }
+    }
+}

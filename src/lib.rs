@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! # bargain — strongly consistent database replication for a bargain
+//!
+//! A from-scratch Rust reproduction of *"Strongly consistent replication for
+//! a bargain"* (Krikellas, Elnikety, Vagena, Hodson — ICDE 2010): a
+//! multi-master replicated database middleware that guarantees **strong
+//! consistency** with **lazy** update propagation by delaying transaction
+//! start, instead of the traditional eager commit-everywhere approach.
+//!
+//! This facade crate re-exports the public API of every subsystem:
+//!
+//! - [`common`] — versions, identifiers, writesets, table-sets.
+//! - [`storage`] — the in-memory multiversion (snapshot isolation) storage
+//!   engine each replica hosts.
+//! - [`sql`] — SQL parser, prepared statements, executor, and the static
+//!   table-set extraction that powers the fine-grained technique.
+//! - [`core`] — the replication middleware itself: certifier, proxy, load
+//!   balancer, and the four consistency configurations (`Eager`,
+//!   `LazyCoarse`, `LazyFine`, `Session`).
+//! - [`cluster`] — a live, threaded in-process deployment for applications.
+//! - [`sim`] — a deterministic discrete-event simulator used to reproduce
+//!   the paper's evaluation.
+//! - [`workloads`] — the micro-benchmark and TPC-W workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bargain::cluster::{Cluster, ClusterConfig};
+//! use bargain::common::{ConsistencyMode, Value};
+//!
+//! // A 3-replica cluster with fine-grained lazy strong consistency.
+//! let cluster = Cluster::start(ClusterConfig {
+//!     replicas: 3,
+//!     mode: ConsistencyMode::LazyFine,
+//! });
+//! cluster
+//!     .execute_ddl("CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)")
+//!     .unwrap();
+//!
+//! let mut session = cluster.connect();
+//! session
+//!     .run_sql(&[(
+//!         "INSERT INTO accounts (id, balance) VALUES (?, ?)",
+//!         vec![Value::Int(1), Value::Int(100)],
+//!     )])
+//!     .unwrap();
+//!
+//! // Any later transaction — from any session, on any replica — observes
+//! // the committed state: that is strong consistency.
+//! let mut other = cluster.connect();
+//! let (_, results) = other
+//!     .run_sql(&[("SELECT balance FROM accounts WHERE id = ?", vec![Value::Int(1)])])
+//!     .unwrap();
+//! assert_eq!(results[0].rows().unwrap()[0][0], Value::Int(100));
+//! cluster.shutdown();
+//! ```
+
+pub use bargain_cluster as cluster;
+pub use bargain_common as common;
+pub use bargain_core as core;
+pub use bargain_sim as sim;
+pub use bargain_sql as sql;
+pub use bargain_storage as storage;
+pub use bargain_workloads as workloads;
