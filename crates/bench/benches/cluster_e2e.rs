@@ -6,7 +6,11 @@ use bargain_common::{ConsistencyMode, Value};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn setup(mode: ConsistencyMode) -> Cluster {
-    let cluster = Cluster::start(ClusterConfig { replicas: 3, mode });
+    let cluster = Cluster::start(ClusterConfig {
+        replicas: 3,
+        mode,
+        ..ClusterConfig::default()
+    });
     cluster
         .execute_ddl("CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL)")
         .unwrap();

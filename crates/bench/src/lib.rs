@@ -67,6 +67,7 @@ pub fn paper_cost_model() -> CostModel {
         replica_workers: 4,
         dedicated_apply_lane: true,
         replica_speed: vec![1.0, 1.06, 0.95, 1.30, 1.02, 0.92, 1.09, 1.04],
+        ..CostModel::default()
     }
 }
 
@@ -85,6 +86,7 @@ pub fn fig_config(mode: ConsistencyMode, replicas: usize, clients: usize) -> Sim
         check_consistency: true,
         routing: bargain_core::RoutingPolicy::LeastConnections,
         early_certification: true,
+        ..SimConfig::default()
     }
 }
 

@@ -37,6 +37,15 @@ pub struct ClusterConfig {
     pub replicas: usize,
     /// The consistency configuration.
     pub mode: ConsistencyMode,
+    /// When set, the certifier's commit log lives in `certifier.wal` inside
+    /// this directory and survives shutdown. On start the log is replayed:
+    /// the certifier recovers its version counter and conflict history, and
+    /// every replica engine fast-forwards through the certified writesets
+    /// before serving. This is the paper's durability story — replicas run
+    /// log-forcing off, the certifier's log is the one durable commit
+    /// history — so restarting with the same `wal_dir` (and the same
+    /// `setup`) resumes exactly where the last run committed.
+    pub wal_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -44,6 +53,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             replicas: 3,
             mode: ConsistencyMode::LazyFine,
+            wal_dir: None,
         }
     }
 }
@@ -144,6 +154,54 @@ impl Cluster {
         let mut catalog_engine = Engine::new();
         setup(&mut catalog_engine).expect("cluster setup succeeds");
 
+        // Build the certifier over its (possibly durable) commit log and
+        // recover. With a fresh log this is a no-op; with a surviving
+        // `wal_dir` it rebuilds the version counter and conflict history,
+        // and the certified writesets fast-forward every replica engine
+        // from its checkpoint (the `setup` state) to the durable version.
+        let mut certifier = match &config.wal_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).expect("wal directory is creatable");
+                let log =
+                    bargain_core::FileLog::open(&dir.join("certifier.wal")).expect("wal opens");
+                Certifier::with_log(replica_ids.clone(), Box::new(log))
+            }
+            None => Certifier::new(replica_ids.clone()),
+        };
+        certifier.set_eager(config.mode == ConsistencyMode::Eager);
+        let recovered = certifier.recover().expect("certifier log replays");
+        if recovered > 0 {
+            let history = certifier
+                .certified_since(Version::ZERO)
+                .expect("certifier log replays");
+            // DDL is not logged: the schema checkpoint is the `setup`
+            // closure. Catch a schema/history mismatch here with an
+            // actionable message instead of a bounds panic deep in the
+            // storage engine.
+            let n_tables = catalog_engine.catalog().len();
+            let max_table = history
+                .iter()
+                .flat_map(|rec| rec.writeset.entries())
+                .map(|e| e.table.index())
+                .max();
+            if let Some(max) = max_table {
+                assert!(
+                    max < n_tables,
+                    "wal_dir recovery: the durable history writes table #{max} but the \
+                     schema has only {n_tables} table(s); recreate the schema with \
+                     `Cluster::start_with_setup` (the same `setup` as the previous run) \
+                     so the certified writesets can be replayed"
+                );
+            }
+            for engine in &mut engines {
+                for rec in &history {
+                    engine
+                        .apply_refresh(&rec.writeset, rec.commit_version)
+                        .expect("recovery replays the certified history in order");
+                }
+            }
+        }
+
         let (lb_tx, lb_rx) = unbounded::<ToLb>();
         let (cert_tx, cert_rx) = unbounded::<ToCertifier>();
         let mut replica_txs = Vec::new();
@@ -171,8 +229,6 @@ impl Cluster {
 
         // Certifier thread.
         {
-            let mut certifier = Certifier::new(replica_ids.clone());
-            certifier.set_eager(config.mode == ConsistencyMode::Eager);
             let replica_txs = replica_txs.clone();
             handles.push(
                 std::thread::Builder::new()

@@ -5,7 +5,11 @@ use bargain_common::{ConsistencyMode, Value};
 use std::sync::Arc;
 
 fn accounts_cluster(replicas: usize, mode: ConsistencyMode) -> Cluster {
-    let cluster = Cluster::start(ClusterConfig { replicas, mode });
+    let cluster = Cluster::start(ClusterConfig {
+        replicas,
+        mode,
+        ..ClusterConfig::default()
+    });
     cluster
         .execute_ddl("CREATE TABLE accounts (id INT PRIMARY KEY, balance INT NOT NULL)")
         .unwrap();
@@ -262,6 +266,7 @@ fn workload_setup_and_mixed_load_runs() {
         ClusterConfig {
             replicas: 3,
             mode: ConsistencyMode::LazyFine,
+            ..ClusterConfig::default()
         },
         move |e| w2.install(e),
     );

@@ -8,6 +8,7 @@ fn sales_cluster() -> Cluster {
     let cluster = Cluster::start(ClusterConfig {
         replicas: 3,
         mode: ConsistencyMode::LazyFine,
+        ..ClusterConfig::default()
     });
     cluster
         .execute_ddl(
@@ -138,6 +139,7 @@ fn eager_cluster_sustains_concurrent_update_load() {
     let cluster = Arc::new(Cluster::start(ClusterConfig {
         replicas: 4,
         mode: ConsistencyMode::Eager,
+        ..ClusterConfig::default()
     }));
     cluster
         .execute_ddl("CREATE TABLE hits (id INT PRIMARY KEY, n INT NOT NULL)")

@@ -1,0 +1,161 @@
+//! Cluster crash-recovery test: with a durable `wal_dir`, a full cluster
+//! restart (all threads gone, only the certifier's file log surviving)
+//! resumes with every committed write visible and the version counter
+//! where it left off — the paper's durability story, where the certifier's
+//! log is the single durable commit history and replica engines recover by
+//! replaying it over their checkpoint state.
+
+use bargain_cluster::{Cluster, ClusterConfig};
+use bargain_common::{ConsistencyMode, Value};
+
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bargain-cluster-{tag}-{}", std::process::id()));
+    // A stale directory from a previous test process would change the
+    // recovered state; start clean.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(dir: &std::path::Path) -> Cluster {
+    Cluster::start_with_setup(
+        ClusterConfig {
+            replicas: 3,
+            mode: ConsistencyMode::LazyFine,
+            wal_dir: Some(dir.to_path_buf()),
+        },
+        |e| {
+            bargain_sql::execute_ddl(
+                e,
+                &bargain_sql::parse("CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL)")?,
+            )?;
+            Ok(())
+        },
+    )
+}
+
+#[test]
+fn restart_recovers_every_acked_commit_from_the_wal() {
+    let dir = wal_dir("restart");
+
+    let v_before = {
+        let cluster = start(&dir);
+        let mut s = cluster.connect();
+        for k in 0..20i64 {
+            s.run_sql(&[(
+                "INSERT INTO kv (k, v) VALUES (?, ?)",
+                vec![Value::Int(k), Value::Int(k * 100)],
+            )])
+            .unwrap();
+        }
+        // Overwrite a few so recovery must preserve write order.
+        for k in 0..5i64 {
+            s.run_sql(&[(
+                "UPDATE kv SET v = ? WHERE k = ?",
+                vec![Value::Int(-k), Value::Int(k)],
+            )])
+            .unwrap();
+        }
+        let v = cluster.stats().unwrap().v_system;
+        cluster.shutdown();
+        v
+    };
+    assert!(v_before.0 >= 25, "writes were certified");
+
+    // The cluster is gone; only `certifier.wal` survives. A new cluster
+    // over the same directory must see every acked commit.
+    let cluster = start(&dir);
+    let mut s = cluster.connect();
+    let (_, results) = s
+        .run_sql(&[
+            ("SELECT COUNT(*) FROM kv", vec![]),
+            ("SELECT v FROM kv WHERE k = ?", vec![Value::Int(3)]),
+            ("SELECT v FROM kv WHERE k = ?", vec![Value::Int(17)]),
+        ])
+        .unwrap();
+    assert_eq!(results[0].rows().unwrap()[0][0], Value::Int(20));
+    assert_eq!(results[1].rows().unwrap()[0][0], Value::Int(-3));
+    assert_eq!(results[2].rows().unwrap()[0][0], Value::Int(1700));
+
+    // And it keeps certifying on top of the recovered history.
+    s.run_sql(&[(
+        "UPDATE kv SET v = ? WHERE k = ?",
+        vec![Value::Int(424_242), Value::Int(17)],
+    )])
+    .unwrap();
+    let (_, results) = s
+        .run_sql(&[("SELECT v FROM kv WHERE k = ?", vec![Value::Int(17)])])
+        .unwrap();
+    assert_eq!(results[0].rows().unwrap()[0][0], Value::Int(424_242));
+    cluster.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[should_panic(expected = "recreate the schema")]
+fn restart_without_schema_refuses_with_actionable_message() {
+    // DDL is not WAL-logged: the schema checkpoint is the `setup` closure.
+    // Restarting over a populated log with no schema must fail fast with a
+    // message naming the fix, not a bounds panic inside the storage engine.
+    let dir = wal_dir("noschema");
+    {
+        let cluster = start(&dir);
+        let mut s = cluster.connect();
+        s.run_sql(&[(
+            "INSERT INTO kv (k, v) VALUES (?, ?)",
+            vec![Value::Int(1), Value::Int(10)],
+        )])
+        .unwrap();
+        cluster.shutdown();
+    }
+    // Plain `start` has no setup closure, so no tables exist at replay.
+    let _ = Cluster::start(ClusterConfig {
+        replicas: 3,
+        mode: ConsistencyMode::LazyFine,
+        wal_dir: Some(dir),
+    });
+}
+
+#[test]
+fn double_restart_is_stable() {
+    // Recovery must be idempotent: restarting twice without new writes
+    // yields the same state and version.
+    let dir = wal_dir("double");
+    {
+        let cluster = start(&dir);
+        let mut s = cluster.connect();
+        s.run_sql(&[(
+            "INSERT INTO kv (k, v) VALUES (?, ?)",
+            vec![Value::Int(1), Value::Int(10)],
+        )])
+        .unwrap();
+        cluster.shutdown();
+    }
+    let v1 = {
+        let cluster = start(&dir);
+        let v = cluster.stats().unwrap().v_system;
+        cluster.shutdown();
+        v
+    };
+    let cluster = start(&dir);
+    let mut s = cluster.connect();
+    let (_, results) = s
+        .run_sql(&[("SELECT v FROM kv WHERE k = ?", vec![Value::Int(1)])])
+        .unwrap();
+    assert_eq!(results[0].rows().unwrap()[0][0], Value::Int(10));
+    // V_system at the LB is rebuilt lazily from outcomes, so compare the
+    // recovered *data* plus the next commit's version instead.
+    let (outcome, _) = s
+        .run_sql(&[(
+            "UPDATE kv SET v = ? WHERE k = ?",
+            vec![Value::Int(11), Value::Int(1)],
+        )])
+        .unwrap();
+    assert_eq!(
+        outcome.commit_version.unwrap().0,
+        2,
+        "one pre-restart commit, so the next certifies at version 2 (v1 after first restart: {v1:?})"
+    );
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

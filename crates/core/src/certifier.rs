@@ -37,7 +37,11 @@ pub struct CertifierStats {
 struct EagerState {
     origin: ReplicaId,
     txn: TxnId,
-    applied: u32,
+    /// Replicas that have applied this commit. A set (not a counter) so
+    /// that duplicate reports — re-deliveries, post-crash hellos, resync
+    /// re-applications — are idempotent and can never release a global
+    /// commit early.
+    applied: Vec<ReplicaId>,
 }
 
 /// The certifier state machine. One logical instance per cluster (the paper
@@ -147,6 +151,7 @@ impl Certifier {
         self.log.append(&LogRecord {
             commit_version,
             txn: req.txn,
+            origin: req.replica,
             writeset: req.writeset.clone(),
         })?;
         self.v_commit = commit_version;
@@ -157,7 +162,7 @@ impl Certifier {
                 EagerState {
                     origin: req.replica,
                     txn: req.txn,
-                    applied: 0,
+                    applied: Vec::new(),
                 },
             );
         }
@@ -195,16 +200,19 @@ impl Certifier {
     /// Eager mode: a replica reports it has committed (locally or via
     /// refresh) the transaction at `version`. Once every replica has,
     /// returns the originating replica and transaction so the host can
-    /// deliver the *globally committed* notification.
+    /// deliver the *globally committed* notification. Duplicate reports
+    /// from the same replica are idempotent.
     pub fn on_commit_applied(
         &mut self,
-        _replica: ReplicaId,
+        replica: ReplicaId,
         version: Version,
     ) -> Option<(ReplicaId, TxnId)> {
-        let n = self.replicas.len() as u32;
+        let n = self.replicas.len();
         let state = self.eager_pending.get_mut(&version)?;
-        state.applied += 1;
-        if state.applied >= n {
+        if !state.applied.contains(&replica) {
+            state.applied.push(replica);
+        }
+        if state.applied.len() >= n {
             let state = self.eager_pending.remove(&version).expect("present");
             Some((state.origin, state.txn))
         } else {
@@ -227,14 +235,18 @@ impl Certifier {
 
     /// Rebuilds certifier state from its durable log (crash recovery).
     /// Returns the number of records recovered.
+    ///
+    /// In the eager configuration the global-commit counters are rebuilt
+    /// conservatively: every logged commit becomes pending again with zero
+    /// applied replicas, and [`Self::on_replica_hello`] re-credits each
+    /// surviving replica for everything it had already applied. Hosts must
+    /// tolerate the resulting re-notifications for transactions whose
+    /// global commit was already delivered before the crash.
     pub fn recover(&mut self) -> Result<usize> {
         let records = self.log.replay()?;
         self.history.clear();
         self.history_floor = Version::ZERO;
         self.v_commit = Version::ZERO;
-        // Eager global-commit counters are soft state: after a crash the
-        // surviving replicas re-report nothing and clients re-submit, so
-        // pending counters are simply dropped.
         self.eager_pending.clear();
         for rec in &records {
             if rec.commit_version != self.v_commit.next() {
@@ -245,8 +257,72 @@ impl Certifier {
             }
             self.v_commit = rec.commit_version;
             self.history.push_back(rec.writeset.clone());
+            if self.eager_enabled {
+                self.eager_pending.insert(
+                    rec.commit_version,
+                    EagerState {
+                        origin: rec.origin,
+                        txn: rec.txn,
+                        applied: Vec::new(),
+                    },
+                );
+            }
         }
         Ok(records.len())
+    }
+
+    /// Every logged commit decision with a version strictly above `after`,
+    /// in version order. A recovering replica whose engine survived at
+    /// `V_local` calls this to fetch exactly the certified writesets it
+    /// missed; a replica recovering from scratch passes
+    /// [`Version::ZERO`].
+    pub fn certified_since(&mut self, after: Version) -> Result<Vec<LogRecord>> {
+        let mut records = self.log.replay()?;
+        records.retain(|r| r.commit_version > after);
+        Ok(records)
+    }
+
+    /// Eager mode, post-crash re-synchronization: a replica reports its
+    /// current `V_local`. Because replicas apply the global sequence densely
+    /// and in order, `V_local` exactly characterizes the set of commits the
+    /// replica has applied, so the replica is credited as applied for every
+    /// pending version `<= v_local`. Crediting is idempotent per replica, so
+    /// hellos may be repeated freely (certifier restarts, replica restarts).
+    /// Returns the `(origin, txn)` pairs whose global commit completed as a
+    /// result, in version order.
+    pub fn on_replica_hello(
+        &mut self,
+        replica: ReplicaId,
+        v_local: Version,
+    ) -> Vec<(ReplicaId, TxnId)> {
+        if !self.eager_enabled {
+            return Vec::new();
+        }
+        let n = self.replicas.len();
+        let mut completed_versions: Vec<Version> = Vec::new();
+        let mut versions: Vec<Version> = self
+            .eager_pending
+            .keys()
+            .copied()
+            .filter(|&v| v <= v_local)
+            .collect();
+        versions.sort_unstable();
+        for v in versions {
+            let state = self.eager_pending.get_mut(&v).expect("present");
+            if !state.applied.contains(&replica) {
+                state.applied.push(replica);
+            }
+            if state.applied.len() >= n {
+                completed_versions.push(v);
+            }
+        }
+        completed_versions
+            .into_iter()
+            .map(|v| {
+                let state = self.eager_pending.remove(&v).expect("present");
+                (state.origin, state.txn)
+            })
+            .collect()
     }
 }
 
@@ -425,6 +501,79 @@ mod tests {
         // Conflict checking works against recovered history.
         let (d, _) = c.certify(req(3, 1, 0, ws(0, 1))).unwrap();
         assert!(matches!(d, CertifyDecision::Abort { .. }));
+    }
+
+    #[test]
+    fn certified_since_returns_exactly_the_missed_suffix() {
+        let mut c = Certifier::new(replicas(2));
+        for i in 1..=5u64 {
+            c.certify(req(i, 0, i - 1, ws(0, i as i64))).unwrap();
+        }
+        let missed = c.certified_since(Version(3)).unwrap();
+        assert_eq!(missed.len(), 2);
+        assert_eq!(missed[0].commit_version, Version(4));
+        assert_eq!(missed[1].commit_version, Version(5));
+        assert!(c.certified_since(Version(5)).unwrap().is_empty());
+        assert_eq!(c.certified_since(Version::ZERO).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn log_records_carry_origin() {
+        let mut c = Certifier::new(replicas(3));
+        c.certify(req(1, 2, 0, ws(0, 1))).unwrap();
+        let recs = c.certified_since(Version::ZERO).unwrap();
+        assert_eq!(recs[0].origin, ReplicaId(2));
+        assert_eq!(recs[0].txn, TxnId(1));
+    }
+
+    #[test]
+    fn eager_recovery_rebuilds_pending_and_hellos_complete_them() {
+        let mut c = Certifier::new(replicas(3));
+        c.set_eager(true);
+        // v1 from replica 0, applied everywhere and globally committed
+        // before the crash; v2 from replica 1, applied only at replicas 0,1.
+        c.certify(req(1, 0, 0, ws(0, 1))).unwrap();
+        c.certify(req(2, 1, 1, ws(0, 2))).unwrap();
+        c.recover().unwrap();
+        // All replicas were at v2 except replica 2, which reached only v1.
+        assert!(c.on_replica_hello(ReplicaId(0), Version(2)).is_empty());
+        assert!(c.on_replica_hello(ReplicaId(1), Version(2)).is_empty());
+        let done = c.on_replica_hello(ReplicaId(2), Version(1));
+        // v1 completes (already globally committed pre-crash: the host
+        // drops the re-notification); v2 still waits for replica 2.
+        assert_eq!(done, vec![(ReplicaId(0), TxnId(1))]);
+        // Replica 2 later applies v2 via refresh and reports it.
+        assert_eq!(
+            c.on_commit_applied(ReplicaId(2), Version(2)),
+            Some((ReplicaId(1), TxnId(2)))
+        );
+    }
+
+    #[test]
+    fn duplicate_applied_reports_and_hellos_are_idempotent() {
+        let mut c = Certifier::new(replicas(3));
+        c.set_eager(true);
+        c.certify(req(1, 0, 0, ws(0, 1))).unwrap();
+        // The same replica reporting twice counts once.
+        assert_eq!(c.on_commit_applied(ReplicaId(0), Version(1)), None);
+        assert_eq!(c.on_commit_applied(ReplicaId(0), Version(1)), None);
+        // A hello from a replica that already reported adds nothing.
+        assert!(c.on_replica_hello(ReplicaId(0), Version(1)).is_empty());
+        assert_eq!(c.on_commit_applied(ReplicaId(1), Version(1)), None);
+        // Only the genuinely missing third replica completes it.
+        assert_eq!(
+            c.on_commit_applied(ReplicaId(2), Version(1)),
+            Some((ReplicaId(0), TxnId(1)))
+        );
+    }
+
+    #[test]
+    fn hello_in_lazy_mode_is_a_no_op() {
+        let mut c = Certifier::new(replicas(2));
+        c.certify(req(1, 0, 0, ws(0, 1))).unwrap();
+        c.recover().unwrap();
+        assert!(c.on_replica_hello(ReplicaId(0), Version(1)).is_empty());
+        assert!(c.on_replica_hello(ReplicaId(1), Version(1)).is_empty());
     }
 
     #[test]

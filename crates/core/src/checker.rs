@@ -86,6 +86,11 @@ enum Event {
         commit_version: Option<Version>,
         tables_written: Vec<TableId>,
     },
+    /// A fault was injected at this point in the history (crash, restart,
+    /// message loss). Faults impose no consistency obligation of their own —
+    /// the checks simply run *across* them, which is the point: the
+    /// guarantees must hold on histories containing failures.
+    Fault { label: String },
 }
 
 /// Accumulates issue/snapshot/ack events and checks consistency
@@ -181,6 +186,66 @@ impl ConsistencyChecker {
         }
     }
 
+    /// Records an injected fault (for diagnostics: violation-free histories
+    /// are only interesting evidence when they actually contain faults).
+    pub fn record_fault(&mut self, label: impl Into<String>) {
+        self.events.push(Event::Fault {
+            label: label.into(),
+        });
+    }
+
+    /// Number of faults recorded in the history.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Fault { .. }))
+            .count()
+    }
+
+    /// Labels of the recorded faults, in history order.
+    #[must_use]
+    pub fn fault_labels(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Fault { label } => Some(label.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Commit versions of every acknowledged update transaction, in ack
+    /// order. These are the versions the system promised clients are
+    /// durable.
+    #[must_use]
+    pub fn acked_commit_versions(&self) -> Vec<Version> {
+        let mut versions = Vec::new();
+        for e in &self.events {
+            if let Event::Ack {
+                commit_version: Some(v),
+                ..
+            } = e
+            {
+                versions.push(*v);
+            }
+        }
+        versions
+    }
+
+    /// The durability check: every acknowledged commit must survive every
+    /// crash. `is_durable(v)` reports whether commit version `v` exists in
+    /// the authoritative post-recovery commit history (the certifier log);
+    /// any acked version it rejects is a lost acknowledged commit — the
+    /// worst possible failure of a replicated database.
+    #[must_use]
+    pub fn lost_acked_commits(&self, is_durable: impl Fn(Version) -> bool) -> Vec<Version> {
+        self.acked_commit_versions()
+            .into_iter()
+            .filter(|&v| !is_durable(v))
+            .collect()
+    }
+
     /// Transactions observed so far (in begin order).
     #[must_use]
     pub fn observed(&self) -> &[ObservedTxn] {
@@ -210,7 +275,7 @@ impl ConsistencyChecker {
                         max_acked = *v;
                     }
                 }
-                Event::Ack { .. } => {}
+                Event::Ack { .. } | Event::Fault { .. } => {}
                 Event::Issue { txn, session, .. } => {
                     let Some(snapshot) = self.snapshots.get(txn) else {
                         continue; // never started: read nothing
@@ -255,7 +320,7 @@ impl ConsistencyChecker {
                         }
                     }
                 }
-                Event::Ack { .. } => {}
+                Event::Ack { .. } | Event::Fault { .. } => {}
                 Event::Issue {
                     txn,
                     session,
@@ -305,7 +370,7 @@ impl ConsistencyChecker {
                         *entry = *v;
                     }
                 }
-                Event::Ack { .. } => {}
+                Event::Ack { .. } | Event::Fault { .. } => {}
                 Event::Issue { txn, session, .. } => {
                     let Some(snapshot) = self.snapshots.get(txn) else {
                         continue;
@@ -536,6 +601,47 @@ mod tests {
         assert!(c.violations_for(ConsistencyMode::LazyFine).is_empty());
         assert!(c.violations_for(ConsistencyMode::Session).is_empty());
         assert!(c.violations_for(ConsistencyMode::Baseline).is_empty());
+    }
+
+    #[test]
+    fn faults_are_transparent_to_the_consistency_checks() {
+        let mut c = ConsistencyChecker::new();
+        c.record_begin(TxnId(1), s(1), Version::ZERO);
+        c.record_ack(TxnId(1), Some(Version(1)));
+        c.record_fault("certifier crash");
+        c.record_fault("certifier restart");
+        // Post-recovery transaction still must observe the acked commit...
+        c.record_begin(TxnId(2), s(2), Version(1));
+        assert!(c.strong_violations().is_empty());
+        assert!(c.session_violations().is_empty());
+        assert_eq!(c.fault_count(), 2);
+        assert_eq!(
+            c.fault_labels(),
+            vec!["certifier crash", "certifier restart"]
+        );
+        // ...and a stale one across the fault is still flagged.
+        let mut c2 = ConsistencyChecker::new();
+        c2.record_begin(TxnId(1), s(1), Version::ZERO);
+        c2.record_ack(TxnId(1), Some(Version(1)));
+        c2.record_fault("replica 0 crash");
+        c2.record_begin(TxnId(2), s(2), Version::ZERO);
+        assert_eq!(c2.strong_violations().len(), 1);
+    }
+
+    #[test]
+    fn lost_acked_commits_flags_versions_missing_after_recovery() {
+        let mut c = ConsistencyChecker::new();
+        c.record_begin(TxnId(1), s(1), Version::ZERO);
+        c.record_ack(TxnId(1), Some(Version(1)));
+        c.record_begin(TxnId(2), s(1), Version(1));
+        c.record_ack(TxnId(2), Some(Version(2)));
+        c.record_begin(TxnId(3), s(1), Version(2));
+        c.record_ack(TxnId(3), None); // read-only: no durability obligation
+        assert_eq!(c.acked_commit_versions(), vec![Version(1), Version(2)]);
+        // Everything durable: nothing lost.
+        assert!(c.lost_acked_commits(|_| true).is_empty());
+        // Recovery that dropped v2: exactly v2 is reported lost.
+        assert_eq!(c.lost_acked_commits(|v| v == Version(1)), vec![Version(2)]);
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct LoadBalancerStats {
     pub commits: u64,
     /// Aborted outcomes observed.
     pub aborts: u64,
+    /// Times a replica was marked down.
+    pub replica_downs: u64,
+    /// Transactions re-routed away from a failed replica.
+    pub rerouted: u64,
 }
 
 /// The load balancer state machine.
@@ -55,6 +59,8 @@ pub struct LoadBalancer {
     replicas: Vec<ReplicaId>,
     /// Active (routed, not yet completed) transactions per replica.
     active: Vec<u32>,
+    /// Replicas currently marked failed; routing skips them.
+    down: Vec<bool>,
     /// `V_system`: version of the latest transaction committed *and
     /// acknowledged to clients*.
     v_system: Version,
@@ -84,6 +90,7 @@ impl LoadBalancer {
             mode,
             replicas,
             active: vec![0; n],
+            down: vec![false; n],
             v_system: Version::ZERO,
             table_versions: vec![Version::ZERO; n_tables],
             sessions: HashMap::new(),
@@ -149,6 +156,37 @@ impl LoadBalancer {
         self.stats
     }
 
+    /// Marks a replica failed: no new transaction is routed to it until
+    /// [`Self::mark_up`]. In-flight slots are released by the abort
+    /// outcomes the crashing proxy reports, not here.
+    pub fn mark_down(&mut self, replica: ReplicaId) {
+        let idx = self.index_of(replica);
+        self.down[idx] = true;
+        self.stats.replica_downs += 1;
+    }
+
+    /// Marks a replica available for routing again. Safe to call before the
+    /// replica has fully caught up: consistency is enforced by the start
+    /// requirement (a behind replica parks the transaction until its
+    /// re-synchronization reaches the required version), so routing to a
+    /// recovering replica costs latency, never correctness.
+    pub fn mark_up(&mut self, replica: ReplicaId) {
+        let idx = self.index_of(replica);
+        self.down[idx] = false;
+    }
+
+    /// Whether `replica` is currently routable.
+    #[must_use]
+    pub fn is_up(&self, replica: ReplicaId) -> bool {
+        !self.down[self.index_of(replica)]
+    }
+
+    /// Number of routable replicas.
+    #[must_use]
+    pub fn up_count(&self) -> usize {
+        self.down.iter().filter(|&&d| !d).count()
+    }
+
     fn index_of(&self, replica: ReplicaId) -> usize {
         self.replicas
             .iter()
@@ -156,36 +194,12 @@ impl LoadBalancer {
             .expect("unknown replica")
     }
 
-    /// Routes a transaction: picks the least-loaded replica, assigns a
+    /// Routes a transaction: picks the least-loaded *up* replica, assigns a
     /// [`TxnId`], and computes the start requirement for the current mode.
+    /// Fails when every replica is marked down.
     pub fn route(&mut self, req: TxnRequest) -> Result<RoutedTxn> {
         let start_requirement = self.start_requirement(req.session, req.template)?;
-        let idx = match self.policy {
-            // Least active transactions; ties broken by replica order for
-            // determinism.
-            RoutingPolicy::LeastConnections => {
-                self.active
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(i, &n)| (n, i))
-                    .expect("at least one replica")
-                    .0
-            }
-            RoutingPolicy::RoundRobin => {
-                let i = self.rr_next % self.replicas.len();
-                self.rr_next = self.rr_next.wrapping_add(1);
-                i
-            }
-            RoutingPolicy::Random => {
-                // xorshift64*: deterministic, seedless routing.
-                let mut x = self.rng_state;
-                x ^= x >> 12;
-                x ^= x << 25;
-                x ^= x >> 27;
-                self.rng_state = x;
-                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % self.replicas.len()
-            }
-        };
+        let idx = self.pick_replica()?;
         self.active[idx] += 1;
         let txn = TxnId(self.next_txn);
         self.next_txn += 1;
@@ -198,6 +212,55 @@ impl LoadBalancer {
             params: req.params,
             replica: self.replicas[idx],
             start_requirement,
+        })
+    }
+
+    /// Re-routes a transaction whose assigned replica failed before it
+    /// started: moves the routing slot to a currently up replica, keeping
+    /// the transaction id and the original start requirement (still valid —
+    /// requirements only constrain from below). Fails when no replica is up.
+    pub fn reroute(&mut self, routed: &RoutedTxn) -> Result<RoutedTxn> {
+        let idx = self.pick_replica()?;
+        let old = self.index_of(routed.replica);
+        self.active[old] = self.active[old].saturating_sub(1);
+        self.active[idx] += 1;
+        self.stats.rerouted += 1;
+        Ok(RoutedTxn {
+            replica: self.replicas[idx],
+            ..routed.clone()
+        })
+    }
+
+    fn pick_replica(&mut self) -> Result<usize> {
+        let up: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| !self.down[i])
+            .collect();
+        if up.is_empty() {
+            return Err(bargain_common::Error::Protocol(
+                "no replica available: all marked down".to_owned(),
+            ));
+        }
+        Ok(match self.policy {
+            // Least active transactions; ties broken by replica order for
+            // determinism.
+            RoutingPolicy::LeastConnections => *up
+                .iter()
+                .min_by_key(|&&i| (self.active[i], i))
+                .expect("nonempty"),
+            RoutingPolicy::RoundRobin => {
+                let i = up[self.rr_next % up.len()];
+                self.rr_next = self.rr_next.wrapping_add(1);
+                i
+            }
+            RoutingPolicy::Random => {
+                // xorshift64*: deterministic, seedless routing.
+                let mut x = self.rng_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng_state = x;
+                up[(x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % up.len()]
+            }
         })
     }
 
@@ -499,6 +562,59 @@ mod tests {
         for r in 0..3u32 {
             assert!(pa.contains(&r), "replica {r} never chosen in 50 draws");
         }
+    }
+
+    #[test]
+    fn routing_skips_down_replicas_and_errs_when_none_up() {
+        let mut lb = lb(ConsistencyMode::LazyCoarse);
+        lb.mark_down(ReplicaId(0));
+        assert!(!lb.is_up(ReplicaId(0)));
+        assert_eq!(lb.up_count(), 2);
+        // Least-connections now rotates over replicas 1 and 2 only.
+        let picks: Vec<u32> = (0..4)
+            .map(|i| lb.route(request(i, 0)).unwrap().replica.0)
+            .collect();
+        assert_eq!(picks, vec![1, 2, 1, 2]);
+        lb.mark_down(ReplicaId(1));
+        lb.mark_down(ReplicaId(2));
+        assert!(lb.route(request(9, 0)).is_err());
+        // Recovery restores routing.
+        lb.mark_up(ReplicaId(0));
+        assert_eq!(lb.route(request(10, 0)).unwrap().replica, ReplicaId(0));
+        assert_eq!(lb.stats().replica_downs, 3);
+    }
+
+    #[test]
+    fn round_robin_skips_down_replicas() {
+        let mut lb = lb(ConsistencyMode::LazyCoarse);
+        lb.set_policy(RoutingPolicy::RoundRobin);
+        lb.mark_down(ReplicaId(1));
+        let picks: Vec<u32> = (0..4)
+            .map(|i| lb.route(request(i, 0)).unwrap().replica.0)
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn reroute_moves_slot_and_keeps_identity() {
+        let mut lb = lb(ConsistencyMode::LazyCoarse);
+        let routed = lb.route(request(1, 0)).unwrap();
+        assert_eq!(routed.replica, ReplicaId(0));
+        assert_eq!(lb.active_on(ReplicaId(0)), 1);
+        lb.mark_down(ReplicaId(0));
+        let moved = lb.reroute(&routed).unwrap();
+        assert_ne!(moved.replica, ReplicaId(0));
+        assert_eq!(moved.txn, routed.txn);
+        assert_eq!(moved.start_requirement, routed.start_requirement);
+        assert_eq!(lb.active_on(ReplicaId(0)), 0);
+        assert_eq!(lb.active_on(moved.replica), 1);
+        assert_eq!(lb.stats().rerouted, 1);
+        // The moved transaction completes normally.
+        lb.on_outcome(&TxnOutcome {
+            replica: moved.replica,
+            ..outcome(moved.replica.0, 1, Some(1), 1, &[0])
+        });
+        assert_eq!(lb.active_on(moved.replica), 0);
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub struct ProxyStats {
     /// Early-certification aborts (refresh-arrival check against executing
     /// transactions).
     pub early_aborts_refresh: u64,
+    /// Refreshes ignored because the replica had already applied that
+    /// version (duplicate deliveries during post-crash re-synchronization).
+    pub duplicate_refreshes_ignored: u64,
+    /// Times [`Proxy::crash`] was invoked.
+    pub crashes: u64,
 }
 
 /// What happened when the host asked the proxy to run one statement.
@@ -407,8 +412,17 @@ impl Proxy {
     }
 
     /// Absorbs a refresh writeset from the certifier.
+    ///
+    /// Refreshes at or below the replica's current version are ignored:
+    /// they are duplicate deliveries from post-crash re-synchronization
+    /// (the replay of certified history can race refreshes already in
+    /// flight), and applying them twice would corrupt the version sequence.
     pub fn on_refresh(&mut self, refresh: Refresh) -> Result<Vec<ProxyEvent>> {
         let mut events = Vec::new();
+        if refresh.commit_version <= self.engine.version() {
+            self.stats.duplicate_refreshes_ignored += 1;
+            return Ok(events);
+        }
         // Early certification, arrival-time check: abort executing local
         // transactions whose partial writesets collide with this certified
         // writeset.
@@ -433,13 +447,6 @@ impl Proxy {
                 self.abort_active(txn, "early certification: arriving refresh conflict")?;
             events.push(ProxyEvent::TxnFinished(outcome));
         }
-        if refresh.commit_version <= self.engine.version() {
-            return Err(Error::Protocol(format!(
-                "duplicate refresh {} at local version {}",
-                refresh.commit_version,
-                self.engine.version()
-            )));
-        }
         self.pending.insert(
             refresh.commit_version,
             PendingApply::Refresh {
@@ -462,6 +469,68 @@ impl Proxy {
         self.awaiting_global
             .remove(&txn)
             .ok_or_else(|| Error::Protocol(format!("txn {txn} not awaiting global commit")))
+    }
+
+    /// Simulates a replica process crash and restart.
+    ///
+    /// The engine survives at `V_local` (it is the replica's durable
+    /// checkpoint — the paper runs replicas with log-forcing off and
+    /// recovers them from the certifier's log, so everything at or below
+    /// `V_local` is recoverable state, and everything volatile is lost):
+    ///
+    /// - executing and certifying transactions are rolled back,
+    /// - parked (start-delayed) transactions are dropped,
+    /// - buffered out-of-order refreshes are discarded (re-synchronization
+    ///   re-fetches them from the certifier),
+    /// - withheld eager outcomes are forgotten (their writes are already
+    ///   durable globally; the client receives an ambiguous abort).
+    ///
+    /// Returns one synthetic aborted [`TxnOutcome`] per lost in-flight
+    /// transaction so the host can release clients and routing slots. After
+    /// this returns, the host must re-synchronize the replica by feeding
+    /// `Certifier::certified_since(V_local)` through [`Self::on_refresh`].
+    pub fn crash(&mut self) -> Vec<TxnOutcome> {
+        self.stats.crashes += 1;
+        let mut outcomes = Vec::new();
+        let mut active: Vec<TxnId> = self.active.keys().copied().collect();
+        active.sort_unstable();
+        for txn in active {
+            let outcome = self
+                .abort_active(txn, "replica crash")
+                .expect("active txn aborts");
+            outcomes.push(outcome);
+        }
+        while let Some(routed) = self.waiting.pop_front() {
+            outcomes.push(TxnOutcome {
+                txn: routed.txn,
+                client: routed.client,
+                session: routed.session,
+                replica: self.replica,
+                committed: false,
+                commit_version: None,
+                observed_version: Version::ZERO,
+                tables_written: vec![],
+                abort_reason: Some("replica crash".to_owned()),
+            });
+        }
+        self.pending.clear();
+        // Withheld eager outcomes: the commits are durable at the certifier
+        // and applied locally, but the global-commit ack will never be
+        // matched here again. The client gets an ambiguous abort (the
+        // standard in-doubt answer after losing a server mid-commit).
+        let mut withheld: Vec<TxnId> = self.awaiting_global.keys().copied().collect();
+        withheld.sort_unstable();
+        for txn in withheld {
+            let o = self.awaiting_global.remove(&txn).expect("present");
+            outcomes.push(TxnOutcome {
+                committed: false,
+                commit_version: None,
+                tables_written: vec![],
+                abort_reason: Some("replica crash before global commit ack".to_owned()),
+                ..o
+            });
+        }
+        outcomes
     }
 
     // ------------------------------------------------------------------
@@ -784,10 +853,116 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_refresh_is_protocol_error() {
+    fn duplicate_refresh_is_silently_ignored() {
         let mut p = make_proxy(ConsistencyMode::LazyCoarse);
         p.on_refresh(refresh(1, 1)).unwrap();
-        assert!(p.on_refresh(refresh(1, 1)).is_err());
+        // Re-delivery (e.g. post-crash re-synchronization racing an
+        // in-flight refresh) is dropped without touching the engine.
+        let ev = p.on_refresh(refresh(1, 1)).unwrap();
+        assert!(ev.is_empty());
+        assert_eq!(p.version(), Version(1));
+        assert_eq!(p.stats().duplicate_refreshes_ignored, 1);
+        assert_eq!(p.stats().refreshes_applied, 1);
+    }
+
+    #[test]
+    fn duplicate_refresh_does_not_trigger_early_aborts() {
+        let mut p = make_proxy(ConsistencyMode::LazyCoarse);
+        p.on_refresh(refresh(1, 5)).unwrap();
+        // A local txn writes key 5; a duplicate of the already-applied
+        // refresh (same key) must not early-abort it.
+        p.start(routed(
+            1,
+            T_WRITE,
+            vec![vec![Value::Int(0), Value::Int(5)]],
+            0,
+        ))
+        .unwrap();
+        p.execute_statement(TxnId(1), 0).unwrap();
+        let ev = p.on_refresh(refresh(1, 5)).unwrap();
+        assert!(ev.is_empty());
+        assert_eq!(p.stats().early_aborts_refresh, 0);
+        assert!(p.finish(TxnId(1)).is_ok());
+    }
+
+    #[test]
+    fn crash_aborts_in_flight_and_preserves_v_local() {
+        let mut p = make_proxy(ConsistencyMode::LazyCoarse);
+        p.on_refresh(refresh(1, 1)).unwrap();
+        // Executing txn.
+        p.start(routed(
+            2,
+            T_WRITE,
+            vec![vec![Value::Int(9), Value::Int(2)]],
+            0,
+        ))
+        .unwrap();
+        p.execute_statement(TxnId(2), 0).unwrap();
+        // Parked txn (requirement beyond V_local).
+        p.start(routed(3, T_READ, vec![vec![Value::Int(1)]], 5))
+            .unwrap();
+        // Buffered out-of-order refresh (gap at v2).
+        p.on_refresh(refresh(3, 3)).unwrap();
+        assert_eq!(p.pending_count(), 1);
+
+        let outcomes = p.crash();
+        let mut lost: Vec<TxnId> = outcomes.iter().map(|o| o.txn).collect();
+        lost.sort_unstable();
+        assert_eq!(lost, vec![TxnId(2), TxnId(3)]);
+        assert!(outcomes.iter().all(|o| !o.committed));
+        assert!(outcomes
+            .iter()
+            .all(|o| o.abort_reason.as_deref() == Some("replica crash")));
+        // The engine checkpoint survives; volatile state is gone.
+        assert_eq!(p.version(), Version(1));
+        assert_eq!(p.pending_count(), 0);
+        assert_eq!(p.waiting_count(), 0);
+        assert_eq!(p.stats().crashes, 1);
+    }
+
+    #[test]
+    fn crash_then_resync_applies_missed_suffix() {
+        let mut p = make_proxy(ConsistencyMode::LazyCoarse);
+        p.on_refresh(refresh(1, 1)).unwrap();
+        p.on_refresh(refresh(3, 3)).unwrap(); // buffered, lost in the crash
+        p.crash();
+        assert_eq!(p.version(), Version(1));
+        // Re-synchronization: certified_since(V_local) re-delivers v2, v3.
+        p.on_refresh(refresh(2, 2)).unwrap();
+        p.on_refresh(refresh(3, 3)).unwrap();
+        assert_eq!(p.version(), Version(3));
+        assert_eq!(p.pending_count(), 0);
+    }
+
+    #[test]
+    fn crash_converts_withheld_eager_outcomes_into_ambiguous_aborts() {
+        let mut p = make_proxy(ConsistencyMode::Eager);
+        p.start(routed(
+            1,
+            T_WRITE,
+            vec![vec![Value::Int(1), Value::Int(2)]],
+            0,
+        ))
+        .unwrap();
+        p.execute_statement(TxnId(1), 0).unwrap();
+        p.finish(TxnId(1)).unwrap();
+        p.on_decision(CertifyDecision::Commit {
+            txn: TxnId(1),
+            commit_version: Version(1),
+        })
+        .unwrap();
+        // Committed locally, waiting for the global-commit notification.
+        let outcomes = p.crash();
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].committed);
+        assert!(outcomes[0]
+            .abort_reason
+            .as_deref()
+            .unwrap()
+            .contains("global commit"));
+        // The write itself is durable: it was applied at v1 before the crash.
+        assert_eq!(p.version(), Version(1));
+        assert!(p.on_global_commit(TxnId(1)).is_err());
     }
 
     #[test]

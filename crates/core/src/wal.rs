@@ -11,7 +11,7 @@
 //! tests) and [`FileLog`] (a real append-only file with a simple
 //! length-prefixed binary record format and optional fsync).
 
-use bargain_common::{Error, Result, TxnId, Value, Version, WriteOp, WriteSet};
+use bargain_common::{Error, ReplicaId, Result, TxnId, Value, Version, WriteOp, WriteSet};
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, Read, Write};
 use std::path::Path;
@@ -23,6 +23,9 @@ pub struct LogRecord {
     pub commit_version: Version,
     /// The committed transaction.
     pub txn: TxnId,
+    /// Replica the transaction executed on. Needed to rebuild the eager
+    /// configuration's global-commit accounting after a certifier crash.
+    pub origin: ReplicaId,
     /// Its writeset.
     pub writeset: WriteSet,
 }
@@ -81,7 +84,7 @@ impl CommitLog for MemoryLog {
 /// Record format (all integers little-endian):
 ///
 /// ```text
-/// u64 commit_version | u64 txn_id | u32 entry_count
+/// u64 commit_version | u64 txn_id | u32 origin_replica | u32 entry_count
 ///   per entry: u32 table | value key | u8 op (0=ins,1=upd,2=del) | [u32 ncols | values...]
 /// value: u8 tag (0=null,1=int,2=float,3=text) | payload
 /// ```
@@ -164,6 +167,7 @@ impl FileLog {
         let mut buf = Vec::with_capacity(64);
         buf.extend_from_slice(&record.commit_version.0.to_le_bytes());
         buf.extend_from_slice(&record.txn.0.to_le_bytes());
+        buf.extend_from_slice(&record.origin.0.to_le_bytes());
         buf.extend_from_slice(&(record.writeset.len() as u32).to_le_bytes());
         for e in record.writeset.entries() {
             buf.extend_from_slice(&e.table.0.to_le_bytes());
@@ -202,6 +206,8 @@ impl FileLog {
         let txn = TxnId(u64::from_le_bytes(b8));
         let mut b4 = [0u8; 4];
         r.read_exact(&mut b4)?;
+        let origin = ReplicaId(u32::from_le_bytes(b4));
+        r.read_exact(&mut b4)?;
         let n = u32::from_le_bytes(b4) as usize;
         let mut ws = WriteSet::new();
         for _ in 0..n {
@@ -232,6 +238,7 @@ impl FileLog {
         Ok(Some(LogRecord {
             commit_version,
             txn,
+            origin,
             writeset: ws,
         }))
     }
@@ -297,6 +304,7 @@ mod tests {
         LogRecord {
             commit_version: Version(version),
             txn: TxnId(version * 10),
+            origin: ReplicaId(version as u32 % 3),
             writeset: ws,
         }
     }
@@ -385,10 +393,83 @@ mod tests {
         let rec = LogRecord {
             commit_version: Version(5),
             txn: TxnId(7),
+            origin: ReplicaId(2),
             writeset: WriteSet::new(),
         };
         let mut log = MemoryLog::new();
         log.append(&rec).unwrap();
         assert_eq!(log.replay().unwrap(), vec![rec]);
+    }
+
+    #[test]
+    fn torn_write_at_every_byte_boundary_recovers_a_prefix() {
+        // A crash can tear the tail record at ANY byte. Whatever the cut,
+        // recovery must yield an exact prefix of the appended records and
+        // never error or hallucinate a record.
+        let dir = std::env::temp_dir().join(format!("bargain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-sweep.wal");
+        let _ = std::fs::remove_file(&path);
+        let originals = vec![sample(1), sample(2), sample(3)];
+        {
+            let mut log = FileLog::open(&path).unwrap();
+            for r in &originals {
+                log.append(r).unwrap();
+            }
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let mut log = FileLog::open(&path).unwrap();
+            let replayed = log.replay().unwrap();
+            assert!(
+                replayed.len() <= originals.len(),
+                "cut {cut}: more records than were written"
+            );
+            assert_eq!(
+                replayed,
+                originals[..replayed.len()],
+                "cut {cut}: recovered records must be an exact prefix"
+            );
+            // The full tail is only recovered with the full file.
+            assert!(replayed.len() < originals.len() || cut == bytes.len());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_on_empty_file_is_an_empty_log() {
+        let dir = std::env::temp_dir().join(format!("bargain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.wal");
+        std::fs::write(&path, b"").unwrap();
+        let mut log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 0);
+        assert!(log.is_empty());
+        assert!(log.replay().unwrap().is_empty());
+        // Still appendable.
+        log.append(&sample(1)).unwrap();
+        assert_eq!(log.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsync_off_appends_survive_clean_reopen() {
+        // With sync_on_append off the data still reaches the OS on a clean
+        // close (only a machine crash could lose it), so reopening sees it.
+        let dir = std::env::temp_dir().join(format!("bargain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nosync.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = FileLog::open(&path).unwrap();
+            log.sync_on_append = false;
+            log.append(&sample(1)).unwrap();
+            log.append(&sample(2)).unwrap();
+        }
+        let mut log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.replay().unwrap(), vec![sample(1), sample(2)]);
+        std::fs::remove_file(&path).unwrap();
     }
 }

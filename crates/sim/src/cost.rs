@@ -38,6 +38,14 @@ pub struct CostModel {
     pub net_per_kib_us: SimTime,
     /// Load-balancer processing per routed message.
     pub lb_route_us: SimTime,
+    /// Base cost of certifier crash recovery (process restart, log open).
+    pub cert_recovery_base_us: SimTime,
+    /// Per-logged-record cost of replaying the commit log during certifier
+    /// recovery.
+    pub cert_recovery_record_us: SimTime,
+    /// Base cost of a replica restart before it can serve again (its
+    /// catch-up refreshes are charged at the normal refresh rates on top).
+    pub replica_recovery_base_us: SimTime,
     /// Parallel service slots per replica (worker threads the DBMS runs).
     pub replica_workers: usize,
     /// If `true`, commits and refresh writesets are applied on a dedicated
@@ -68,6 +76,9 @@ impl Default for CostModel {
             net_jitter_us: 140,
             net_per_kib_us: 9,
             lb_route_us: 25,
+            cert_recovery_base_us: 5_000,
+            cert_recovery_record_us: 2,
+            replica_recovery_base_us: 8_000,
             replica_workers: 8,
             dedicated_apply_lane: false,
             replica_speed: vec![1.0, 1.08, 0.96, 1.15, 1.02, 0.92, 1.10, 1.05],
@@ -120,6 +131,12 @@ impl CostModel {
     #[must_use]
     pub fn certification_cost(&self) -> SimTime {
         self.certify_us + self.wal_append_us
+    }
+
+    /// Certifier recovery time when its log holds `log_records` records.
+    #[must_use]
+    pub fn cert_recovery_cost(&self, log_records: usize) -> SimTime {
+        self.cert_recovery_base_us + self.cert_recovery_record_us * log_records as SimTime
     }
 }
 

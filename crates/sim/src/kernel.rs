@@ -170,6 +170,16 @@ impl<J> Resource<J> {
         }
     }
 
+    /// Crashes the resource: queued jobs are returned to the caller (to
+    /// re-park or drop) and in-service accounting is reset. The caller is
+    /// responsible for discarding the completion events of jobs that were
+    /// in service — typically by tagging them with an epoch that this crash
+    /// invalidates.
+    pub fn drain(&mut self) -> Vec<J> {
+        self.in_service = 0;
+        self.queue.drain(..).map(|(job, _)| job).collect()
+    }
+
     /// Jobs currently waiting (not in service).
     #[must_use]
     pub fn queued(&self) -> usize {

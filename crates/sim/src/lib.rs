@@ -23,11 +23,13 @@
 //! Entry point: [`simulate`] with a [`SimConfig`] and a workload.
 
 pub mod cost;
+pub mod fault;
 pub mod kernel;
 pub mod metrics;
 pub mod system;
 
 pub use cost::CostModel;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use kernel::{EventQueue, Resource, SimTime};
 pub use metrics::{SimReport, StageBreakdown, TxnRecord};
 pub use system::{simulate, SimConfig};

@@ -141,6 +141,23 @@ pub struct SimReport {
     /// detected locally against pending refresh writesets, before any
     /// certifier round trip).
     pub early_aborts: u64,
+    /// Faults injected during the run (crashes, restarts counted once each
+    /// at injection; message drops and delay windows once per event).
+    pub faults_injected: u64,
+    /// Certifier crashes injected.
+    pub certifier_crashes: u64,
+    /// Replica crashes injected.
+    pub replica_crashes: u64,
+    /// Refresh messages lost (dropped by injected network faults or
+    /// addressed to a crashed replica).
+    pub refreshes_dropped: u64,
+    /// Re-synchronization rounds replicas ran to repair crash/drop gaps.
+    pub resyncs: u64,
+    /// Acknowledged commit versions missing from the certifier's durable
+    /// log at the end of the run. Any non-zero value is a lost acked
+    /// commit — the headline property says this must be 0 under every
+    /// fault schedule.
+    pub lost_acked_commits: usize,
 }
 
 impl SimReport {
@@ -216,6 +233,12 @@ impl SimReport {
             strict_stale_starts,
             certifier_aborts: 0,
             early_aborts: 0,
+            faults_injected: 0,
+            certifier_crashes: 0,
+            replica_crashes: 0,
+            refreshes_dropped: 0,
+            resyncs: 0,
+            lost_acked_commits: 0,
         }
     }
 }

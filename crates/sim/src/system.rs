@@ -22,6 +22,7 @@
 //! which claims nothing and demonstrably delivers stale reads).
 
 use crate::cost::CostModel;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::kernel::{EventQueue, Resource, SimTime, MS};
 use crate::metrics::{SimReport, TxnRecord};
 use bargain_common::{
@@ -35,7 +36,7 @@ use bargain_storage::Engine;
 use bargain_workloads::{ClientContext, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Simulation parameters.
@@ -61,6 +62,8 @@ pub struct SimConfig {
     pub routing: bargain_core::RoutingPolicy,
     /// Whether proxies perform early certification (ablation; default on).
     pub early_certification: bool,
+    /// Faults to inject during the run (default: none).
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -76,6 +79,7 @@ impl Default for SimConfig {
             check_consistency: true,
             routing: bargain_core::RoutingPolicy::LeastConnections,
             early_certification: true,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -108,12 +112,18 @@ enum Event {
         replica: usize,
         lane: Lane,
         job: ReplicaJob,
+        /// Replica life this job belongs to; completions from before a
+        /// crash are discarded.
+        epoch: u32,
     },
     ArriveAtCertifier {
         req: CertifyRequest,
     },
     CertifierDone {
         req: CertifyRequest,
+        /// Certifier life this service belongs to; a stale epoch means the
+        /// certifier crashed mid-service and the request must be replayed.
+        epoch: u32,
     },
     DecisionAtReplica {
         replica: usize,
@@ -126,6 +136,9 @@ enum Event {
     AppliedAtCertifier {
         replica: ReplicaId,
         version: Version,
+        /// Certifier life the report was addressed to; stale reports are
+        /// dropped (recovery hellos re-credit them).
+        epoch: u32,
     },
     GlobalCommitAtReplica {
         replica: usize,
@@ -139,6 +152,23 @@ enum Event {
     },
     PruneTick,
     GcTick,
+    /// An injected fault fires.
+    Fault(FaultKind),
+    /// The crashed certifier restarts and recovers from its log.
+    CertifierRestart,
+    /// A crashed replica restarts.
+    ReplicaRestart {
+        replica: usize,
+    },
+    /// A replica fetches the certified history it missed and re-enters it
+    /// into its ordered apply queue (post-crash / post-drop catch-up).
+    ResyncReplica {
+        replica: usize,
+    },
+    /// An injected network slowdown window ends.
+    NetCalm {
+        extra_us: SimTime,
+    },
 }
 
 #[derive(Default)]
@@ -181,6 +211,28 @@ struct Sim<'w> {
     records: Vec<TxnRecord>,
     measure_start: SimTime,
     end_time: SimTime,
+    /// Whether the certifier process is up.
+    cert_up: bool,
+    /// Certifier life counter; bumped at each crash to invalidate in-flight
+    /// service completions and applied reports.
+    cert_epoch: u32,
+    /// Certification requests that survived a certifier crash (queued or
+    /// mid-service — their effects had not happened yet) or arrived while
+    /// it was down; replayed after recovery.
+    cert_inbox: Vec<CertifyRequest>,
+    /// Per-replica process liveness.
+    replica_up: Vec<bool>,
+    /// Per-replica life counters; bumped at each crash.
+    replica_epoch: Vec<u32>,
+    /// Outstanding injected refresh-drop budgets per replica.
+    drop_refreshes: Vec<u32>,
+    /// Extra per-message latency from active injected slowdown windows.
+    net_extra_us: SimTime,
+    n_faults: u64,
+    n_cert_crashes: u64,
+    n_replica_crashes: u64,
+    n_refreshes_dropped: u64,
+    n_resyncs: u64,
 }
 
 /// Runs one simulation and returns its report.
@@ -194,6 +246,17 @@ impl<'w> Sim<'w> {
     fn build(workload: &'w dyn Workload, cfg: SimConfig) -> Self {
         assert!(cfg.replicas >= 1, "need at least one replica");
         assert!(cfg.clients >= 1, "need at least one client");
+        for f in &cfg.faults.events {
+            if let FaultKind::ReplicaCrash { replica, .. }
+            | FaultKind::DropRefreshes { replica, .. } = f.kind
+            {
+                assert!(
+                    replica < cfg.replicas,
+                    "fault plan targets replica {replica}, cluster has {}",
+                    cfg.replicas
+                );
+            }
+        }
         let replica_ids: Vec<ReplicaId> = (0..cfg.replicas as u32).map(ReplicaId).collect();
 
         // Build one engine per replica with identical initial state.
@@ -249,6 +312,7 @@ impl<'w> Sim<'w> {
         let measure_start = cfg.warmup_ms * MS;
         let end_time = (cfg.warmup_ms + cfg.measure_ms) * MS;
         let rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0xA24B_AED4_963E_E407));
+        let n_replicas = cfg.replicas;
         Sim {
             cfg,
             workload,
@@ -268,6 +332,18 @@ impl<'w> Sim<'w> {
             records: Vec::new(),
             measure_start,
             end_time,
+            cert_up: true,
+            cert_epoch: 0,
+            cert_inbox: Vec::new(),
+            replica_up: vec![true; n_replicas],
+            replica_epoch: vec![0; n_replicas],
+            drop_refreshes: vec![0; n_replicas],
+            net_extra_us: 0,
+            n_faults: 0,
+            n_cert_crashes: 0,
+            n_replica_crashes: 0,
+            n_refreshes_dropped: 0,
+            n_resyncs: 0,
         }
     }
 
@@ -280,6 +356,10 @@ impl<'w> Sim<'w> {
         }
         self.queue.schedule(500 * MS, Event::PruneTick);
         self.queue.schedule(2_000 * MS, Event::GcTick);
+        let faults: Vec<_> = self.cfg.faults.events.clone();
+        for f in faults {
+            self.queue.schedule_at(f.at_ms * MS, Event::Fault(f.kind));
+        }
         while let Some((t, ev)) = self.queue.pop() {
             if t >= self.end_time {
                 break;
@@ -311,6 +391,26 @@ impl<'w> Sim<'w> {
             report.certifier_aborts += s.certifier_aborts;
             report.early_aborts += s.early_aborts_statement + s.early_aborts_refresh;
         }
+        report.faults_injected = self.n_faults;
+        report.certifier_crashes = self.n_cert_crashes;
+        report.replica_crashes = self.n_replica_crashes;
+        report.refreshes_dropped = self.n_refreshes_dropped;
+        report.resyncs = self.n_resyncs;
+        if self.cfg.check_consistency && !self.cfg.faults.is_empty() {
+            // The headline durability property: every acknowledged commit
+            // version must still be in the certifier's durable history.
+            let durable: HashSet<Version> = self
+                .certifier
+                .certified_since(Version::ZERO)
+                .expect("certifier log replays")
+                .into_iter()
+                .map(|r| r.commit_version)
+                .collect();
+            report.lost_acked_commits = self
+                .checker
+                .lost_acked_commits(|v| durable.contains(&v))
+                .len();
+        }
         report
     }
 
@@ -332,7 +432,10 @@ impl<'w> Sim<'w> {
         } else {
             0
         };
-        self.cfg.costs.net_latency_us + jitter + self.cfg.costs.transfer_cost(payload_bytes)
+        self.cfg.costs.net_latency_us
+            + jitter
+            + self.cfg.costs.transfer_cost(payload_bytes)
+            + self.net_extra_us
     }
 
     fn offer_replica(&mut self, replica: usize, lane: Lane, job: ReplicaJob, duration: SimTime) {
@@ -340,9 +443,17 @@ impl<'w> Sim<'w> {
             Lane::Worker => &mut self.replica_res[replica],
             Lane::Apply => &mut self.apply_res[replica],
         };
+        let epoch = self.replica_epoch[replica];
         if let Some((job, d)) = res.offer(job, duration) {
-            self.queue
-                .schedule(d, Event::ReplicaDone { replica, lane, job });
+            self.queue.schedule(
+                d,
+                Event::ReplicaDone {
+                    replica,
+                    lane,
+                    job,
+                    epoch,
+                },
+            );
         }
     }
 
@@ -351,9 +462,17 @@ impl<'w> Sim<'w> {
             Lane::Worker => &mut self.replica_res[replica],
             Lane::Apply => &mut self.apply_res[replica],
         };
+        let epoch = self.replica_epoch[replica];
         if let Some((job, d)) = res.complete() {
-            self.queue
-                .schedule(d, Event::ReplicaDone { replica, lane, job });
+            self.queue.schedule(
+                d,
+                Event::ReplicaDone {
+                    replica,
+                    lane,
+                    job,
+                    epoch,
+                },
+            );
         }
     }
 
@@ -415,11 +534,13 @@ impl<'w> Sim<'w> {
                 ProxyEvent::CommitApplied { version } => {
                     let d = self.net_delay(0);
                     let rid = self.proxies[replica].replica();
+                    let epoch = self.cert_epoch;
                     self.queue.schedule(
                         d,
                         Event::AppliedAtCertifier {
                             replica: rid,
                             version,
+                            epoch,
                         },
                     );
                 }
@@ -435,23 +556,81 @@ impl<'w> Sim<'w> {
         match ev {
             Event::ClientIssue { client } => self.on_client_issue(client),
             Event::ArriveAtReplica { routed } => self.on_arrive_at_replica(routed),
-            Event::ReplicaDone { replica, lane, job } => self.on_replica_done(replica, lane, job),
+            Event::ReplicaDone {
+                replica,
+                lane,
+                job,
+                epoch,
+            } => {
+                // A completion from a previous replica life: the crash wiped
+                // the work it describes. Drop it entirely (the crash also
+                // reset the resource's service accounting).
+                if epoch != self.replica_epoch[replica] {
+                    return;
+                }
+                self.on_replica_done(replica, lane, job);
+            }
             Event::ArriveAtCertifier { req } => {
+                if !self.cert_up {
+                    self.cert_inbox.push(req);
+                    return;
+                }
                 let cost = self.cfg.costs.certification_cost();
+                let epoch = self.cert_epoch;
                 if let Some((req, d)) = self.cert_res.offer(req, cost) {
-                    self.queue.schedule(d, Event::CertifierDone { req });
+                    self.queue.schedule(d, Event::CertifierDone { req, epoch });
                 }
             }
-            Event::CertifierDone { req } => self.on_certifier_done(req),
+            Event::CertifierDone { req, epoch } => {
+                // Crashed mid-service: the request's effects never happened
+                // (certification is atomic at completion). Park it for
+                // replay after recovery.
+                if epoch != self.cert_epoch {
+                    self.cert_inbox.push(req);
+                    return;
+                }
+                self.on_certifier_done(req);
+            }
             Event::DecisionAtReplica { replica, decision } => {
+                if !self.replica_up[replica] {
+                    // The origin crashed while the decision was in flight.
+                    // Its commit (if any) is in the durable history; the
+                    // restart resync will apply it as a refresh.
+                    return;
+                }
                 self.on_decision_at_replica(replica, decision);
             }
             Event::RefreshAtReplica { replica, refresh } => {
+                if !self.replica_up[replica] {
+                    self.n_refreshes_dropped += 1;
+                    return;
+                }
+                if self.drop_refreshes[replica] > 0 {
+                    self.drop_refreshes[replica] -= 1;
+                    self.n_refreshes_dropped += 1;
+                    // The gap stalls ordered application; schedule a resync
+                    // to repair it (modelling the prototype's gap-detection
+                    // timeout).
+                    self.queue
+                        .schedule(50 * MS, Event::ResyncReplica { replica });
+                    return;
+                }
                 let cost = self.cfg.costs.refresh_cost(replica, &refresh.writeset);
                 let lane = self.apply_lane();
                 self.offer_replica(replica, lane, ReplicaJob::RefreshApply { refresh }, cost);
             }
-            Event::AppliedAtCertifier { replica, version } => {
+            Event::AppliedAtCertifier {
+                replica,
+                version,
+                epoch,
+            } => {
+                // Reports addressed to a crashed certifier life are lost;
+                // the recovery hello re-credits everything the replica has
+                // applied, so dropping is safe (and crediting twice would
+                // be too — the certifier's applied sets are idempotent).
+                if !self.cert_up || epoch != self.cert_epoch {
+                    return;
+                }
                 if let Some((origin, txn)) = self.certifier.on_commit_applied(replica, version) {
                     let d = self.net_delay(0);
                     self.queue.schedule(
@@ -464,14 +643,19 @@ impl<'w> Sim<'w> {
                 }
             }
             Event::GlobalCommitAtReplica { replica, txn } => {
-                let now = self.queue.now();
-                let outcome = self.proxies[replica]
-                    .on_global_commit(txn)
-                    .expect("awaiting global");
-                if let Some(track) = self.tracks.get_mut(&txn) {
-                    track.global_us = now.saturating_sub(track.local_commit_at);
+                if !self.replica_up[replica] {
+                    return;
                 }
-                self.send_outcome(outcome);
+                let now = self.queue.now();
+                // The origin may have crashed after local commit: the txn
+                // was converted to an ambiguous abort and is no longer
+                // awaiting the global ack. The notification is then moot.
+                if let Ok(outcome) = self.proxies[replica].on_global_commit(txn) {
+                    if let Some(track) = self.tracks.get_mut(&txn) {
+                        track.global_us = now.saturating_sub(track.local_commit_at);
+                    }
+                    self.send_outcome(outcome);
+                }
             }
             Event::OutcomeAtLb { outcome } => {
                 self.lb.on_outcome(&outcome);
@@ -498,6 +682,186 @@ impl<'w> Sim<'w> {
                 }
                 self.queue.schedule(2_000 * MS, Event::GcTick);
             }
+            Event::Fault(kind) => self.on_fault(kind),
+            Event::CertifierRestart => self.on_certifier_restart(),
+            Event::ReplicaRestart { replica } => self.on_replica_restart(replica),
+            Event::ResyncReplica { replica } => self.on_resync_replica(replica),
+            Event::NetCalm { extra_us } => {
+                self.net_extra_us = self.net_extra_us.saturating_sub(extra_us);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Faults and recovery
+    // ------------------------------------------------------------------
+
+    fn on_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::CertifierCrash { down_ms } => {
+                if !self.cert_up {
+                    return; // already down; crashing twice is a no-op
+                }
+                self.n_faults += 1;
+                self.n_cert_crashes += 1;
+                self.cert_up = false;
+                // Invalidate in-flight service completions and applied
+                // reports addressed to the dead process.
+                self.cert_epoch += 1;
+                // Requests queued or mid-service had no effects yet; they
+                // are retried against the recovered certifier (clients are
+                // still waiting on their decisions).
+                let parked = self.cert_res.drain();
+                self.cert_inbox.extend(parked);
+                self.checker.record_fault("certifier crash");
+                self.queue.schedule(down_ms * MS, Event::CertifierRestart);
+            }
+            FaultKind::ReplicaCrash { replica, down_ms } => {
+                if !self.replica_up[replica] {
+                    return;
+                }
+                self.n_faults += 1;
+                self.n_replica_crashes += 1;
+                self.replica_up[replica] = false;
+                self.replica_epoch[replica] += 1;
+                let rid = self.proxies[replica].replica();
+                self.lb.mark_down(rid);
+                self.checker
+                    .record_fault(format!("replica {replica} crash"));
+                // Wipe the CPU queues; their completion events carry the old
+                // epoch and will be discarded.
+                let _ = self.replica_res[replica].drain();
+                let _ = self.apply_res[replica].drain();
+                // In-flight transactions die with the process. The proxy
+                // reports them (including ambiguous aborts for transactions
+                // past local commit but awaiting the global ack) so clients
+                // unblock and the load balancer frees its slots.
+                for outcome in self.proxies[replica].crash() {
+                    if let Some(track) = self.tracks.get_mut(&outcome.txn) {
+                        track.aborted = true;
+                    }
+                    self.send_outcome(outcome);
+                }
+                self.queue
+                    .schedule(down_ms * MS, Event::ReplicaRestart { replica });
+            }
+            FaultKind::DropRefreshes { replica, count } => {
+                self.n_faults += 1;
+                self.drop_refreshes[replica] += count;
+                self.checker
+                    .record_fault(format!("drop {count} refreshes to replica {replica}"));
+            }
+            FaultKind::DelayNet {
+                extra_us,
+                duration_ms,
+            } => {
+                self.n_faults += 1;
+                self.net_extra_us += extra_us;
+                self.checker.record_fault("network slowdown");
+                self.queue
+                    .schedule(duration_ms * MS, Event::NetCalm { extra_us });
+            }
+        }
+    }
+
+    fn on_certifier_restart(&mut self) {
+        // Rebuild commit history, version counter, and eager bookkeeping
+        // from the durable log — the paper's recovery story: the certifier's
+        // WAL is the one durable commit history in the system.
+        let replayed = self.certifier.recover().expect("certifier log replays");
+        self.cert_up = true;
+        self.checker.record_fault("certifier restart");
+        // Eager: live replicas re-introduce themselves so the rebuilt
+        // (empty) applied sets re-credit everything already applied.
+        // Crediting is idempotent, so overlap with in-flight reports or a
+        // later replica-restart hello is harmless.
+        if self.cfg.mode == ConsistencyMode::Eager {
+            for r in 0..self.cfg.replicas {
+                if !self.replica_up[r] {
+                    continue;
+                }
+                let rid = self.proxies[r].replica();
+                let v = self.proxies[r].version();
+                for (origin, txn) in self.certifier.on_replica_hello(rid, v) {
+                    let d = self.net_delay(0);
+                    self.queue.schedule(
+                        d,
+                        Event::GlobalCommitAtReplica {
+                            replica: origin.index(),
+                            txn,
+                        },
+                    );
+                }
+            }
+        }
+        // Requests that survived the crash re-arrive once replay finishes
+        // (recovery time scales with log length).
+        let delay = self.cfg.costs.cert_recovery_cost(replayed);
+        for req in std::mem::take(&mut self.cert_inbox) {
+            self.queue.schedule(delay, Event::ArriveAtCertifier { req });
+        }
+    }
+
+    fn on_replica_restart(&mut self, replica: usize) {
+        self.replica_up[replica] = true;
+        self.replica_epoch[replica] += 1;
+        let rid = self.proxies[replica].replica();
+        // Routing to a still-recovering replica is safe — start
+        // requirements park transactions until it catches up — it only
+        // costs latency, never correctness.
+        self.lb.mark_up(rid);
+        self.checker
+            .record_fault(format!("replica {replica} restart"));
+        if self.cfg.mode == ConsistencyMode::Eager && self.cert_up {
+            let v = self.proxies[replica].version();
+            for (origin, txn) in self.certifier.on_replica_hello(rid, v) {
+                let d = self.net_delay(0);
+                self.queue.schedule(
+                    d,
+                    Event::GlobalCommitAtReplica {
+                        replica: origin.index(),
+                        txn,
+                    },
+                );
+            }
+        }
+        let delay = self.cfg.costs.replica_recovery_base_us;
+        self.queue.schedule(delay, Event::ResyncReplica { replica });
+    }
+
+    fn on_resync_replica(&mut self, replica: usize) {
+        if !self.replica_up[replica] {
+            return; // crashed again before the resync ran
+        }
+        if !self.cert_up {
+            // The certified history lives at the certifier; retry shortly.
+            self.queue
+                .schedule(5 * MS, Event::ResyncReplica { replica });
+            return;
+        }
+        self.n_resyncs += 1;
+        let after = self.proxies[replica].version();
+        let missed = self
+            .certifier
+            .certified_since(after)
+            .expect("certifier log replays");
+        // Re-enter the missed suffix into the ordered apply queue as
+        // refreshes. Duplicates (from refreshes still in flight) are
+        // ignored by the proxy's duplicate-refresh guard.
+        for rec in missed {
+            let d = self.net_delay(rec.writeset.payload_bytes());
+            self.queue.schedule(
+                d,
+                Event::RefreshAtReplica {
+                    replica,
+                    refresh: Refresh {
+                        origin: rec.origin,
+                        txn: rec.txn,
+                        commit_version: rec.commit_version,
+                        writeset: rec.writeset,
+                    },
+                },
+            );
         }
     }
 
@@ -512,7 +876,16 @@ impl<'w> Sim<'w> {
             params,
         };
         let session = ctx.session;
-        let routed = self.lb.route(request).expect("routing succeeds");
+        let routed = match self.lb.route(request) {
+            Ok(routed) => routed,
+            Err(_) => {
+                // Every replica is down. Back off and retry; nothing was
+                // recorded, so the checker holds no obligation for this
+                // attempt.
+                self.queue.schedule(10 * MS, Event::ClientIssue { client });
+                return;
+            }
+        };
         let n_stmts = self.stmt_is_update[&template].len();
         self.tracks.insert(
             routed.txn,
@@ -540,6 +913,36 @@ impl<'w> Sim<'w> {
         let now = self.queue.now();
         let replica = routed.replica.index();
         let txn = routed.txn;
+        if !self.replica_up[replica] {
+            // The target crashed while the transaction was in flight; the
+            // load balancer moves it to a live replica (same id, same start
+            // requirement).
+            match self.lb.reroute(&routed) {
+                Ok(moved) => {
+                    let d = self.net_delay(0);
+                    self.queue
+                        .schedule(d, Event::ArriveAtReplica { routed: moved });
+                }
+                Err(_) => {
+                    // No live replica at all: abort back to the client.
+                    if let Some(track) = self.tracks.get_mut(&txn) {
+                        track.aborted = true;
+                    }
+                    self.send_outcome(TxnOutcome {
+                        txn,
+                        client: routed.client,
+                        session: routed.session,
+                        replica: routed.replica,
+                        committed: false,
+                        commit_version: None,
+                        observed_version: Version::ZERO,
+                        tables_written: Vec::new(),
+                        abort_reason: Some("no replica available".to_owned()),
+                    });
+                }
+            }
+            return;
+        }
         if let Some(track) = self.tracks.get_mut(&txn) {
             track.arrived_at = now;
         }
@@ -608,10 +1011,17 @@ impl<'w> Sim<'w> {
                 Err(e) => panic!("read-only commit failed: {e}"),
             },
             ReplicaJob::Decision { decision } => {
-                let events = self.proxies[replica]
-                    .on_decision(decision)
-                    .expect("decision applies");
-                self.handle_proxy_events(replica, events);
+                match self.proxies[replica].on_decision(decision) {
+                    Ok(events) => self.handle_proxy_events(replica, events),
+                    Err(_) => {
+                        // The replica crashed and restarted while its own
+                        // certification was in flight: the transaction's
+                        // state died in the crash, but its commit version is
+                        // in the durable history. Resync fills the gap so
+                        // ordered application can proceed.
+                        self.queue.schedule(MS, Event::ResyncReplica { replica });
+                    }
+                }
             }
             ReplicaJob::RefreshApply { refresh } => {
                 let events = self.proxies[replica]
@@ -663,8 +1073,9 @@ impl<'w> Sim<'w> {
                 },
             );
         }
+        let epoch = self.cert_epoch;
         if let Some((req, d)) = self.cert_res.complete() {
-            self.queue.schedule(d, Event::CertifierDone { req });
+            self.queue.schedule(d, Event::CertifierDone { req, epoch });
         }
     }
 
@@ -685,10 +1096,11 @@ impl<'w> Sim<'w> {
                     track.decision_at = now;
                     track.certify_us = now.saturating_sub(track.queries_done_at);
                 }
-                let events = self.proxies[replica]
-                    .on_decision(decision)
-                    .expect("abort applies");
-                self.handle_proxy_events(replica, events);
+                // The transaction may have been lost to a crash-restart
+                // while the abort was in flight; it is already reported.
+                if let Ok(events) = self.proxies[replica].on_decision(decision) {
+                    self.handle_proxy_events(replica, events);
+                }
             }
         }
     }

@@ -26,6 +26,7 @@ fn main() {
         ClusterConfig {
             replicas: 3,
             mode: ConsistencyMode::LazyFine,
+            ..ClusterConfig::default()
         },
         move |e| install.install(e),
     ));

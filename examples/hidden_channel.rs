@@ -19,7 +19,11 @@ use std::sync::mpsc;
 const ROUNDS: i64 = 200;
 
 fn run(mode: ConsistencyMode) -> usize {
-    let cluster = Cluster::start(ClusterConfig { replicas: 4, mode });
+    let cluster = Cluster::start(ClusterConfig {
+        replicas: 4,
+        mode,
+        ..ClusterConfig::default()
+    });
     cluster
         .execute_ddl("CREATE TABLE trades (id INT PRIMARY KEY, shares INT NOT NULL)")
         .unwrap();

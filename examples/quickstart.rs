@@ -12,6 +12,7 @@ fn main() -> bargain::common::Result<()> {
     let cluster = Cluster::start(ClusterConfig {
         replicas: 3,
         mode: ConsistencyMode::LazyFine,
+        ..ClusterConfig::default()
     });
     cluster.execute_ddl(
         "CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT NOT NULL, balance INT NOT NULL)",

@@ -26,7 +26,11 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(ConsistencyMode::LazyFine);
 
-    let cluster = Cluster::start(ClusterConfig { replicas, mode });
+    let cluster = Cluster::start(ClusterConfig {
+        replicas,
+        mode,
+        ..ClusterConfig::default()
+    });
     let mut session = cluster.connect();
     println!(
         "bargain sql shell — {replicas} replicas, {mode} consistency\n\

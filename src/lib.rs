@@ -32,6 +32,7 @@
 //! let cluster = Cluster::start(ClusterConfig {
 //!     replicas: 3,
 //!     mode: ConsistencyMode::LazyFine,
+//!     ..ClusterConfig::default()
 //! });
 //! cluster
 //!     .execute_ddl("CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)")

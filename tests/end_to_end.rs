@@ -96,6 +96,7 @@ fn cluster_and_simulator_agree_on_semantics() {
     let cluster = Cluster::start(ClusterConfig {
         replicas: 3,
         mode: ConsistencyMode::LazyCoarse,
+        ..ClusterConfig::default()
     });
     cluster
         .execute_ddl("CREATE TABLE t (id INT PRIMARY KEY, v INT NOT NULL)")
@@ -135,6 +136,7 @@ fn certification_conflicts_surface_and_preserve_integrity() {
     let cluster = Arc::new(Cluster::start(ClusterConfig {
         replicas: 3,
         mode: ConsistencyMode::LazyFine,
+        ..ClusterConfig::default()
     }));
     cluster
         .execute_ddl("CREATE TABLE counter (id INT PRIMARY KEY, n INT NOT NULL)")

@@ -1,0 +1,65 @@
+//! Headline acceptance test for the fault-injection subsystem (tier-1).
+//!
+//! A simulation with a `FaultPlan` that crashes the certifier once and each
+//! replica once must, in every consistency mode:
+//!
+//! - complete and keep committing transactions,
+//! - report **zero** violations of the mode's claimed guarantee
+//!   (strong for eager/coarse/fine, session for session mode),
+//! - lose **zero** acknowledged commits (every acked commit version is
+//!   still in the certifier's durable history after all recoveries).
+
+use bargain_common::ConsistencyMode;
+use bargain_sim::{simulate, FaultPlan, SimConfig};
+use bargain_workloads::MicroBenchmark;
+
+#[test]
+fn crash_certifier_and_every_replica_no_mode_breaks_its_guarantee() {
+    let workload = MicroBenchmark {
+        rows_per_table: 200,
+        update_ratio: 0.5,
+        ..MicroBenchmark::default()
+    };
+    let replicas = 3;
+    // Certifier down at 500ms, then replicas 0..3 at 800/1100/1400ms, each
+    // for 80ms — every recovery overlaps live load.
+    let plan = FaultPlan::certifier_and_each_replica_once(replicas, 500, 300, 80);
+    for mode in [
+        ConsistencyMode::Eager,
+        ConsistencyMode::LazyCoarse,
+        ConsistencyMode::LazyFine,
+        ConsistencyMode::Session,
+    ] {
+        let cfg = SimConfig {
+            mode,
+            replicas,
+            clients: 12,
+            seed: 11,
+            warmup_ms: 300,
+            measure_ms: 1_700,
+            check_consistency: true,
+            faults: plan.clone(),
+            ..SimConfig::default()
+        };
+        let r = simulate(&workload, &cfg);
+        assert_eq!(r.certifier_crashes, 1, "{mode}: certifier crash injected");
+        assert_eq!(
+            r.replica_crashes, replicas as u64,
+            "{mode}: every replica crashed once"
+        );
+        assert!(r.resyncs >= replicas as u64, "{mode}: each restart resyncs");
+        assert!(
+            r.committed > 50,
+            "{mode}: cluster kept committing through the faults ({} commits)",
+            r.committed
+        );
+        assert_eq!(
+            r.violations, 0,
+            "{mode}: fault schedule broke the mode's consistency guarantee"
+        );
+        assert_eq!(
+            r.lost_acked_commits, 0,
+            "{mode}: an acknowledged commit vanished from the durable history"
+        );
+    }
+}

@@ -116,6 +116,7 @@ fn crashed_replica_rebuilds_from_certified_history() {
         log.append(&bargain::core::LogRecord {
             commit_version,
             txn: TxnId(i),
+            origin: ReplicaId(0),
             writeset: w,
         })
         .unwrap();
@@ -140,23 +141,37 @@ fn crashed_replica_rebuilds_from_certified_history() {
 }
 
 #[test]
-fn eager_counters_survive_being_behind_recovery() {
-    // Global-commit accounting is soft state: after recovery the certifier
-    // simply has no pending counters, and replicas' later Applied reports
-    // for already-recovered versions are ignored rather than crashing.
+fn eager_counters_rebuild_conservatively_on_recovery() {
+    // Global-commit accounting is rebuilt from the log with zero applied
+    // credits: recovery cannot know which replicas already applied a
+    // version, so each surviving replica re-reports its V_local (a
+    // "hello"), and origins must tolerate duplicate global-commit
+    // notifications.
     let mut certifier = Certifier::new(vec![ReplicaId(0), ReplicaId(1)]);
     certifier.set_eager(true);
     let (d, _) = certifier.certify(req(1, Version::ZERO, ws(1, 1))).unwrap();
     let CertifyDecision::Commit { commit_version, .. } = d else {
         panic!("expected commit");
     };
-    certifier.recover().unwrap();
+    // Both replicas applied v1 and the global commit completed pre-crash.
     assert_eq!(
         certifier.on_commit_applied(ReplicaId(0), commit_version),
         None
     );
     assert_eq!(
         certifier.on_commit_applied(ReplicaId(1), commit_version),
-        None
+        Some((ReplicaId(0), TxnId(1)))
+    );
+    // Crash + recovery: the pending counter is rebuilt at zero credits.
+    certifier.recover().unwrap();
+    // Hellos from the (already current) replicas re-complete it; the
+    // duplicate notification for the origin is re-issued and the origin's
+    // proxy drops it.
+    assert!(certifier
+        .on_replica_hello(ReplicaId(0), commit_version)
+        .is_empty());
+    assert_eq!(
+        certifier.on_replica_hello(ReplicaId(1), commit_version),
+        vec![(ReplicaId(0), TxnId(1))]
     );
 }

@@ -1,0 +1,173 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`black_box`],
+//! [`criterion_group!`], [`criterion_main!`] — with a deliberately simple
+//! measurement loop: warm up briefly, run a fixed wall-clock window, report
+//! mean ns/iter. No statistics, plots, or baselines; when crates.io access
+//! exists, pointing the workspace dependency back at real criterion
+//! restores all of that without touching the benches.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one routine call
+/// per setup call regardless, so the variants only affect intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// Measures one benchmark's routine.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget,
+        }
+    }
+
+    /// Times repeated calls of `routine` until the measurement budget is
+    /// spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: a few unmeasured calls.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            black_box(routine());
+            self.iters_done += 1;
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+        }
+    }
+}
+
+/// The benchmark driver handed to every `fn bench_x(c: &mut Criterion)`.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short by default: these benches exist for relative regression
+            // checks, not publication-grade statistics.
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the wall-clock measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does not subsample.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.measurement);
+        f(&mut b);
+        if b.iters_done > 0 {
+            let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+            println!(
+                "{id:<48} {ns_per_iter:>14.1} ns/iter  ({} iters)",
+                b.iters_done
+            );
+        } else {
+            println!("{id:<48} (no iterations ran)");
+        }
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, f1, f2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("stub/self_test", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_and_routine() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("stub/batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,727 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of proptest's API this workspace uses — the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, [`prop_oneof!`],
+//! `collection::vec`, `option::of`, `any::<T>()`, `Just`, range strategies,
+//! tuple strategies, and regex-literal string strategies — on top of a
+//! seeded RNG. Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimized counterexample.
+//! - **Deterministic.** Each property derives its seed from the test name
+//!   (override with `PROPTEST_SEED`), so failures reproduce exactly.
+//! - The string "regex" strategies support the subset actually used in this
+//!   workspace's tests: `.`, character classes `[a-z0-9_ -~]`, literals,
+//!   and `{m,n}` / `{n}` / `*` / `+` quantifiers.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG handed to strategies; a named alias so the macro-generated
+    /// code reads like real proptest.
+    pub type TestRng = SmallRng;
+
+    /// Generates values of `Self::Value` from random bits.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T, S: Strategy<Value = T> + ?Sized> Strategy for &S {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+
+    /// Weighted union of type-erased strategies; built by [`prop_oneof!`].
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `arms` is empty or all weights are 0.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= *w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    /// `Strategy` for string-regex literals: the subset of regex used in
+    /// this workspace's tests (see crate docs).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(pattern);
+        let mut out = String::new();
+        for (atom, min, max) in atoms {
+            let n = if min == max {
+                min
+            } else {
+                rng.gen_range(min..=max)
+            };
+            for _ in 0..n {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+
+    enum Atom {
+        /// `.` — any printable char (ASCII plus a few multibyte samples so
+        /// parsers meet non-ASCII input).
+        Any,
+        /// A character class `[...]`.
+        Class(Vec<(char, char)>),
+        /// A literal character.
+        Lit(char),
+    }
+
+    impl Atom {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            match self {
+                Atom::Any => {
+                    const EXTRA: [char; 8] = ['é', 'λ', '→', '崎', '🦀', '\t', '"', '\\'];
+                    if rng.gen_bool(0.9) {
+                        rng.gen_range(0x20u32..0x7F) as u8 as char
+                    } else {
+                        EXTRA[rng.gen_range(0..EXTRA.len())]
+                    }
+                }
+                Atom::Class(ranges) => {
+                    // Uniform over the union of ranges by width.
+                    let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                    let mut pick = rng.gen_range(0..total);
+                    for (a, b) in ranges {
+                        let w = *b as u32 - *a as u32 + 1;
+                        if pick < w {
+                            return char::from_u32(*a as u32 + pick).unwrap_or(*a);
+                        }
+                        pick -= w;
+                    }
+                    unreachable!()
+                }
+                Atom::Lit(c) => *c,
+            }
+        }
+    }
+
+    /// Parses a pattern into `(atom, min_reps, max_reps)` triples.
+    fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            let hi = chars[i + 1];
+                            i += 2;
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    i += 1; // consume ']'
+                    assert!(
+                        !ranges.is_empty(),
+                        "empty char class in pattern {pattern:?}"
+                    );
+                    Atom::Class(ranges)
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    Atom::Lit(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .expect("unclosed quantifier")
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("quantifier min"),
+                                hi.trim().parse().expect("quantifier max"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("quantifier count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            out.push((atom, min, max));
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for primitive types.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for this type.
+        fn arbitrary() -> ArbStrategy<Self>;
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct ArbStrategy<T> {
+        gen_fn: fn(&mut TestRng) -> T,
+    }
+
+    impl<T> Strategy for ArbStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen_fn)(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`, like proptest's `any::<T>()`.
+    pub fn any<T: Arbitrary>() -> ArbStrategy<T> {
+        T::arbitrary()
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> ArbStrategy<$t> {
+                    ArbStrategy {
+                        // Mix of extremes and uniform draws: edge values
+                        // surface off-by-one bugs much sooner than uniform
+                        // sampling alone.
+                        gen_fn: |rng| match rng.gen_range(0..10u32) {
+                            0 => 0 as $t,
+                            1 => <$t>::MAX,
+                            2 => <$t>::MIN,
+                            3 => 1 as $t,
+                            _ => rng.next_u64() as $t,
+                        },
+                    }
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> ArbStrategy<bool> {
+            ArbStrategy {
+                gen_fn: |rng| rng.gen_bool(0.5),
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary() -> ArbStrategy<f64> {
+            ArbStrategy {
+                gen_fn: |rng| match rng.gen_range(0..8u32) {
+                    0 => 0.0,
+                    1 => -1.5,
+                    2 => f64::MAX,
+                    _ => rng.gen_range(-1.0e9..1.0e9),
+                },
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: a fixed length or a half-open range.
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        inner: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `inner` and whose length
+    /// is drawn from `size` (`usize` or `Range<usize>`).
+    pub fn vec<S: Strategy>(inner: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            inner,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_excl);
+            (0..len).map(|_| self.inner.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`: `None` a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner`'s values in `Some` 75% of the time, `None` otherwise
+    /// (matching real proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-property execution loop.
+
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Configuration for one property: how many cases to run.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Runs a property's cases with a deterministic per-test RNG.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Creates a runner whose seed derives from the test name, so every
+        /// run of the same test generates the same cases. Set
+        /// `PROPTEST_SEED` to explore a different stream.
+        pub fn new(config: ProptestConfig, name: &'static str) -> TestRunner {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    // FNV-1a over the test name.
+                    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+                    })
+                });
+            TestRunner { config, seed, name }
+        }
+
+        /// Runs `body` once per case. Assertion failures panic immediately
+        /// (no shrinking); the panic message carries the case number so the
+        /// failure can be replayed.
+        pub fn run(&mut self, mut body: impl FnMut(&mut TestRng)) {
+            for case in 0..self.config.cases {
+                let mut rng = TestRng::seed_from_u64(self.seed.wrapping_add(case as u64));
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest: property {} failed at case {}/{} (seed {})",
+                        self.name, case, self.config.cases, self.seed
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a proptest file conventionally imports.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Like `assert!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the case when the assumption fails. Without shrinking there is
+/// nothing to bias, so this simply returns from the case body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Weighted (or unweighted) union of strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// The property-test macro: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let mut __runner =
+                $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            __runner.run(|__rng| {
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), __rng);
+                )+
+                $body
+            });
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Get(i64),
+        Put(i64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            2 => (0..100i64).prop_map(Op::Get),
+            1 => (0..100i64).prop_map(Op::Put),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn ranges_in_bounds(x in 0..10u32, y in -5..=5i64) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        fn vec_sizes(v in crate::collection::vec(0..100u8, 3..9)) {
+            prop_assert!((3..9).contains(&v.len()));
+        }
+
+        fn regex_identifier(s in "[a-z][a-z0-9_]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+
+        fn oneof_and_tuple(op in op_strategy(), pair in (0..3u32, 10..20i64)) {
+            match op {
+                Op::Get(k) | Op::Put(k) => prop_assert!((0..100).contains(&k)),
+            }
+            prop_assert!(pair.0 < 3 && (10..20).contains(&pair.1));
+        }
+
+        fn options_appear(xs in crate::collection::vec(crate::option::of(0..5u8), 0..6)) {
+            for x in xs.iter().flatten() {
+                prop_assert!(*x < 5);
+            }
+        }
+
+        fn any_works(b in any::<bool>(), n in any::<u8>(), i in any::<i64>()) {
+            let _ = (b, n, i);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_cases() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{ProptestConfig, TestRunner};
+        let collect = || {
+            let mut out = Vec::new();
+            let mut r = TestRunner::new(ProptestConfig::with_cases(16), "stable_name");
+            r.run(|rng| out.push((0..1000u32).generate(rng)));
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

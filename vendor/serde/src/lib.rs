@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! Nothing in this workspace serializes yet; when a real wire format is
+//! needed, point the workspace dependency back at crates.io serde — the
+//! annotations are already in place.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
