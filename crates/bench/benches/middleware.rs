@@ -140,7 +140,7 @@ fn bench_proxy_refresh_path(c: &mut Criterion) {
                     origin: ReplicaId(1),
                     txn: TxnId(v),
                     commit_version: Version(v),
-                    writeset: ws((v % 1_000) as i64 + 1),
+                    writeset: Arc::new(ws((v % 1_000) as i64 + 1)),
                 })
                 .unwrap();
             black_box(events.len())

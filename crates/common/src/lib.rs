@@ -24,4 +24,4 @@ pub use error::{Error, Result};
 pub use ids::{ClientId, ReplicaId, SessionId, TableId, TemplateId, TxnId, Version};
 pub use tableset::TableSet;
 pub use value::{Row, Value};
-pub use writeset::{CertifiedWriteSet, WriteOp, WriteSet, WriteSetEntry};
+pub use writeset::{CertifiedWriteSet, KeySet, WriteOp, WriteSet, WriteSetEntry};

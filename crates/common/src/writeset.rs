@@ -17,7 +17,7 @@
 use crate::ids::{TableId, Version};
 use crate::value::{Row, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// The operation a writeset entry performs on its row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -139,6 +139,38 @@ impl WriteSet {
             .any(|e| keys.contains(&(e.table, &e.key)))
     }
 
+    /// A hashed view of the rows this writeset touches, built once and
+    /// probed many times.
+    ///
+    /// [`WriteSet::conflicts_with`] hashes one side on *every* call, which
+    /// is wasteful when the same writeset is checked repeatedly — the
+    /// proxy's early-certification path probes each pending refresh
+    /// writeset after every update statement. Callers on such paths build
+    /// the [`KeySet`] once and use [`WriteSet::conflicts_with_keys`].
+    #[must_use]
+    pub fn key_set(&self) -> KeySet {
+        let mut keys: HashMap<TableId, HashSet<Value>> = HashMap::new();
+        for e in &self.entries {
+            keys.entry(e.table).or_default().insert(e.key.clone());
+        }
+        KeySet {
+            len: self.entries.len(),
+            keys,
+        }
+    }
+
+    /// Returns `true` if this writeset write-conflicts with the writeset
+    /// summarized by `keys` (see [`WriteSet::key_set`]). Equivalent to
+    /// [`WriteSet::conflicts_with`] against the originating writeset, but
+    /// with no per-call hashing.
+    #[must_use]
+    pub fn conflicts_with_keys(&self, keys: &KeySet) -> bool {
+        if keys.is_empty() {
+            return false;
+        }
+        self.entries.iter().any(|e| keys.contains(e.table, &e.key))
+    }
+
     /// The set of distinct tables this writeset touches, sorted.
     #[must_use]
     pub fn tables(&self) -> Vec<TableId> {
@@ -180,6 +212,37 @@ impl WriteSet {
                     }
             })
             .sum()
+    }
+}
+
+/// The hashed row keys of one writeset (see [`WriteSet::key_set`]).
+///
+/// Owns clones of the key values so it can outlive borrows of the source
+/// writeset — the proxy stores one per pending refresh for the lifetime of
+/// the refresh's stay in the ordered apply queue.
+#[derive(Debug, Clone, Default)]
+pub struct KeySet {
+    len: usize,
+    keys: HashMap<TableId, HashSet<Value>>,
+}
+
+impl KeySet {
+    /// Whether the originating writeset wrote the given row.
+    #[must_use]
+    pub fn contains(&self, table: TableId, key: &Value) -> bool {
+        self.keys.get(&table).is_some_and(|s| s.contains(key))
+    }
+
+    /// Number of distinct rows in the originating writeset.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the originating writeset was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 

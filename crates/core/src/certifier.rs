@@ -15,11 +15,29 @@
 //! For the eager configuration it additionally keeps a per-transaction
 //! counter of replica commits and reports *global commit* once every
 //! replica has applied the transaction.
+//!
+//! # The fast path
+//!
+//! Certification is served from a *row-version index*: for every row written
+//! by a retained history entry, the index records the newest commit version
+//! that wrote it. A certify request then probes O(|writeset|) rows instead
+//! of scanning the history — the decision is independent of history depth.
+//! The retained history itself ([`HistoryEntry`]) keeps each committed
+//! writeset behind an [`Arc`], shared with the [`LogRecord`] handed to the
+//! log and with every [`Refresh`] fanned out, so a commit never deep-copies
+//! its writeset. [`Certifier::certify_batch`] certifies a whole batch of
+//! requests against this state and makes all resulting decisions durable
+//! with a single [`CommitLog::append_batch`] (group commit: one fsync per
+//! batch).
+//!
+//! The pre-index linear scan survives as [`Certifier::conflict_linear`], a
+//! reference oracle the indexed path is checked against in debug builds.
 
 use crate::messages::{CertifyDecision, CertifyRequest, Refresh};
 use crate::wal::{CommitLog, LogRecord, MemoryLog};
-use bargain_common::{ReplicaId, Result, TxnId, Version, WriteSet};
+use bargain_common::{ReplicaId, Result, TableId, TxnId, Value, Version, WriteSet};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Counters the certifier maintains.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,6 +62,16 @@ struct EagerState {
     applied: Vec<ReplicaId>,
 }
 
+/// One retained committed transaction. `history[i]` committed at version
+/// `history_floor + i + 1`; keeping the transaction id and origin alongside
+/// the writeset lets [`Certifier::certified_since`] serve recent suffixes
+/// straight from memory without replaying the log.
+struct HistoryEntry {
+    txn: TxnId,
+    origin: ReplicaId,
+    writeset: Arc<WriteSet>,
+}
+
 /// The certifier state machine. One logical instance per cluster (the paper
 /// notes it is lightweight and deterministic, hence replicable with the
 /// state-machine approach for availability; we model the single logical
@@ -51,11 +79,15 @@ struct EagerState {
 pub struct Certifier {
     replicas: Vec<ReplicaId>,
     v_commit: Version,
-    /// Committed writesets newer than `history_floor`, oldest first, for
-    /// conflict checking. `history[i]` committed at version
-    /// `history_floor + i + 1`.
-    history: VecDeque<WriteSet>,
+    /// Committed transactions newer than `history_floor`, oldest first.
+    history: VecDeque<HistoryEntry>,
     history_floor: Version,
+    /// Last-writer index over the retained history: for every row written by
+    /// some retained entry, the newest commit version that wrote it. A
+    /// request conflicts iff one of its rows has a last writer above its
+    /// snapshot. Kept exact under [`Certifier::prune`] and
+    /// [`Certifier::recover`].
+    row_index: HashMap<TableId, HashMap<Value, Version>>,
     log: Box<dyn CommitLog>,
     /// Eager-mode accounting: commit version → replicas applied so far.
     eager_pending: HashMap<Version, EagerState>,
@@ -78,6 +110,7 @@ impl Certifier {
             v_commit: Version::ZERO,
             history: VecDeque::new(),
             history_floor: Version::ZERO,
+            row_index: HashMap::new(),
             log,
             eager_pending: HashMap::new(),
             eager_enabled: false,
@@ -112,8 +145,53 @@ impl Certifier {
     ///
     /// On commit, the decision is made durable, the version counter
     /// advances, and a [`Refresh`] is produced for every replica except the
-    /// originating one.
+    /// originating one. Equivalent to a one-element
+    /// [`Self::certify_batch`].
     pub fn certify(&mut self, req: CertifyRequest) -> Result<(CertifyDecision, Vec<Refresh>)> {
+        let mut results = self.certify_batch(vec![req])?;
+        Ok(results.pop().expect("one request in, one result out"))
+    }
+
+    /// Certifies a batch of update transactions in order, with one
+    /// durability point for the whole batch (group commit).
+    ///
+    /// Requests are certified sequentially against the certifier's state —
+    /// a later request in the batch sees the commits of earlier ones, so the
+    /// decisions are identical to certifying the requests one by one. The
+    /// log records of every commit in the batch are then appended with a
+    /// single [`CommitLog::append_batch`] (one fsync) *before* any decision
+    /// is returned, preserving the rule that a decision is durable before it
+    /// is announced.
+    ///
+    /// If a request fails validation mid-batch, the records buffered so far
+    /// are flushed before the error is returned, so no already-made commit
+    /// decision is ever lost.
+    pub fn certify_batch(
+        &mut self,
+        reqs: Vec<CertifyRequest>,
+    ) -> Result<Vec<(CertifyDecision, Vec<Refresh>)>> {
+        let mut to_log: Vec<LogRecord> = Vec::new();
+        let mut out = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            match self.certify_one(req, &mut to_log) {
+                Ok(result) => out.push(result),
+                Err(e) => {
+                    self.log.append_batch(&to_log)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.log.append_batch(&to_log)?;
+        Ok(out)
+    }
+
+    /// Certifies one request against in-memory state, buffering the log
+    /// record of a commit into `to_log` (durability happens at batch end).
+    fn certify_one(
+        &mut self,
+        req: CertifyRequest,
+        to_log: &mut Vec<LogRecord>,
+    ) -> Result<(CertifyDecision, Vec<Refresh>)> {
         debug_assert!(
             !req.writeset.is_empty(),
             "read-only transactions commit locally and never reach the certifier"
@@ -131,31 +209,47 @@ impl Certifier {
                 req.snapshot, self.history_floor
             )));
         }
-        // Check against every writeset committed after the snapshot.
-        let first_idx = req.snapshot.gap_from(self.history_floor) as usize;
-        for (i, committed) in self.history.iter().enumerate().skip(first_idx) {
-            if committed.conflicts_with(&req.writeset) {
-                self.stats.aborts += 1;
-                let conflicting_version = Version(self.history_floor.0 + i as u64 + 1);
-                return Ok((
-                    CertifyDecision::Abort {
-                        txn: req.txn,
-                        conflicting_version,
-                    },
-                    Vec::new(),
-                ));
-            }
+        // Probe the last writer of every row in the writeset. The newest
+        // last-writer above the snapshot is exactly the newest conflicting
+        // committed version.
+        let conflict = self.conflict_indexed(req.snapshot, &req.writeset);
+        debug_assert_eq!(
+            conflict,
+            self.conflict_linear(req.snapshot, &req.writeset),
+            "row index diverged from the linear-scan oracle"
+        );
+        if let Some(conflicting_version) = conflict {
+            self.stats.aborts += 1;
+            return Ok((
+                CertifyDecision::Abort {
+                    txn: req.txn,
+                    conflicting_version,
+                },
+                Vec::new(),
+            ));
         }
-        // Commit: make durable, advance, fan out.
+        // Commit: buffer the durable record, advance, index, fan out. The
+        // writeset is shared by log record, history, and every refresh.
         let commit_version = self.v_commit.next();
-        self.log.append(&LogRecord {
+        let writeset = Arc::new(req.writeset);
+        to_log.push(LogRecord {
             commit_version,
             txn: req.txn,
             origin: req.replica,
-            writeset: req.writeset.clone(),
-        })?;
+            writeset: Arc::clone(&writeset),
+        });
         self.v_commit = commit_version;
-        self.history.push_back(req.writeset.clone());
+        for entry in writeset.entries() {
+            self.row_index
+                .entry(entry.table)
+                .or_default()
+                .insert(entry.key.clone(), commit_version);
+        }
+        self.history.push_back(HistoryEntry {
+            txn: req.txn,
+            origin: req.replica,
+            writeset: Arc::clone(&writeset),
+        });
         if self.eager_enabled {
             self.eager_pending.insert(
                 commit_version,
@@ -174,7 +268,7 @@ impl Certifier {
                 origin: req.replica,
                 txn: req.txn,
                 commit_version,
-                writeset: req.writeset.clone(),
+                writeset: Arc::clone(&writeset),
             })
             .collect();
         Ok((
@@ -184,6 +278,40 @@ impl Certifier {
             },
             refreshes,
         ))
+    }
+
+    /// Indexed conflict check: the newest commit version above `snapshot`
+    /// that wrote a row `writeset` also writes, or `None` if no conflict.
+    fn conflict_indexed(&self, snapshot: Version, writeset: &WriteSet) -> Option<Version> {
+        let mut newest: Option<Version> = None;
+        for entry in writeset.entries() {
+            if let Some(&last_writer) = self
+                .row_index
+                .get(&entry.table)
+                .and_then(|rows| rows.get(&entry.key))
+            {
+                if last_writer > snapshot && newest.is_none_or(|n| last_writer > n) {
+                    newest = Some(last_writer);
+                }
+            }
+        }
+        newest
+    }
+
+    /// Reference oracle: the pre-index linear history scan, newest-first.
+    /// Returns the newest conflicting committed version above `snapshot`,
+    /// identically to the indexed path (the indexed path is
+    /// `debug_assert`ed against this on every certification). Kept public
+    /// for differential testing.
+    #[must_use]
+    pub fn conflict_linear(&self, snapshot: Version, writeset: &WriteSet) -> Option<Version> {
+        let first_idx = snapshot.gap_from(self.history_floor) as usize;
+        for (i, entry) in self.history.iter().enumerate().skip(first_idx).rev() {
+            if entry.writeset.conflicts_with(writeset) {
+                return Some(Version(self.history_floor.0 + i as u64 + 1));
+            }
+        }
+        None
     }
 
     /// The replicas a given refresh fan-out targets, in replica order
@@ -223,13 +351,30 @@ impl Certifier {
     /// Prunes conflict-check history below `floor` (exclusive): safe once
     /// every replica's `V_local` — and hence every possible snapshot — is at
     /// least `floor`.
+    ///
+    /// The row index stays exact: a pruned entry's rows are evicted only
+    /// where that entry is still the row's last writer (a newer retained
+    /// entry that rewrote the row keeps its newer version in the index).
     pub fn prune(&mut self, floor: Version) {
+        let mut pruned_any = false;
         while self.history_floor < floor {
-            if self.history.pop_front().is_none() {
+            let Some(entry) = self.history.pop_front() else {
                 break;
-            }
+            };
             self.history_floor = self.history_floor.next();
+            let pruned_version = self.history_floor;
+            for row in entry.writeset.entries() {
+                if let Some(rows) = self.row_index.get_mut(&row.table) {
+                    if rows.get(&row.key) == Some(&pruned_version) {
+                        rows.remove(&row.key);
+                    }
+                }
+            }
+            pruned_any = true;
             self.stats.pruned += 1;
+        }
+        if pruned_any {
+            self.row_index.retain(|_, rows| !rows.is_empty());
         }
     }
 
@@ -247,6 +392,7 @@ impl Certifier {
         self.history.clear();
         self.history_floor = Version::ZERO;
         self.v_commit = Version::ZERO;
+        self.row_index.clear();
         self.eager_pending.clear();
         for rec in &records {
             if rec.commit_version != self.v_commit.next() {
@@ -256,7 +402,17 @@ impl Certifier {
                 )));
             }
             self.v_commit = rec.commit_version;
-            self.history.push_back(rec.writeset.clone());
+            for row in rec.writeset.entries() {
+                self.row_index
+                    .entry(row.table)
+                    .or_default()
+                    .insert(row.key.clone(), rec.commit_version);
+            }
+            self.history.push_back(HistoryEntry {
+                txn: rec.txn,
+                origin: rec.origin,
+                writeset: Arc::clone(&rec.writeset),
+            });
             if self.eager_enabled {
                 self.eager_pending.insert(
                     rec.commit_version,
@@ -276,7 +432,27 @@ impl Certifier {
     /// `V_local` calls this to fetch exactly the certified writesets it
     /// missed; a replica recovering from scratch passes
     /// [`Version::ZERO`].
+    ///
+    /// When the requested suffix is still within the retained history ring
+    /// (`after >= history_floor`, the common fast-recovery case) it is
+    /// served straight from memory — cheap `Arc` clones, no log I/O. Only a
+    /// deep recovery reaching below the pruned floor replays the log.
     pub fn certified_since(&mut self, after: Version) -> Result<Vec<LogRecord>> {
+        if after >= self.history_floor {
+            let skip = after.gap_from(self.history_floor) as usize;
+            return Ok(self
+                .history
+                .iter()
+                .enumerate()
+                .skip(skip)
+                .map(|(i, e)| LogRecord {
+                    commit_version: Version(self.history_floor.0 + i as u64 + 1),
+                    txn: e.txn,
+                    origin: e.origin,
+                    writeset: Arc::clone(&e.writeset),
+                })
+                .collect());
+        }
         let mut records = self.log.replay()?;
         records.retain(|r| r.commit_version > after);
         Ok(records)
@@ -400,6 +576,22 @@ mod tests {
     }
 
     #[test]
+    fn abort_reports_newest_conflicting_version() {
+        let mut c = Certifier::new(replicas(2));
+        c.certify(req(1, 0, 0, ws(0, 5))).unwrap(); // v1 writes row 5
+        c.certify(req(2, 0, 1, ws(0, 5))).unwrap(); // v2 rewrites row 5
+        c.certify(req(3, 0, 2, ws(0, 9))).unwrap(); // v3, unrelated row
+        let (d, _) = c.certify(req(4, 1, 0, ws(0, 5))).unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Abort {
+                txn: TxnId(4),
+                conflicting_version: Version(2)
+            }
+        );
+    }
+
+    #[test]
     fn no_conflict_when_snapshot_covers_commit() {
         let mut c = Certifier::new(replicas(2));
         c.certify(req(1, 0, 0, ws(0, 5))).unwrap(); // v1
@@ -422,6 +614,51 @@ mod tests {
     fn future_snapshot_is_protocol_error() {
         let mut c = Certifier::new(replicas(2));
         assert!(c.certify(req(1, 0, 7, ws(0, 1))).is_err());
+    }
+
+    #[test]
+    fn batch_matches_sequential_certification() {
+        let mut seq = Certifier::new(replicas(3));
+        let mut bat = Certifier::new(replicas(3));
+        let reqs = vec![
+            req(1, 0, 0, ws(0, 1)),
+            req(2, 1, 0, ws(0, 2)),
+            req(3, 2, 0, ws(0, 1)), // conflicts with the first *in-batch* commit
+            req(4, 0, 0, ws(1, 1)),
+        ];
+        let expected: Vec<_> = reqs
+            .iter()
+            .cloned()
+            .map(|r| seq.certify(r).unwrap())
+            .collect();
+        let got = bat.certify_batch(reqs).unwrap();
+        assert_eq!(expected, got);
+        assert_eq!(seq.version(), bat.version());
+        assert_eq!(seq.stats(), bat.stats());
+        // The in-batch conflict really aborted.
+        assert!(matches!(got[2].0, CertifyDecision::Abort { .. }));
+    }
+
+    #[test]
+    fn batch_error_preserves_earlier_decisions_durably() {
+        let mut c = Certifier::new(replicas(2));
+        let reqs = vec![
+            req(1, 0, 0, ws(0, 1)),
+            req(2, 0, 99, ws(0, 2)), // future snapshot: protocol error
+        ];
+        assert!(c.certify_batch(reqs).is_err());
+        // The first commit was flushed before the error surfaced.
+        assert_eq!(c.version(), Version(1));
+        let recs = c.certified_since(Version::ZERO).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].commit_version, Version(1));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut c = Certifier::new(replicas(2));
+        assert!(c.certify_batch(Vec::new()).unwrap().is_empty());
+        assert_eq!(c.version(), Version::ZERO);
     }
 
     #[test]
@@ -489,6 +726,28 @@ mod tests {
     }
 
     #[test]
+    fn prune_keeps_index_exact_for_rewritten_rows() {
+        let mut c = Certifier::new(replicas(2));
+        c.certify(req(1, 0, 0, ws(0, 7))).unwrap(); // v1 writes row 7
+        c.certify(req(2, 0, 1, ws(0, 7))).unwrap(); // v2 rewrites row 7
+                                                    // Pruning v1 must NOT evict row 7: its last writer is v2, which is
+                                                    // still retained.
+        c.prune(Version(1));
+        let (d, _) = c.certify(req(3, 1, 1, ws(0, 7))).unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Abort {
+                txn: TxnId(3),
+                conflicting_version: Version(2)
+            }
+        );
+        // Pruning v2 as well finally clears the row.
+        c.prune(Version(2));
+        let (d, _) = c.certify(req(4, 1, 2, ws(0, 7))).unwrap();
+        assert!(matches!(d, CertifyDecision::Commit { .. }));
+    }
+
+    #[test]
     fn recovery_replays_log() {
         let mut c = Certifier::new(replicas(2));
         c.certify(req(1, 0, 0, ws(0, 1))).unwrap();
@@ -515,6 +774,27 @@ mod tests {
         assert_eq!(missed[1].commit_version, Version(5));
         assert!(c.certified_since(Version(5)).unwrap().is_empty());
         assert_eq!(c.certified_since(Version::ZERO).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn certified_since_ring_and_log_paths_agree() {
+        let mut c = Certifier::new(replicas(2));
+        for i in 1..=6u64 {
+            c.certify(req(i, 0, i - 1, ws(0, i as i64))).unwrap();
+        }
+        c.prune(Version(3)); // floor = 3: history holds v4..v6
+                             // In-ring request: served from memory.
+        let ring = c.certified_since(Version(4)).unwrap();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring[0].commit_version, Version(5));
+        assert_eq!(ring[1].commit_version, Version(6));
+        // Below-floor request: falls back to log replay, still exact.
+        let deep = c.certified_since(Version(1)).unwrap();
+        assert_eq!(deep.len(), 5);
+        assert_eq!(deep[0].commit_version, Version(2));
+        assert_eq!(deep[4].commit_version, Version(6));
+        // The two paths produce identical records on the overlap.
+        assert_eq!(&deep[3..], &ring[..]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use bargain_common::{
     ClientId, ReplicaId, SessionId, TableId, TemplateId, TxnId, Value, Version, WriteSet,
 };
+use std::sync::Arc;
 
 /// A client's request to run one transaction (client → load balancer).
 ///
@@ -98,7 +99,9 @@ pub enum CertifyDecision {
     Abort {
         /// The transaction.
         txn: TxnId,
-        /// The version of the conflicting committed transaction.
+        /// The *newest* conflicting committed version: the highest commit
+        /// version above `snapshot` that wrote a row the aborted writeset
+        /// also writes.
         conflicting_version: Version,
     },
 }
@@ -113,8 +116,10 @@ pub struct Refresh {
     pub txn: TxnId,
     /// Global commit version; refreshes must be applied in this order.
     pub commit_version: Version,
-    /// The writes to install.
-    pub writeset: WriteSet,
+    /// The writes to install. Shared (not cloned) with the certifier's log
+    /// and history: fanning a commit out to N replicas costs N refcount
+    /// bumps, not N deep copies of the writeset.
+    pub writeset: Arc<WriteSet>,
 }
 
 /// Final outcome of a transaction (proxy → load balancer → client).

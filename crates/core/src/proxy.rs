@@ -31,8 +31,8 @@ use crate::messages::{
     CertifyDecision, CertifyRequest, Refresh, RoutedTxn, StartDecision, TxnOutcome,
 };
 use bargain_common::{
-    ClientId, ConsistencyMode, Error, ReplicaId, Result, SessionId, TemplateId, TxnId, Value,
-    Version, WriteSet,
+    ClientId, ConsistencyMode, Error, KeySet, ReplicaId, Result, SessionId, TemplateId, TxnId,
+    Value, Version, WriteSet,
 };
 use bargain_sql::{QueryResult, TransactionTemplate};
 use bargain_storage::{Engine, TxnHandle};
@@ -134,8 +134,17 @@ struct ActiveTxn {
 }
 
 enum PendingApply {
-    Refresh { writeset: WriteSet },
-    LocalCommit { txn: TxnId },
+    Refresh {
+        /// The certified writeset, shared with the certifier (no copy).
+        writeset: Arc<WriteSet>,
+        /// Hashed key view built once at arrival; the statement-time early
+        /// certification check probes this instead of rebuilding a hash set
+        /// of the refresh's keys on every update statement.
+        keys: KeySet,
+    },
+    LocalCommit {
+        txn: TxnId,
+    },
 }
 
 /// The per-replica proxy state machine, owning the local storage engine.
@@ -326,7 +335,7 @@ impl Proxy {
             // certified-but-not-yet-applied refresh writeset?
             let partial = self.engine.partial_writeset(handle)?;
             let conflicts = self.pending.values().any(|p| match p {
-                PendingApply::Refresh { writeset } => writeset.conflicts_with(partial),
+                PendingApply::Refresh { keys, .. } => partial.conflicts_with_keys(keys),
                 PendingApply::LocalCommit { .. } => false,
             });
             if conflicts {
@@ -425,7 +434,10 @@ impl Proxy {
         }
         // Early certification, arrival-time check: abort executing local
         // transactions whose partial writesets collide with this certified
-        // writeset.
+        // writeset. One hashed key view serves every probe (and is then
+        // retained for the statement-time checks while the refresh is
+        // pending).
+        let keys = refresh.writeset.key_set();
         let conflicting: Vec<TxnId> = if !self.early_certification {
             Vec::new()
         } else {
@@ -435,7 +447,7 @@ impl Proxy {
                 .filter(|(_, a)| {
                     self.engine
                         .partial_writeset(a.handle)
-                        .map(|ws| ws.conflicts_with(&refresh.writeset))
+                        .map(|ws| ws.conflicts_with_keys(&keys))
                         .unwrap_or(false)
                 })
                 .map(|(&txn, _)| txn)
@@ -451,6 +463,7 @@ impl Proxy {
             refresh.commit_version,
             PendingApply::Refresh {
                 writeset: refresh.writeset,
+                keys,
             },
         );
         events.extend(self.drain()?);
@@ -578,8 +591,8 @@ impl Proxy {
                 break;
             };
             match apply {
-                PendingApply::Refresh { writeset } => {
-                    self.engine.apply_refresh(&writeset, next)?;
+                PendingApply::Refresh { writeset, .. } => {
+                    self.engine.apply_refresh(writeset.as_ref(), next)?;
                     self.stats.refreshes_applied += 1;
                     if self.mode == ConsistencyMode::Eager {
                         events.push(ProxyEvent::CommitApplied { version: next });
@@ -714,7 +727,7 @@ mod tests {
             origin: ReplicaId(1),
             txn: TxnId(999),
             commit_version: Version(version),
-            writeset: ws,
+            writeset: Arc::new(ws),
         }
     }
 

@@ -1,0 +1,167 @@
+//! Differential property test for the indexed certifier.
+//!
+//! The certifier's row-version index must be *observationally identical* to
+//! the pre-index implementation: a plain linear scan over the retained
+//! history. This test drives random schedules of certify / prune / recover
+//! operations through the real [`Certifier`] and through a deliberately
+//! naive shadow model (cloned writesets, newest-first linear scan), and
+//! asserts byte-identical [`CertifyDecision`]s at every step.
+//!
+//! In debug builds the certifier additionally `debug_assert`s its indexed
+//! conflict answer against [`Certifier::conflict_linear`] on every single
+//! certification, so this test also exercises that oracle continuously.
+
+use bargain_common::{ReplicaId, TableId, TxnId, Value, Version, WriteOp, WriteSet};
+use bargain_core::{Certifier, CertifyDecision, CertifyRequest};
+use proptest::prelude::*;
+
+/// The naive reference model: the full committed log (for recover), the
+/// retained window, and a linear newest-first conflict scan.
+struct ShadowModel {
+    v_commit: u64,
+    floor: u64,
+    /// Retained writesets; `history[i]` committed at `floor + i + 1`.
+    history: Vec<WriteSet>,
+    /// Every writeset ever committed; `log[i]` committed at `i + 1`.
+    log: Vec<WriteSet>,
+}
+
+impl ShadowModel {
+    fn new() -> Self {
+        ShadowModel {
+            v_commit: 0,
+            floor: 0,
+            history: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Linear-scan certification, scanning newest-first so the reported
+    /// conflicting version is the *newest* conflicting committed version.
+    fn certify(&mut self, txn: TxnId, snapshot: u64, ws: &WriteSet) -> CertifyDecision {
+        let first_idx = (snapshot - self.floor) as usize;
+        for i in (first_idx..self.history.len()).rev() {
+            if self.history[i].conflicts_with(ws) {
+                return CertifyDecision::Abort {
+                    txn,
+                    conflicting_version: Version(self.floor + i as u64 + 1),
+                };
+            }
+        }
+        self.v_commit += 1;
+        self.history.push(ws.clone());
+        self.log.push(ws.clone());
+        CertifyDecision::Commit {
+            txn,
+            commit_version: Version(self.v_commit),
+        }
+    }
+
+    fn prune(&mut self, floor: u64) {
+        while self.floor < floor && !self.history.is_empty() {
+            self.history.remove(0);
+            self.floor += 1;
+        }
+    }
+
+    fn recover(&mut self) {
+        // Recovery replays the whole log: the floor resets and every logged
+        // writeset is back in the conflict-check window.
+        self.floor = 0;
+        self.history = self.log.clone();
+        self.v_commit = self.log.len() as u64;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Certify a writeset over `keys` at a snapshot `lag` versions behind
+    /// `V_commit` (clamped to the pruned floor).
+    Certify { keys: Vec<u8>, lag: u8 },
+    /// Prune up to `amount` versions of history.
+    Prune { amount: u8 },
+    /// Crash the certifier and rebuild from its log.
+    Recover,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (proptest::collection::vec(0u8..12, 1..4), 0u8..16)
+            .prop_map(|(keys, lag)| Op::Certify { keys, lag }),
+        2 => (1u8..8).prop_map(|amount| Op::Prune { amount }),
+        1 => Just(Op::Recover),
+    ]
+}
+
+fn ws_of(keys: &[u8]) -> WriteSet {
+    let mut w = WriteSet::new();
+    for &k in keys {
+        w.push(
+            TableId(u32::from(k) % 2),
+            Value::Int(i64::from(k)),
+            WriteOp::Update(vec![Value::Int(i64::from(k)), Value::Int(0)]),
+        );
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_certifier_matches_linear_scan_shadow(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let mut real = Certifier::new(vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]);
+        let mut shadow = ShadowModel::new();
+        let mut txn = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Certify { keys, lag } => {
+                    txn += 1;
+                    let snapshot = shadow
+                        .v_commit
+                        .saturating_sub(u64::from(lag))
+                        .max(shadow.floor);
+                    let ws = ws_of(&keys);
+                    let expected = shadow.certify(TxnId(txn), snapshot, &ws);
+                    let (got, refreshes) = real
+                        .certify(CertifyRequest {
+                            txn: TxnId(txn),
+                            replica: ReplicaId(0),
+                            snapshot: Version(snapshot),
+                            writeset: ws,
+                        })
+                        .expect("valid snapshot never errors");
+                    prop_assert_eq!(&got, &expected, "decision diverged at txn {}", txn);
+                    match got {
+                        CertifyDecision::Commit { .. } => prop_assert_eq!(refreshes.len(), 2),
+                        CertifyDecision::Abort { .. } => prop_assert!(refreshes.is_empty()),
+                    }
+                }
+                Op::Prune { amount } => {
+                    // Prune only what certification no longer needs in this
+                    // schedule: the shadow picks snapshots at most 15 back.
+                    let floor = shadow.v_commit.saturating_sub(16).min(shadow.floor + u64::from(amount));
+                    shadow.prune(floor);
+                    real.prune(Version(floor));
+                }
+                Op::Recover => {
+                    shadow.recover();
+                    real.recover().expect("memory log replays");
+                }
+            }
+            prop_assert_eq!(real.version(), Version(shadow.v_commit));
+            prop_assert_eq!(real.history_len(), shadow.history.len());
+        }
+
+        // The durable history agrees with the shadow's full log.
+        let records = real.certified_since(Version::ZERO).expect("log replays");
+        prop_assert_eq!(records.len(), shadow.log.len());
+        for (i, rec) in records.iter().enumerate() {
+            prop_assert_eq!(rec.commit_version, Version(i as u64 + 1));
+            prop_assert_eq!(rec.writeset.as_ref(), &shadow.log[i]);
+        }
+    }
+}

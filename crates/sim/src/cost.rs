@@ -130,7 +130,15 @@ impl CostModel {
     /// Certifier service time for one certification (durability included).
     #[must_use]
     pub fn certification_cost(&self) -> SimTime {
-        self.certify_us + self.wal_append_us
+        self.certification_batch_cost(1)
+    }
+
+    /// Certifier service time for a group-committed batch of `n`
+    /// certifications: per-request certification work plus a *single* WAL
+    /// force for the whole batch.
+    #[must_use]
+    pub fn certification_batch_cost(&self, n: usize) -> SimTime {
+        self.certify_us * n as SimTime + self.wal_append_us
     }
 
     /// Certifier recovery time when its log holds `log_records` records.
@@ -185,6 +193,17 @@ mod tests {
             big.push(TableId(0), Value::Int(i), WriteOp::Delete);
         }
         assert!(c.refresh_cost(0, &big) > c.refresh_cost(0, &small));
+    }
+
+    #[test]
+    fn batch_certification_amortizes_the_wal_force() {
+        let c = CostModel::default();
+        assert_eq!(c.certification_batch_cost(1), c.certification_cost());
+        assert_eq!(
+            c.certification_batch_cost(8),
+            8 * c.certify_us + c.wal_append_us
+        );
+        assert!(c.certification_batch_cost(8) < 8 * c.certification_cost());
     }
 
     #[test]

@@ -117,7 +117,7 @@ fn crashed_replica_rebuilds_from_certified_history() {
             commit_version,
             txn: TxnId(i),
             origin: ReplicaId(0),
-            writeset: w,
+            writeset: std::sync::Arc::new(w),
         })
         .unwrap();
     }
@@ -126,7 +126,7 @@ fn crashed_replica_rebuilds_from_certified_history() {
     let mut recovering = make_engine();
     for record in log.replay().unwrap() {
         recovering
-            .apply_refresh(&record.writeset, record.commit_version)
+            .apply_refresh(record.writeset.as_ref(), record.commit_version)
             .unwrap();
     }
 
