@@ -1,0 +1,151 @@
+//! The wire-protocol benchmarks backing `BENCH_net.json`: what does moving
+//! the client/cluster boundary from an in-process channel to a real
+//! loopback TCP socket cost per transaction, and how much of that is codec
+//! versus transport?
+//!
+//! Three families:
+//!
+//! - `codec_*` — pure encode/decode cost of representative frames (a
+//!   `Run` request and a rows-bearing `TxnReply`), no sockets involved.
+//! - `txn_read_*` / `txn_update_*` — one micro-benchmark transaction end
+//!   to end, in-process `Session` vs. `RemoteSession` over loopback TCP
+//!   against the identical cluster configuration.
+//!
+//! Run with `cargo bench -p bargain-bench --bench net_loopback`.
+
+use bargain_cluster::{Cluster, ClusterConfig};
+use bargain_common::{ConsistencyMode, Value};
+use bargain_net::frame::{encode_frame, read_frame};
+use bargain_net::{Message, NetServer, RemoteSession};
+use bargain_workloads::{MicroBenchmark, Workload};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn micro_cluster() -> Cluster {
+    let workload = MicroBenchmark::small(0.25);
+    Cluster::start_with_setup(
+        ClusterConfig {
+            replicas: 3,
+            mode: ConsistencyMode::LazyCoarse,
+            ..ClusterConfig::default()
+        },
+        move |e| workload.install(e),
+    )
+}
+
+/// Pure codec: encode a `Run` frame and decode it back, no I/O.
+fn bench_codec(c: &mut Criterion) {
+    let run = Message::Run {
+        template: bargain_common::TemplateId(7),
+        params: vec![vec![Value::Int(123_456), Value::Int(42)]],
+    };
+    c.bench_function("net/codec_run_round_trip", |b| {
+        b.iter(|| {
+            let mut wire = Vec::with_capacity(64);
+            write_run(&mut wire, &run);
+            let (kind, payload) = read_frame(&mut wire.as_slice()).unwrap();
+            black_box(Message::decode(kind, &payload).unwrap())
+        })
+    });
+
+    let reply = Message::TxnReply {
+        outcome: bargain_core::TxnOutcome {
+            txn: bargain_common::TxnId(9),
+            client: bargain_common::ClientId(1),
+            session: bargain_common::SessionId(1),
+            replica: bargain_common::ReplicaId(0),
+            committed: true,
+            commit_version: None,
+            observed_version: bargain_common::Version(100),
+            tables_written: Vec::new(),
+            abort_reason: None,
+        },
+        results: vec![bargain_sql::QueryResult::Rows(vec![vec![
+            Value::Int(1),
+            Value::Int(7),
+            Value::Text("x".repeat(16)),
+        ]])],
+    };
+    c.bench_function("net/codec_txnreply_round_trip", |b| {
+        b.iter(|| {
+            let wire = encode_frame(reply.kind(), &reply.encode()).unwrap();
+            let (kind, payload) = read_frame(&mut wire.as_slice()).unwrap();
+            black_box(Message::decode(kind, &payload).unwrap())
+        })
+    });
+}
+
+fn write_run(wire: &mut Vec<u8>, run: &Message) {
+    wire.extend_from_slice(&encode_frame(run.kind(), &run.encode()).unwrap());
+}
+
+/// One transaction end to end through the in-process channel transport.
+fn bench_inprocess(c: &mut Criterion) {
+    let cluster = Arc::new(micro_cluster());
+    let templates = MicroBenchmark::small(0.25).templates();
+    let read = Arc::new(templates[0].clone()); // micro.read.bench0
+    let update = Arc::new(templates[1].clone()); // micro.update.bench0
+
+    let mut session = cluster.connect();
+    let mut key = 0i64;
+    c.bench_function("net/txn_read_inprocess", |b| {
+        b.iter(|| {
+            key = key % 100 + 1;
+            black_box(
+                session
+                    .run_template(&read, vec![vec![Value::Int(key)]])
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("net/txn_update_inprocess", |b| {
+        b.iter(|| {
+            key = key % 100 + 1;
+            black_box(
+                session
+                    .run_template(&update, vec![vec![Value::Int(key), Value::Int(key)]])
+                    .unwrap(),
+            )
+        })
+    });
+    drop(session);
+    if let Ok(cluster) = Arc::try_unwrap(cluster) {
+        cluster.shutdown();
+    }
+}
+
+/// The same transactions through a real loopback TCP socket.
+fn bench_tcp(c: &mut Criterion) {
+    let server = NetServer::start("127.0.0.1:0", micro_cluster()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut session = RemoteSession::connect(&addr).unwrap();
+    let read = session
+        .prepare("bench.read", &["SELECT * FROM bench0 WHERE pk = ?"])
+        .unwrap();
+    let update = session
+        .prepare("bench.update", &["UPDATE bench0 SET val = ? WHERE pk = ?"])
+        .unwrap();
+
+    let mut key = 0i64;
+    c.bench_function("net/txn_read_tcp", |b| {
+        b.iter(|| {
+            key = key % 100 + 1;
+            black_box(session.run(read, vec![vec![Value::Int(key)]]).unwrap())
+        })
+    });
+    c.bench_function("net/txn_update_tcp", |b| {
+        b.iter(|| {
+            key = key % 100 + 1;
+            black_box(
+                session
+                    .run(update, vec![vec![Value::Int(key), Value::Int(key)]])
+                    .unwrap(),
+            )
+        })
+    });
+    drop(session);
+    server.stop();
+}
+
+criterion_group!(benches, bench_codec, bench_inprocess, bench_tcp);
+criterion_main!(benches);

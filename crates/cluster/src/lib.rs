@@ -40,5 +40,7 @@
 mod runtime;
 mod session;
 
-pub use runtime::{Cluster, ClusterConfig, ClusterStats};
-pub use session::{Session, TxnResult};
+pub use runtime::{
+    CertifierDelivery, CertifierLink, CertifierRequest, Cluster, ClusterConfig, ClusterStats,
+};
+pub use session::{abort_error, Session, TxnResult};

@@ -9,17 +9,19 @@
 //!    └──────reply───────────┘  └──ToLb::Outcome───────────┘      │
 //!                                                                ▼
 //!        replica threads ◀─Refresh/Decision/Global── certifier thread
-//!                        ──ToCertifier::Certify/Applied──▶
+//!                        ──CertifierRequest::Certify/Applied──▶
 //! ```
 //!
 //! All protocol logic lives in the `bargain-core` state machines; the
 //! threads only move messages and execute statements.
 
 use crate::session::{Session, TxnResult};
-use bargain_common::{ConsistencyMode, Error, ReplicaId, Result, TableSet, TxnId, Version};
+use bargain_common::{
+    ConsistencyMode, Error, ReplicaId, Result, TableSet, TemplateId, TxnId, Version,
+};
 use bargain_core::{
-    Certifier, CertifyDecision, CertifyRequest, FinishAction, LoadBalancer, Proxy, ProxyEvent,
-    Refresh, RoutedTxn, StartDecision, StatementOutcome, TxnOutcome, TxnRequest,
+    Certifier, CertifyDecision, CertifyRequest, FinishAction, LoadBalancer, LogRecord, Proxy,
+    ProxyEvent, Refresh, RoutedTxn, StartDecision, StatementOutcome, TxnOutcome, TxnRequest,
 };
 use bargain_sql::{execute_ddl, parse, QueryResult, Statement, TransactionTemplate};
 use bargain_storage::Engine;
@@ -89,6 +91,11 @@ pub(crate) enum ToLb {
     Stats {
         reply: Sender<ClusterStats>,
     },
+    /// Stop accepting new transactions, let every in-flight transaction
+    /// finish, then shut the threads down and acknowledge.
+    Drain {
+        ack: Sender<()>,
+    },
     Shutdown,
 }
 
@@ -107,13 +114,70 @@ enum ToReplica {
     Shutdown,
 }
 
-enum ToCertifier {
+/// A message to the certification service (replica/load balancer →
+/// certifier). Public so that alternative certifier transports — notably
+/// `bargain-net`'s TCP link to a certifier running in another process — can
+/// consume the cluster's certification traffic.
+pub enum CertifierRequest {
+    /// Certify an update transaction's writeset.
     Certify(CertifyRequest),
+    /// A replica reports having applied the given version (drives the eager
+    /// configuration's global-commit accounting).
     Applied {
+        /// The reporting replica.
         replica: ReplicaId,
+        /// The version it has applied.
         version: Version,
     },
+    /// Flush pending work and stop serving.
     Shutdown,
+}
+
+/// A message the certification service delivers back to the cluster, tagged
+/// with the replica it is addressed to.
+pub enum CertifierDelivery {
+    /// The decision for a certify request, addressed to its origin replica.
+    Decision {
+        /// Replica that submitted the request.
+        origin: ReplicaId,
+        /// The commit/abort decision.
+        decision: CertifyDecision,
+    },
+    /// A certified writeset to apply, addressed to a non-origin replica.
+    Refresh {
+        /// The replica that must apply it.
+        to: ReplicaId,
+        /// The refresh transaction.
+        refresh: Refresh,
+    },
+    /// All replicas applied the commit (eager mode), addressed to the origin
+    /// so it can release the client.
+    GlobalCommit {
+        /// Replica hosting the transaction.
+        origin: ReplicaId,
+        /// The globally committed transaction.
+        txn: TxnId,
+    },
+}
+
+/// A pluggable transport to a certification service, allowing the certifier
+/// to run outside the cluster's process (the paper's deployment: middleware
+/// components on separate machines). `bargain-net` provides a TCP
+/// implementation; tests can provide in-process fakes.
+pub trait CertifierLink: Send {
+    /// Fetches the service's durable commit history once, before the
+    /// replica threads start: the cluster replays it to fast-forward every
+    /// replica engine from its `setup` checkpoint.
+    fn history(&mut self) -> Result<Vec<LogRecord>>;
+
+    /// Serves certification traffic until [`CertifierRequest::Shutdown`]
+    /// arrives or the transport fails, pushing certifier responses into
+    /// `deliveries`. Runs on a dedicated cluster thread.
+    fn serve(
+        self: Box<Self>,
+        requests: Receiver<CertifierRequest>,
+        deliveries: Sender<CertifierDelivery>,
+    );
 }
 
 /// Handle to a running in-process replicated database cluster.
@@ -125,6 +189,7 @@ pub struct Cluster {
     next_client: Arc<AtomicU64>,
     next_template: Arc<AtomicU32>,
     replicas: usize,
+    mode: ConsistencyMode,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -142,6 +207,27 @@ impl Cluster {
         config: ClusterConfig,
         setup: impl Fn(&mut Engine) -> Result<()>,
     ) -> Cluster {
+        Self::start_inner(config, setup, None)
+    }
+
+    /// Starts a cluster whose certification service lives behind `link` —
+    /// typically in another process, reached over TCP via `bargain-net`.
+    /// Durability (the commit WAL) belongs to the remote service, so
+    /// `config.wal_dir` is ignored; the link's [`CertifierLink::history`]
+    /// supplies the durable history the replicas fast-forward through.
+    pub fn start_with_certifier_link(
+        config: ClusterConfig,
+        setup: impl Fn(&mut Engine) -> Result<()>,
+        link: Box<dyn CertifierLink>,
+    ) -> Cluster {
+        Self::start_inner(config, setup, Some(link))
+    }
+
+    fn start_inner(
+        config: ClusterConfig,
+        setup: impl Fn(&mut Engine) -> Result<()>,
+        link: Option<Box<dyn CertifierLink>>,
+    ) -> Cluster {
         assert!(config.replicas >= 1, "need at least one replica");
         let replica_ids: Vec<ReplicaId> = (0..config.replicas as u32).map(ReplicaId).collect();
 
@@ -154,26 +240,42 @@ impl Cluster {
         let mut catalog_engine = Engine::new();
         setup(&mut catalog_engine).expect("cluster setup succeeds");
 
-        // Build the certifier over its (possibly durable) commit log and
-        // recover. With a fresh log this is a no-op; with a surviving
-        // `wal_dir` it rebuilds the version counter and conflict history,
-        // and the certified writesets fast-forward every replica engine
-        // from its checkpoint (the `setup` state) to the durable version.
-        let mut certifier = match &config.wal_dir {
-            Some(dir) => {
-                std::fs::create_dir_all(dir).expect("wal directory is creatable");
-                let log =
-                    bargain_core::FileLog::open(&dir.join("certifier.wal")).expect("wal opens");
-                Certifier::with_log(replica_ids.clone(), Box::new(log))
+        // Obtain the durable commit history: from the local certifier's
+        // (possibly durable) log, or from the remote certification service.
+        // The certified writesets fast-forward every replica engine from
+        // its checkpoint (the `setup` state) to the durable version.
+        enum Backend {
+            Local(Box<Certifier>),
+            Remote(Box<dyn CertifierLink>),
+        }
+        let (backend, history) = match link {
+            Some(mut link) => {
+                let history = link.history().expect("certifier link serves its history");
+                (Backend::Remote(link), history)
             }
-            None => Certifier::new(replica_ids.clone()),
+            None => {
+                let mut certifier = match &config.wal_dir {
+                    Some(dir) => {
+                        std::fs::create_dir_all(dir).expect("wal directory is creatable");
+                        let log = bargain_core::FileLog::open(&dir.join("certifier.wal"))
+                            .expect("wal opens");
+                        Certifier::with_log(replica_ids.clone(), Box::new(log))
+                    }
+                    None => Certifier::new(replica_ids.clone()),
+                };
+                certifier.set_eager(config.mode == ConsistencyMode::Eager);
+                let recovered = certifier.recover().expect("certifier log replays");
+                let history = if recovered > 0 {
+                    certifier
+                        .certified_since(Version::ZERO)
+                        .expect("certifier log replays")
+                } else {
+                    Vec::new()
+                };
+                (Backend::Local(Box::new(certifier)), history)
+            }
         };
-        certifier.set_eager(config.mode == ConsistencyMode::Eager);
-        let recovered = certifier.recover().expect("certifier log replays");
-        if recovered > 0 {
-            let history = certifier
-                .certified_since(Version::ZERO)
-                .expect("certifier log replays");
+        if !history.is_empty() {
             // DDL is not logged: the schema checkpoint is the `setup`
             // closure. Catch a schema/history mismatch here with an
             // actionable message instead of a bounds panic deep in the
@@ -187,7 +289,7 @@ impl Cluster {
             if let Some(max) = max_table {
                 assert!(
                     max < n_tables,
-                    "wal_dir recovery: the durable history writes table #{max} but the \
+                    "recovery: the durable history writes table #{max} but the \
                      schema has only {n_tables} table(s); recreate the schema with \
                      `Cluster::start_with_setup` (the same `setup` as the previous run) \
                      so the certified writesets can be replayed"
@@ -203,7 +305,7 @@ impl Cluster {
         }
 
         let (lb_tx, lb_rx) = unbounded::<ToLb>();
-        let (cert_tx, cert_rx) = unbounded::<ToCertifier>();
+        let (cert_tx, cert_rx) = unbounded::<CertifierRequest>();
         let mut replica_txs = Vec::new();
         let mut replica_rxs = Vec::new();
         for _ in 0..config.replicas {
@@ -227,15 +329,53 @@ impl Cluster {
             );
         }
 
-        // Certifier thread.
-        {
-            let replica_txs = replica_txs.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name("bargain-certifier".into())
-                    .spawn(move || certifier_main(certifier, cert_rx, replica_txs))
-                    .expect("spawn certifier thread"),
-            );
+        // Certification service: either the certifier state machine on a
+        // local thread, or a bridge to the remote service (one thread
+        // forwarding requests over the link, one dispatching deliveries to
+        // the replica threads).
+        match backend {
+            Backend::Local(certifier) => {
+                let replica_txs = replica_txs.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name("bargain-certifier".into())
+                        .spawn(move || certifier_main(*certifier, cert_rx, replica_txs))
+                        .expect("spawn certifier thread"),
+                );
+            }
+            Backend::Remote(link) => {
+                let (del_tx, del_rx) = unbounded::<CertifierDelivery>();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name("bargain-certlink".into())
+                        .spawn(move || link.serve(cert_rx, del_tx))
+                        .expect("spawn certifier link thread"),
+                );
+                let replica_txs = replica_txs.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name("bargain-certdispatch".into())
+                        .spawn(move || {
+                            while let Ok(delivery) = del_rx.recv() {
+                                match delivery {
+                                    CertifierDelivery::Decision { origin, decision } => {
+                                        let _ = replica_txs[origin.index()]
+                                            .send(ToReplica::Decision(decision));
+                                    }
+                                    CertifierDelivery::Refresh { to, refresh } => {
+                                        let _ = replica_txs[to.index()]
+                                            .send(ToReplica::Refresh(refresh));
+                                    }
+                                    CertifierDelivery::GlobalCommit { origin, txn } => {
+                                        let _ = replica_txs[origin.index()]
+                                            .send(ToReplica::GlobalCommit(txn));
+                                    }
+                                }
+                            }
+                        })
+                        .expect("spawn certifier dispatch thread"),
+                );
+            }
         }
 
         // Load-balancer thread.
@@ -257,6 +397,7 @@ impl Cluster {
             next_client: Arc::new(AtomicU64::new(0)),
             next_template: Arc::new(AtomicU32::new(1 << 20)),
             replicas: config.replicas,
+            mode: config.mode,
             handles,
         }
     }
@@ -312,6 +453,52 @@ impl Cluster {
         self.replicas
     }
 
+    /// The cluster's consistency configuration.
+    #[must_use]
+    pub fn mode(&self) -> ConsistencyMode {
+        self.mode
+    }
+
+    /// Allocates a fresh, cluster-unique [`TemplateId`] (used by network
+    /// frontends to rewrite per-connection template ids into the cluster's
+    /// global namespace).
+    #[must_use]
+    pub fn allocate_template_id(&self) -> TemplateId {
+        TemplateId(self.next_template.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Prepares a transaction template under a fresh cluster-wide id and
+    /// statically extracts its table-set against the catalog mirror. This
+    /// is the registration path for remotely prepared statements: the
+    /// client's per-connection ids are rewritten into the cluster's global
+    /// template namespace.
+    pub fn prepare_template(
+        &self,
+        name: &str,
+        sqls: &[&str],
+    ) -> Result<(Arc<TransactionTemplate>, TableSet)> {
+        let id = self.allocate_template_id();
+        let template = TransactionTemplate::new(id, name, sqls)?;
+        let table_set = template.table_set(self.catalog_engine.lock().catalog())?;
+        Ok((Arc::new(template), table_set))
+    }
+
+    /// Gracefully stops the cluster: new transactions are rejected with
+    /// [`Error::Unavailable`]-style aborts, every in-flight transaction runs
+    /// to completion, the certifier flushes its pending work (and WAL), and
+    /// all threads are joined. This is the SIGTERM path network servers use;
+    /// [`Cluster::shutdown`] remains the abrupt variant that abandons
+    /// in-flight work.
+    pub fn drain(self) {
+        let (ack_tx, ack_rx) = unbounded();
+        if self.lb_tx.send(ToLb::Drain { ack: ack_tx }).is_ok() {
+            let _ = ack_rx.recv();
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+
     /// Stops all threads. In-flight transactions are abandoned.
     pub fn shutdown(self) {
         let _ = self.lb_tx.send(ToLb::Shutdown);
@@ -329,7 +516,7 @@ fn replica_main(
     mut proxy: Proxy,
     rx: Receiver<ToReplica>,
     lb: Sender<ToLb>,
-    cert: Sender<ToCertifier>,
+    cert: Sender<CertifierRequest>,
 ) {
     let mut n_stmts: HashMap<TxnId, usize> = HashMap::new();
     let mut results: HashMap<TxnId, Vec<QueryResult>> = HashMap::new();
@@ -353,7 +540,7 @@ fn replica_main(
         n: usize,
         results: &mut HashMap<TxnId, Vec<QueryResult>>,
         lb: &Sender<ToLb>,
-        cert: &Sender<ToCertifier>,
+        cert: &Sender<CertifierRequest>,
         n_stmts: &mut HashMap<TxnId, usize>,
     ) {
         for i in 0..n {
@@ -393,7 +580,7 @@ fn replica_main(
                 });
             }
             Ok(FinishAction::NeedsCertification(req)) => {
-                let _ = cert.send(ToCertifier::Certify(req));
+                let _ = cert.send(CertifierRequest::Certify(req));
             }
             Err(e) => panic!("finish failed: {e}"),
         }
@@ -404,7 +591,7 @@ fn replica_main(
                          n_stmts: &mut HashMap<TxnId, usize>,
                          results: &mut HashMap<TxnId, Vec<QueryResult>>,
                          lb: &Sender<ToLb>,
-                         cert: &Sender<ToCertifier>| {
+                         cert: &Sender<CertifierRequest>| {
         for ev in events {
             match ev {
                 ProxyEvent::TxnStarted { txn, .. } => {
@@ -421,7 +608,7 @@ fn replica_main(
                 }
                 ProxyEvent::AwaitingGlobal { .. } => {}
                 ProxyEvent::CommitApplied { version } => {
-                    let _ = cert.send(ToCertifier::Applied {
+                    let _ = cert.send(CertifierRequest::Applied {
                         replica: proxy.replica(),
                         version,
                     });
@@ -472,7 +659,7 @@ fn replica_main(
 
 fn certifier_main(
     mut certifier: Certifier,
-    rx: Receiver<ToCertifier>,
+    rx: Receiver<CertifierRequest>,
     replicas: Vec<Sender<ToReplica>>,
 ) {
     // Group commit: every certify request sitting in the channel when the
@@ -507,8 +694,8 @@ fn certifier_main(
         let mut batch: Vec<CertifyRequest> = Vec::new();
         for msg in messages {
             match msg {
-                ToCertifier::Certify(req) => batch.push(req),
-                ToCertifier::Applied { replica, version } => {
+                CertifierRequest::Certify(req) => batch.push(req),
+                CertifierRequest::Applied { replica, version } => {
                     // Applied reports may depend on decisions queued before
                     // them: flush first to preserve channel order.
                     flush_batch(&mut certifier, &mut batch, &replicas);
@@ -516,7 +703,7 @@ fn certifier_main(
                         let _ = replicas[origin.index()].send(ToReplica::GlobalCommit(txn));
                     }
                 }
-                ToCertifier::Shutdown => {
+                CertifierRequest::Shutdown => {
                     flush_batch(&mut certifier, &mut batch, &replicas);
                     break 'outer;
                 }
@@ -530,9 +717,38 @@ fn lb_main(
     mut lb: LoadBalancer,
     rx: Receiver<ToLb>,
     replicas: Vec<Sender<ToReplica>>,
-    cert: Sender<ToCertifier>,
+    cert: Sender<CertifierRequest>,
 ) {
     let mut replies: HashMap<TxnId, Sender<TxnResult>> = HashMap::new();
+    // Drain state: once draining, new transactions are refused; when the
+    // last in-flight transaction completes, the shutdown propagates and the
+    // drain is acknowledged.
+    let mut drain_ack: Option<Sender<()>> = None;
+
+    let abort_reply = |reply: &Sender<TxnResult>, reason: String| {
+        let _ = reply.send((
+            TxnOutcome {
+                txn: TxnId(u64::MAX),
+                client: bargain_common::ClientId(0),
+                session: bargain_common::SessionId(0),
+                replica: ReplicaId(0),
+                committed: false,
+                commit_version: None,
+                observed_version: Version::ZERO,
+                tables_written: vec![],
+                abort_reason: Some(reason),
+            },
+            Vec::new(),
+        ));
+    };
+    let propagate_shutdown = |replicas: &Vec<Sender<ToReplica>>,
+                              cert: &Sender<CertifierRequest>| {
+        for r in replicas {
+            let _ = r.send(ToReplica::Shutdown);
+        }
+        let _ = cert.send(CertifierRequest::Shutdown);
+    };
+
     while let Ok(msg) = rx.recv() {
         match msg {
             ToLb::Run {
@@ -541,25 +757,16 @@ fn lb_main(
                 request,
                 reply,
             } => {
+                if drain_ack.is_some() {
+                    abort_reply(&reply, "cluster is draining: no new transactions".into());
+                    continue;
+                }
                 lb.register_template(template.id, table_set);
                 let routed = match lb.route(request) {
                     Ok(r) => r,
                     Err(e) => {
                         // Reply with a synthetic abort outcome.
-                        let _ = reply.send((
-                            TxnOutcome {
-                                txn: TxnId(u64::MAX),
-                                client: bargain_common::ClientId(0),
-                                session: bargain_common::SessionId(0),
-                                replica: ReplicaId(0),
-                                committed: false,
-                                commit_version: None,
-                                observed_version: Version::ZERO,
-                                tables_written: vec![],
-                                abort_reason: Some(e.to_string()),
-                            },
-                            Vec::new(),
-                        ));
+                        abort_reply(&reply, e.to_string());
                         continue;
                     }
                 };
@@ -571,6 +778,13 @@ fn lb_main(
                 lb.on_outcome(&outcome);
                 if let Some(reply) = replies.remove(&outcome.txn) {
                     let _ = reply.send((outcome, results));
+                }
+                if replies.is_empty() {
+                    if let Some(ack) = drain_ack.take() {
+                        propagate_shutdown(&replicas, &cert);
+                        let _ = ack.send(());
+                        break;
+                    }
                 }
             }
             ToLb::Ddl { stmt, ack } => {
@@ -590,11 +804,16 @@ fn lb_main(
                     v_system: lb.v_system(),
                 });
             }
-            ToLb::Shutdown => {
-                for r in &replicas {
-                    let _ = r.send(ToReplica::Shutdown);
+            ToLb::Drain { ack } => {
+                if replies.is_empty() {
+                    propagate_shutdown(&replicas, &cert);
+                    let _ = ack.send(());
+                    break;
                 }
-                let _ = cert.send(ToCertifier::Shutdown);
+                drain_ack = Some(ack);
+            }
+            ToLb::Shutdown => {
+                propagate_shutdown(&replicas, &cert);
                 break;
             }
         }

@@ -14,6 +14,20 @@ use std::sync::Arc;
 /// A committed transaction's outcome and the result of each statement.
 pub type TxnResult = (TxnOutcome, Vec<QueryResult>);
 
+/// Maps an abort reason (from a [`TxnOutcome`]) to the error the client
+/// API surfaces. Shared by local sessions and the remote (TCP) session
+/// driver so both classify aborts identically.
+#[must_use]
+pub fn abort_error(reason: String) -> Error {
+    if reason.contains("certification") {
+        Error::CertificationConflict(reason)
+    } else if reason.contains("draining") {
+        Error::Unavailable(reason)
+    } else {
+        Error::SqlExecution(reason)
+    }
+}
+
 /// A client session. One session is one consistency session: under the
 /// `Session` configuration, guarantees are scoped to it; under the strong
 /// configurations, every session observes every committed transaction.
@@ -92,7 +106,10 @@ impl Session {
         self.run_prepared(template, table_set, params)
     }
 
-    fn run_prepared(
+    /// Runs a template whose table-set has already been extracted. This is
+    /// the raw submission path the TCP server uses after registering a
+    /// remotely prepared template.
+    pub fn run_prepared(
         &mut self,
         template: &Arc<TransactionTemplate>,
         table_set: TableSet,
@@ -119,11 +136,7 @@ impl Session {
             Ok((outcome, results))
         } else {
             let reason = outcome.abort_reason.unwrap_or_else(|| "aborted".to_owned());
-            if reason.contains("certification") {
-                Err(Error::CertificationConflict(reason))
-            } else {
-                Err(Error::SqlExecution(reason))
-            }
+            Err(abort_error(reason))
         }
     }
 

@@ -39,6 +39,18 @@ pub enum Error {
     Protocol(String),
     /// An I/O failure from the durable log.
     Io(String),
+    /// A wire frame or message failed to encode or decode (bad magic,
+    /// unsupported protocol version, checksum mismatch, truncated or
+    /// malformed payload).
+    Codec(String),
+    /// A network read or write exceeded its deadline. Retryable at the
+    /// transport layer: the peer may simply be slow.
+    Timeout(String),
+    /// The peer closed the connection (cleanly or by dying mid-frame).
+    ConnectionClosed(String),
+    /// The service is temporarily unable to accept work (draining for
+    /// shutdown, or unreachable after bounded connect retries).
+    Unavailable(String),
 }
 
 impl Error {
@@ -70,6 +82,10 @@ impl fmt::Display for Error {
             Error::SqlExecution(s) => write!(f, "SQL execution error: {s}"),
             Error::Protocol(s) => write!(f, "protocol error: {s}"),
             Error::Io(s) => write!(f, "I/O error: {s}"),
+            Error::Codec(s) => write!(f, "codec error: {s}"),
+            Error::Timeout(s) => write!(f, "timeout: {s}"),
+            Error::ConnectionClosed(s) => write!(f, "connection closed: {s}"),
+            Error::Unavailable(s) => write!(f, "service unavailable: {s}"),
         }
     }
 }
@@ -100,6 +116,22 @@ mod tests {
         assert!(Error::EarlyCertificationConflict(String::new()).is_retryable());
         assert!(!Error::UnknownTable(String::new()).is_retryable());
         assert!(!Error::SqlParse(String::new()).is_retryable());
+    }
+
+    #[test]
+    fn transport_errors_display_and_classify() {
+        assert!(Error::Codec("bad tag".into()).to_string().contains("codec"));
+        assert!(Error::Timeout("read".into())
+            .to_string()
+            .contains("timeout"));
+        assert!(Error::ConnectionClosed("peer".into())
+            .to_string()
+            .contains("closed"));
+        assert!(Error::Unavailable("draining".into())
+            .to_string()
+            .contains("unavailable"));
+        assert!(!Error::Codec(String::new()).is_retryable());
+        assert!(!Error::Unavailable(String::new()).is_retryable());
     }
 
     #[test]

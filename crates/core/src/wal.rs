@@ -17,6 +17,165 @@ use std::io::{BufReader, Read, Write};
 use std::path::Path;
 use std::sync::Arc;
 
+// ----------------------------------------------------------------------
+// Binary codecs for the protocol's value types.
+//
+// These are the canonical on-disk/on-wire encodings, shared by the
+// file-backed commit log below and the `bargain-net` wire protocol (all
+// integers little-endian):
+//
+// ```text
+// value:    u8 tag (0=null,1=int,2=float,3=text) | payload
+// writeset: u32 entry_count
+//             per entry: u32 table | value key
+//                        | u8 op (0=ins,1=upd,2=del) [| u32 ncols | values]
+// record:   u64 commit_version | u64 txn_id | u32 origin | writeset
+// ```
+// ----------------------------------------------------------------------
+
+/// Appends the binary encoding of a [`Value`] to `buf`.
+pub fn write_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int(i) => {
+            buf.push(1);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(2);
+            buf.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Text(s) => {
+            buf.push(3);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Decodes one [`Value`] from `r` (inverse of [`write_value`]).
+pub fn read_value(r: &mut impl Read) -> Result<Value> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        0 => Value::Null,
+        1 => {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Value::Int(i64::from_le_bytes(b))
+        }
+        2 => {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Value::Float(f64::from_le_bytes(b))
+        }
+        3 => {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            let len = u32::from_le_bytes(b) as usize;
+            let mut s = vec![0u8; len];
+            r.read_exact(&mut s)?;
+            Value::Text(
+                String::from_utf8(s).map_err(|e| Error::Codec(format!("bad value text: {e}")))?,
+            )
+        }
+        t => return Err(Error::Codec(format!("bad value tag {t}"))),
+    })
+}
+
+/// Appends the binary encoding of a [`WriteSet`] to `buf`.
+pub fn write_writeset(buf: &mut Vec<u8>, ws: &WriteSet) {
+    buf.extend_from_slice(&(ws.len() as u32).to_le_bytes());
+    for e in ws.entries() {
+        buf.extend_from_slice(&e.table.0.to_le_bytes());
+        write_value(buf, &e.key);
+        match &e.op {
+            WriteOp::Insert(row) => {
+                buf.push(0);
+                buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                for v in row {
+                    write_value(buf, v);
+                }
+            }
+            WriteOp::Update(row) => {
+                buf.push(1);
+                buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                for v in row {
+                    write_value(buf, v);
+                }
+            }
+            WriteOp::Delete => buf.push(2),
+        }
+    }
+}
+
+/// Decodes one [`WriteSet`] from `r` (inverse of [`write_writeset`]).
+pub fn read_writeset(r: &mut impl Read) -> Result<WriteSet> {
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let n = u32::from_le_bytes(b4) as usize;
+    let mut ws = WriteSet::new();
+    for _ in 0..n {
+        r.read_exact(&mut b4)?;
+        let table = bargain_common::TableId(u32::from_le_bytes(b4));
+        let key = read_value(r)?;
+        let mut op_tag = [0u8; 1];
+        r.read_exact(&mut op_tag)?;
+        let op = match op_tag[0] {
+            0 | 1 => {
+                r.read_exact(&mut b4)?;
+                let ncols = u32::from_le_bytes(b4) as usize;
+                let mut row = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    row.push(read_value(r)?);
+                }
+                if op_tag[0] == 0 {
+                    WriteOp::Insert(row)
+                } else {
+                    WriteOp::Update(row)
+                }
+            }
+            2 => WriteOp::Delete,
+            t => return Err(Error::Codec(format!("bad writeset op tag {t}"))),
+        };
+        ws.push(table, key, op);
+    }
+    Ok(ws)
+}
+
+/// Appends the binary encoding of a [`LogRecord`] to `buf`.
+pub fn write_record(buf: &mut Vec<u8>, record: &LogRecord) {
+    buf.extend_from_slice(&record.commit_version.0.to_le_bytes());
+    buf.extend_from_slice(&record.txn.0.to_le_bytes());
+    buf.extend_from_slice(&record.origin.0.to_le_bytes());
+    write_writeset(buf, &record.writeset);
+}
+
+/// Decodes one [`LogRecord`] from `r`, or `None` at clean end-of-stream
+/// (inverse of [`write_record`]).
+pub fn read_record(r: &mut impl Read) -> Result<Option<LogRecord>> {
+    let mut header = [0u8; 8];
+    match r.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let commit_version = Version(u64::from_le_bytes(header));
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let txn = TxnId(u64::from_le_bytes(b8));
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let origin = ReplicaId(u32::from_le_bytes(b4));
+    let ws = read_writeset(r)?;
+    Ok(Some(LogRecord {
+        commit_version,
+        txn,
+        origin,
+        writeset: Arc::new(ws),
+    }))
+}
+
 /// One durable commit decision.
 ///
 /// The writeset is behind an [`Arc`]: the same committed writeset is shared
@@ -132,139 +291,12 @@ impl FileLog {
         log.count = log.replay()?.len();
         Ok(log)
     }
-
-    fn write_value(buf: &mut Vec<u8>, v: &Value) {
-        match v {
-            Value::Null => buf.push(0),
-            Value::Int(i) => {
-                buf.push(1);
-                buf.extend_from_slice(&i.to_le_bytes());
-            }
-            Value::Float(f) => {
-                buf.push(2);
-                buf.extend_from_slice(&f.to_le_bytes());
-            }
-            Value::Text(s) => {
-                buf.push(3);
-                buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                buf.extend_from_slice(s.as_bytes());
-            }
-        }
-    }
-
-    fn read_value(r: &mut impl Read) -> Result<Value> {
-        let mut tag = [0u8; 1];
-        r.read_exact(&mut tag)?;
-        Ok(match tag[0] {
-            0 => Value::Null,
-            1 => {
-                let mut b = [0u8; 8];
-                r.read_exact(&mut b)?;
-                Value::Int(i64::from_le_bytes(b))
-            }
-            2 => {
-                let mut b = [0u8; 8];
-                r.read_exact(&mut b)?;
-                Value::Float(f64::from_le_bytes(b))
-            }
-            3 => {
-                let mut b = [0u8; 4];
-                r.read_exact(&mut b)?;
-                let len = u32::from_le_bytes(b) as usize;
-                let mut s = vec![0u8; len];
-                r.read_exact(&mut s)?;
-                Value::Text(
-                    String::from_utf8(s).map_err(|e| Error::Io(format!("log corruption: {e}")))?,
-                )
-            }
-            t => return Err(Error::Io(format!("log corruption: bad value tag {t}"))),
-        })
-    }
-
-    fn encode(record: &LogRecord) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(64);
-        buf.extend_from_slice(&record.commit_version.0.to_le_bytes());
-        buf.extend_from_slice(&record.txn.0.to_le_bytes());
-        buf.extend_from_slice(&record.origin.0.to_le_bytes());
-        buf.extend_from_slice(&(record.writeset.len() as u32).to_le_bytes());
-        for e in record.writeset.entries() {
-            buf.extend_from_slice(&e.table.0.to_le_bytes());
-            Self::write_value(&mut buf, &e.key);
-            match &e.op {
-                WriteOp::Insert(row) => {
-                    buf.push(0);
-                    buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
-                    for v in row {
-                        Self::write_value(&mut buf, v);
-                    }
-                }
-                WriteOp::Update(row) => {
-                    buf.push(1);
-                    buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
-                    for v in row {
-                        Self::write_value(&mut buf, v);
-                    }
-                }
-                WriteOp::Delete => buf.push(2),
-            }
-        }
-        buf
-    }
-
-    fn decode(r: &mut impl Read) -> Result<Option<LogRecord>> {
-        let mut header = [0u8; 8];
-        match r.read_exact(&mut header) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e.into()),
-        }
-        let commit_version = Version(u64::from_le_bytes(header));
-        let mut b8 = [0u8; 8];
-        r.read_exact(&mut b8)?;
-        let txn = TxnId(u64::from_le_bytes(b8));
-        let mut b4 = [0u8; 4];
-        r.read_exact(&mut b4)?;
-        let origin = ReplicaId(u32::from_le_bytes(b4));
-        r.read_exact(&mut b4)?;
-        let n = u32::from_le_bytes(b4) as usize;
-        let mut ws = WriteSet::new();
-        for _ in 0..n {
-            r.read_exact(&mut b4)?;
-            let table = bargain_common::TableId(u32::from_le_bytes(b4));
-            let key = Self::read_value(r)?;
-            let mut op_tag = [0u8; 1];
-            r.read_exact(&mut op_tag)?;
-            let op = match op_tag[0] {
-                0 | 1 => {
-                    r.read_exact(&mut b4)?;
-                    let ncols = u32::from_le_bytes(b4) as usize;
-                    let mut row = Vec::with_capacity(ncols);
-                    for _ in 0..ncols {
-                        row.push(Self::read_value(r)?);
-                    }
-                    if op_tag[0] == 0 {
-                        WriteOp::Insert(row)
-                    } else {
-                        WriteOp::Update(row)
-                    }
-                }
-                2 => WriteOp::Delete,
-                t => return Err(Error::Io(format!("log corruption: bad op tag {t}"))),
-            };
-            ws.push(table, key, op);
-        }
-        Ok(Some(LogRecord {
-            commit_version,
-            txn,
-            origin,
-            writeset: Arc::new(ws),
-        }))
-    }
 }
 
 impl CommitLog for FileLog {
     fn append(&mut self, record: &LogRecord) -> Result<()> {
-        let buf = Self::encode(record);
+        let mut buf = Vec::with_capacity(64);
+        write_record(&mut buf, record);
         self.file.write_all(&buf)?;
         if self.sync_on_append {
             self.file.sync_data()?;
@@ -281,7 +313,7 @@ impl CommitLog for FileLog {
         }
         let mut buf = Vec::with_capacity(64 * records.len());
         for record in records {
-            buf.extend_from_slice(&Self::encode(record));
+            write_record(&mut buf, record);
         }
         self.file.write_all(&buf)?;
         if self.sync_on_append {
@@ -296,7 +328,7 @@ impl CommitLog for FileLog {
         let mut reader = BufReader::new(file);
         let mut records = Vec::new();
         loop {
-            match Self::decode(&mut reader) {
+            match read_record(&mut reader) {
                 Ok(Some(rec)) => records.push(rec),
                 Ok(None) => break,
                 // A torn tail (crash mid-append) truncates to the last

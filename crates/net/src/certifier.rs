@@ -1,0 +1,362 @@
+//! The certifier as a network service: host the certification/durability
+//! component in its own process (the paper's deployment separates the
+//! certifier from the replicas), plus the cluster-side link that connects a
+//! [`bargain_cluster::Cluster`] to it.
+//!
+//! Protocol (certifier endpoint, message kinds 20–26):
+//!
+//! - On connect, the cluster sends [`Message::FetchHistory`] once and
+//!   fast-forwards its replicas through the returned commit history.
+//! - Thereafter the cluster streams [`Message::Certify`] and
+//!   [`Message::Applied`] requests; the server pushes
+//!   [`Message::RefreshFor`], [`Message::Decision`], and
+//!   [`Message::GlobalCommitFor`] deliveries, each tagged with the replica
+//!   it addresses (the TCP link carries what the in-process runtime carries
+//!   on per-replica channels).
+//!
+//! The cluster side splits its socket: a writer (the `CertifierLink::serve`
+//! thread) streams requests while a dedicated reader thread drains
+//! deliveries, so neither direction can block the other — the deadlock that
+//! a single request/response loop would hit when a certify decision and a
+//! refresh fan-out race in opposite directions.
+
+use crate::codec::Message;
+use crate::conn::{ConnectPolicy, Connection};
+use bargain_cluster::{CertifierDelivery, CertifierLink, CertifierRequest};
+use bargain_common::{Error, ReplicaId, Result, Version};
+use bargain_core::{Certifier, CertifyRequest, LogRecord};
+use crossbeam::channel::{Receiver, Sender};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Construction parameters for a certifier service process.
+#[derive(Debug, Clone)]
+pub struct CertifierServerConfig {
+    /// Replica count of the cluster this certifier serves (must match the
+    /// cluster's `ClusterConfig::replicas`).
+    pub replicas: usize,
+    /// Enables eager global-commit accounting (match the cluster's mode).
+    pub eager: bool,
+    /// When set, the commit WAL lives in `certifier.wal` inside this
+    /// directory and is replayed on start — durability lives with this
+    /// process, exactly as in the in-process deployment.
+    pub wal_dir: Option<PathBuf>,
+    /// How often an idle connection checks the stop flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for CertifierServerConfig {
+    fn default() -> Self {
+        CertifierServerConfig {
+            replicas: 3,
+            eager: false,
+            wal_dir: None,
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A running certifier service. Serves one cluster connection at a time
+/// (the certifier is a singleton component); when a cluster disconnects,
+/// the service keeps listening so a restarted cluster can reconnect and
+/// re-fetch the durable history.
+pub struct CertifierServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CertifierServer {
+    /// Binds `addr` (port 0 for OS-assigned) and starts serving.
+    pub fn start(addr: &str, config: CertifierServerConfig) -> Result<CertifierServer> {
+        let mut certifier = match &config.wal_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(Error::from)?;
+                let log = bargain_core::FileLog::open(&dir.join("certifier.wal"))?;
+                Certifier::with_log(replica_ids(config.replicas), Box::new(log))
+            }
+            None => Certifier::new(replica_ids(config.replicas)),
+        };
+        certifier.set_eager(config.eager);
+        certifier.recover()?;
+
+        let listener = TcpListener::bind(addr).map_err(Error::from)?;
+        let addr = listener.local_addr().map_err(Error::from)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let poll = config.poll_interval;
+            std::thread::Builder::new()
+                .name("bargain-certifier-net".into())
+                .spawn(move || serve(certifier, &listener, &stop, poll))
+                .map_err(Error::from)?
+        };
+        Ok(CertifierServer {
+            addr,
+            stop: Arc::clone(&stop),
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the service actually bound.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the service to stop without blocking.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Blocks until the service thread exits (after
+    /// [`CertifierServer::request_stop`] or a client's
+    /// [`Message::StopServer`]).
+    pub fn wait(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown: request stop, then wait.
+    pub fn stop(self) {
+        self.request_stop();
+        self.wait();
+    }
+}
+
+fn replica_ids(n: usize) -> Vec<ReplicaId> {
+    (0..n as u32).map(ReplicaId).collect()
+}
+
+fn serve(
+    mut certifier: Certifier,
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    poll_interval: Duration,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let Ok(mut conn) = Connection::from_stream(stream, None, None) else {
+            continue;
+        };
+        // One cluster connection at a time: the certifier is a singleton.
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match poll_stream(conn.stream(), poll_interval) {
+                StreamState::Idle => continue,
+                StreamState::Closed => break,
+                StreamState::Readable => {}
+            }
+            let msg = match conn.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            };
+            if !handle_certifier_message(&mut certifier, &mut conn, msg, stop) {
+                break;
+            }
+        }
+    }
+}
+
+enum StreamState {
+    Readable,
+    Idle,
+    Closed,
+}
+
+fn poll_stream(stream: &TcpStream, interval: Duration) -> StreamState {
+    if stream.set_read_timeout(Some(interval)).is_err() {
+        return StreamState::Closed;
+    }
+    let mut probe = [0u8; 1];
+    let polled = match stream.peek(&mut probe) {
+        Ok(0) => StreamState::Closed,
+        Ok(_) => StreamState::Readable,
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            StreamState::Idle
+        }
+        Err(_) => StreamState::Closed,
+    };
+    if stream.set_read_timeout(None).is_err() {
+        return StreamState::Closed;
+    }
+    polled
+}
+
+/// Handles one request frame; returns `false` when the connection (or the
+/// whole service) should wind down.
+fn handle_certifier_message(
+    certifier: &mut Certifier,
+    conn: &mut Connection,
+    msg: Message,
+    stop: &AtomicBool,
+) -> bool {
+    match msg {
+        Message::FetchHistory => {
+            let records = match certifier.certified_since(Version::ZERO) {
+                Ok(records) => records,
+                Err(e) => return conn.send(&Message::Err(e)).is_ok(),
+            };
+            conn.send(&Message::History { records }).is_ok()
+        }
+        Message::Certify(req) => {
+            let origin = req.replica;
+            let batch: Vec<CertifyRequest> = vec![req];
+            let results = match certifier.certify_batch(batch) {
+                Ok(r) => r,
+                Err(e) => return conn.send(&Message::Err(e)).is_ok(),
+            };
+            for (decision, refreshes) in results {
+                for (target, refresh) in
+                    certifier.refresh_targets(origin).into_iter().zip(refreshes)
+                {
+                    if conn
+                        .send(&Message::RefreshFor {
+                            to: target,
+                            refresh,
+                        })
+                        .is_err()
+                    {
+                        return false;
+                    }
+                }
+                if conn.send(&Message::Decision { origin, decision }).is_err() {
+                    return false;
+                }
+            }
+            true
+        }
+        Message::Applied { replica, version } => {
+            if let Some((origin, txn)) = certifier.on_commit_applied(replica, version) {
+                return conn.send(&Message::GlobalCommitFor { origin, txn }).is_ok();
+            }
+            true
+        }
+        Message::StopServer => {
+            stop.store(true, Ordering::SeqCst);
+            let _ = conn.send(&Message::Ack);
+            false
+        }
+        other => {
+            let _ = conn.send(&Message::Err(Error::Protocol(format!(
+                "unexpected message kind {} on a certifier connection",
+                other.kind()
+            ))));
+            false
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Cluster-side link
+// ----------------------------------------------------------------------
+
+/// The cluster side of the TCP certifier transport: pass it to
+/// [`bargain_cluster::Cluster::start_with_certifier_link`] to run against a
+/// [`CertifierServer`] in another process.
+pub struct RemoteCertifierLink {
+    conn: Connection,
+}
+
+impl RemoteCertifierLink {
+    /// Connects to a certifier service with the default policy.
+    pub fn connect(addr: &str) -> Result<RemoteCertifierLink> {
+        Self::connect_with(addr, &ConnectPolicy::default())
+    }
+
+    /// Connects with an explicit retry/backoff policy.
+    pub fn connect_with(addr: &str, policy: &ConnectPolicy) -> Result<RemoteCertifierLink> {
+        let conn = Connection::connect(addr, policy)?;
+        Ok(RemoteCertifierLink { conn })
+    }
+}
+
+impl CertifierLink for RemoteCertifierLink {
+    fn history(&mut self) -> Result<Vec<LogRecord>> {
+        match self.conn.call(&Message::FetchHistory)? {
+            Message::History { records } => Ok(records),
+            other => Err(Error::Protocol(format!(
+                "expected History, got message kind {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn serve(
+        self: Box<Self>,
+        requests: Receiver<CertifierRequest>,
+        deliveries: Sender<CertifierDelivery>,
+    ) {
+        // Split the socket: this thread writes requests, a dedicated reader
+        // drains deliveries. Decisions can arrive while we're mid-stream of
+        // certify requests, so the directions must not serialize.
+        let reader = self
+            .conn
+            .stream()
+            .try_clone()
+            .ok()
+            .and_then(|s| Connection::from_stream(s, None, None).ok());
+        let reader_handle = reader.map(|mut reader| {
+            std::thread::Builder::new()
+                .name("bargain-certlink-read".into())
+                .spawn(move || {
+                    loop {
+                        let delivery = match reader.recv() {
+                            Ok(Message::Decision { origin, decision }) => {
+                                CertifierDelivery::Decision { origin, decision }
+                            }
+                            Ok(Message::RefreshFor { to, refresh }) => {
+                                CertifierDelivery::Refresh { to, refresh }
+                            }
+                            Ok(Message::GlobalCommitFor { origin, txn }) => {
+                                CertifierDelivery::GlobalCommit { origin, txn }
+                            }
+                            // Unexpected frame or dead connection: the link
+                            // is done delivering.
+                            Ok(_) | Err(_) => break,
+                        };
+                        if deliveries.send(delivery).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn certifier link reader")
+        });
+
+        let mut writer = self.conn;
+        while let Ok(req) = requests.recv() {
+            let sent = match req {
+                CertifierRequest::Certify(r) => writer.send(&Message::Certify(r)),
+                CertifierRequest::Applied { replica, version } => {
+                    writer.send(&Message::Applied { replica, version })
+                }
+                CertifierRequest::Shutdown => break,
+            };
+            if sent.is_err() {
+                break;
+            }
+        }
+        // Closing both directions unblocks the reader thread's recv.
+        let _ = writer.stream().shutdown(Shutdown::Both);
+        if let Some(h) = reader_handle {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The remote session driver: the same open/prepare/run surface as
+//! `bargain_cluster::Session`, spoken over TCP.
+//!
+//! A `RemoteSession` is one connection and one consistency session, so the
+//! paper's closed-loop client model carries over unchanged: open one per
+//! logical client, issue one transaction at a time. Workload drivers
+//! written against `Session` run against `RemoteSession` verbatim (see
+//! `bargain_workloads::driver::TxnDriver`).
+
+use crate::codec::Message;
+use crate::conn::{ConnectPolicy, Connection};
+use bargain_cluster::{ClusterStats, TxnResult};
+use bargain_common::{ClientId, ConsistencyMode, Error, Result, TemplateId, Value};
+use std::collections::HashMap;
+
+/// A client session served by a remote [`crate::server::NetServer`].
+pub struct RemoteSession {
+    conn: Connection,
+    client: ClientId,
+    replicas: u32,
+    mode: ConsistencyMode,
+    /// `run_sql` prepare cache, keyed by the joined SQL text (mirrors the
+    /// local `Session`'s cache, but stores the server-assigned id).
+    cache: HashMap<String, TemplateId>,
+}
+
+impl RemoteSession {
+    /// Connects to a frontend server with the default
+    /// [`ConnectPolicy`] and opens a session.
+    pub fn connect(addr: &str) -> Result<RemoteSession> {
+        Self::connect_with(addr, &ConnectPolicy::default())
+    }
+
+    /// Connects with an explicit policy (retry budget, backoff, deadlines)
+    /// and opens a session. The handshake validates protocol magic and
+    /// version in both directions before any work is accepted.
+    pub fn connect_with(addr: &str, policy: &ConnectPolicy) -> Result<RemoteSession> {
+        let mut conn = Connection::connect(addr, policy)?;
+        let (replicas, mode) = match conn.call(&Message::Hello)? {
+            Message::HelloAck { replicas, mode } => (replicas, mode),
+            other => {
+                return Err(Error::Protocol(format!(
+                    "expected HelloAck, got message kind {}",
+                    other.kind()
+                )))
+            }
+        };
+        let client = match conn.call(&Message::OpenSession)? {
+            Message::SessionOpened { client } => ClientId(client),
+            other => {
+                return Err(Error::Protocol(format!(
+                    "expected SessionOpened, got message kind {}",
+                    other.kind()
+                )))
+            }
+        };
+        Ok(RemoteSession {
+            conn,
+            client,
+            replicas,
+            mode,
+            cache: HashMap::new(),
+        })
+    }
+
+    /// The cluster-assigned client id.
+    #[must_use]
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Number of replicas behind the server (from the handshake).
+    #[must_use]
+    pub fn replicas(&self) -> u32 {
+        self.replicas
+    }
+
+    /// The cluster's consistency configuration (from the handshake).
+    #[must_use]
+    pub fn mode(&self) -> ConsistencyMode {
+        self.mode
+    }
+
+    /// Executes DDL on every replica of the remote cluster.
+    pub fn execute_ddl(&mut self, sql: &str) -> Result<()> {
+        match self.conn.call(&Message::Ddl { sql: sql.into() })? {
+            Message::Ack => Ok(()),
+            other => Err(Error::Protocol(format!(
+                "expected Ack, got message kind {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Prepares a transaction template on the server, returning the
+    /// cluster-wide template id to pass to [`RemoteSession::run`].
+    pub fn prepare(&mut self, name: &str, sqls: &[&str]) -> Result<TemplateId> {
+        let msg = Message::Prepare {
+            name: name.into(),
+            sqls: sqls.iter().map(|s| (*s).to_owned()).collect(),
+        };
+        match self.conn.call(&msg)? {
+            Message::Prepared { template } => Ok(template),
+            other => Err(Error::Protocol(format!(
+                "expected Prepared, got message kind {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Runs one transaction from a previously prepared template. Aborts
+    /// come back as the same error variants the local `Session` surfaces
+    /// ([`Error::CertificationConflict`] is retryable, a draining server
+    /// yields [`Error::Unavailable`], ...).
+    pub fn run(&mut self, template: TemplateId, params: Vec<Vec<Value>>) -> Result<TxnResult> {
+        match self.conn.call(&Message::Run { template, params })? {
+            Message::TxnReply { outcome, results } => Ok((outcome, results)),
+            other => Err(Error::Protocol(format!(
+                "expected TxnReply, got message kind {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Runs one ad-hoc transaction given as `(sql, params)` statements,
+    /// preparing (and caching) a template for each distinct statement list
+    /// — the remote analogue of `Session::run_sql`.
+    pub fn run_sql(&mut self, stmts: &[(&str, Vec<Value>)]) -> Result<TxnResult> {
+        let key = stmts
+            .iter()
+            .map(|(sql, _)| *sql)
+            .collect::<Vec<_>>()
+            .join(";\n");
+        let template = match self.cache.get(&key) {
+            Some(id) => *id,
+            None => {
+                let sqls: Vec<&str> = stmts.iter().map(|(sql, _)| *sql).collect();
+                let id = self.prepare(&format!("adhoc.remote.{}", self.cache.len()), &sqls)?;
+                self.cache.insert(key, id);
+                id
+            }
+        };
+        let params: Vec<Vec<Value>> = stmts.iter().map(|(_, p)| p.clone()).collect();
+        self.run(template, params)
+    }
+
+    /// Like [`RemoteSession::run_sql`], retrying on retryable
+    /// (certification) aborts up to `max_retries` times.
+    pub fn run_sql_with_retry(
+        &mut self,
+        stmts: &[(&str, Vec<Value>)],
+        max_retries: usize,
+    ) -> Result<TxnResult> {
+        let mut attempt = 0;
+        loop {
+            match self.run_sql(stmts) {
+                Err(e) if e.is_retryable() && attempt < max_retries => attempt += 1,
+                other => return other,
+            }
+        }
+    }
+
+    /// Fetches the remote cluster's counters.
+    pub fn stats(&mut self) -> Result<ClusterStats> {
+        match self.conn.call(&Message::Stats)? {
+            Message::StatsReply {
+                routed,
+                commits,
+                aborts,
+                v_system,
+            } => Ok(ClusterStats {
+                routed,
+                commits,
+                aborts,
+                v_system,
+            }),
+            other => Err(Error::Protocol(format!(
+                "expected StatsReply, got message kind {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Asks the server to drain its cluster and exit (the graceful remote
+    /// stop), consuming this session.
+    pub fn stop_server(mut self) -> Result<()> {
+        match self.conn.call(&Message::StopServer)? {
+            Message::Ack => Ok(()),
+            other => Err(Error::Protocol(format!(
+                "expected Ack, got message kind {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! A framed protocol connection over a `TcpStream`, plus the bounded
+//! retry-with-backoff connect policy.
+
+use crate::codec::Message;
+use crate::frame::{encode_frame, parse_header, verify_payload, HEADER_LEN};
+use bargain_common::{Error, Result};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How a client establishes and maintains a connection.
+#[derive(Debug, Clone)]
+pub struct ConnectPolicy {
+    /// Maximum connect attempts before giving up with
+    /// [`Error::Unavailable`].
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles on each further attempt
+    /// (exponential backoff).
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Read deadline for replies (`None` blocks forever).
+    pub read_timeout: Option<Duration>,
+    /// Write deadline for requests (`None` blocks forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ConnectPolicy {
+    fn default() -> Self {
+        ConnectPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Classifies an I/O failure on an established connection: deadline
+/// expiries become [`Error::Timeout`], peer disappearances
+/// [`Error::ConnectionClosed`], anything else stays [`Error::Io`].
+pub(crate) fn classify_io(e: &io::Error, what: &str) -> Error {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            Error::Timeout(format!("{what} deadline expired: {e}"))
+        }
+        io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe => Error::ConnectionClosed(format!("{what}: {e}")),
+        _ => Error::Io(format!("{what}: {e}")),
+    }
+}
+
+/// A connection that sends and receives whole [`Message`]s.
+pub struct Connection {
+    stream: TcpStream,
+}
+
+impl Connection {
+    /// Wraps an accepted stream (server side), applying the given
+    /// deadlines.
+    pub fn from_stream(
+        stream: TcpStream,
+        read_timeout: Option<Duration>,
+        write_timeout: Option<Duration>,
+    ) -> Result<Connection> {
+        stream.set_nodelay(true).map_err(Error::from)?;
+        stream.set_read_timeout(read_timeout).map_err(Error::from)?;
+        stream
+            .set_write_timeout(write_timeout)
+            .map_err(Error::from)?;
+        Ok(Connection { stream })
+    }
+
+    /// Connects to `addr` with bounded retry and exponential backoff. Each
+    /// failed attempt sleeps, doubles the backoff (up to the policy's
+    /// ceiling), and tries again; after `max_attempts` failures the last
+    /// error is wrapped in [`Error::Unavailable`].
+    pub fn connect(addr: impl ToSocketAddrs + Copy, policy: &ConnectPolicy) -> Result<Connection> {
+        let mut backoff = policy.initial_backoff;
+        let mut last_err = String::new();
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    return Connection::from_stream(
+                        stream,
+                        policy.read_timeout,
+                        policy.write_timeout,
+                    );
+                }
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        Err(Error::Unavailable(format!(
+            "connect failed after {} attempts: {last_err}",
+            policy.max_attempts.max(1)
+        )))
+    }
+
+    /// The underlying stream (for `try_clone`/`peek`/`shutdown` plumbing).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Sends one message as one frame (a single `write_all`).
+    pub fn send(&mut self, msg: &Message) -> Result<()> {
+        let buf = encode_frame(msg.kind(), &msg.encode())?;
+        self.stream
+            .write_all(&buf)
+            .map_err(|e| classify_io(&e, "write"))
+    }
+
+    /// Receives one message, blocking up to the read deadline.
+    pub fn recv(&mut self) -> Result<Message> {
+        let mut header = [0u8; HEADER_LEN];
+        self.stream
+            .read_exact(&mut header)
+            .map_err(|e| classify_io(&e, "read frame header"))?;
+        let (kind, len, crc) = parse_header(&header)?;
+        let mut payload = vec![0u8; len as usize];
+        self.stream
+            .read_exact(&mut payload)
+            .map_err(|e| classify_io(&e, "read frame payload"))?;
+        verify_payload(crc, &payload)?;
+        Message::decode(kind, &payload)
+    }
+
+    /// Sends `msg` and waits for the reply, translating a [`Message::Err`]
+    /// reply into the error it carries.
+    pub fn call(&mut self, msg: &Message) -> Result<Message> {
+        self.send(msg)?;
+        match self.recv()? {
+            Message::Err(e) => Err(e),
+            reply => Ok(reply),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # bargain-net
+//!
+//! The wire-protocol subsystem: everything needed to run the replication
+//! middleware as *real processes* instead of threads in one address space —
+//! the deployment the paper actually measured (middleware components and
+//! replicas on separate machines of a cluster).
+//!
+//! Three layers:
+//!
+//! - [`frame`] + [`codec`] — a length-prefixed, CRC-32-checksummed binary
+//!   framing with a versioned header, and hand-rolled encodings for every
+//!   protocol message. The writeset/record encodings are byte-identical to
+//!   the certifier's WAL (`bargain_core::wal`): one codec, disk and wire.
+//! - [`server`] + [`certifier`] — threaded TCP servers. [`server::NetServer`]
+//!   hosts a full cluster node behind the session protocol;
+//!   [`certifier::CertifierServer`] hosts just the certification/durability
+//!   component so it can live in its own process, reached from a cluster via
+//!   [`certifier::RemoteCertifierLink`].
+//! - [`client`] — [`client::RemoteSession`], a drop-in client driver with
+//!   the same surface as `bargain_cluster::Session`, plus the bounded
+//!   retry/backoff [`conn::ConnectPolicy`].
+//!
+//! ```no_run
+//! use bargain_cluster::{Cluster, ClusterConfig};
+//! use bargain_net::{NetServer, RemoteSession};
+//! use bargain_common::Value;
+//!
+//! // Process A: serve a cluster on TCP.
+//! let cluster = Cluster::start(ClusterConfig::default());
+//! let server = NetServer::start("127.0.0.1:7045", cluster).unwrap();
+//!
+//! // Process B: drive it like a local session.
+//! let mut session = RemoteSession::connect("127.0.0.1:7045").unwrap();
+//! session.execute_ddl("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+//! session
+//!     .run_sql(&[("INSERT INTO t (id, v) VALUES (?, ?)", vec![Value::Int(1), Value::Int(10)])])
+//!     .unwrap();
+//! server.stop();
+//! ```
+
+pub mod certifier;
+pub mod client;
+pub mod codec;
+pub mod conn;
+pub mod frame;
+pub mod server;
+
+pub use certifier::{CertifierServer, CertifierServerConfig, RemoteCertifierLink};
+pub use client::RemoteSession;
+pub use codec::Message;
+pub use conn::{ConnectPolicy, Connection};
+pub use server::{NetServer, NetServerConfig};

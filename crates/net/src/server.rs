@@ -1,0 +1,317 @@
+//! The frontend server: hosts a [`Cluster`] behind a TCP listener and
+//! serves the session protocol to remote clients.
+//!
+//! One OS thread per connection (matching the paper's closed-loop client
+//! model: a connection issues one transaction at a time, so a thread per
+//! connection is a thread per active client). Connections are framed and
+//! checksummed (see [`crate::frame`]); a connection that dies mid-frame
+//! only takes its own session down — the cluster keeps serving everyone
+//! else.
+//!
+//! Shutdown is graceful: a [`Message::StopServer`] frame (or
+//! [`NetServer::stop`]) stops the acceptor, lets every connection finish
+//! its in-flight transaction, then drains the cluster —
+//! [`Cluster::drain`] flushes the certifier (and its WAL) and joins all
+//! runtime threads.
+
+use crate::codec::Message;
+use crate::conn::Connection;
+use bargain_cluster::{Cluster, Session};
+use bargain_common::{Error, Result, TableSet, TemplateId};
+use bargain_sql::TransactionTemplate;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for the frontend server.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Per-connection read deadline for a frame once bytes start flowing.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline.
+    pub write_timeout: Option<Duration>,
+    /// How often an idle connection checks the server's stop flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+struct Shared {
+    cluster: Cluster,
+    stop: AtomicBool,
+    config: NetServerConfig,
+    addr: SocketAddr,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running frontend server. Dropping the handle does *not* stop the
+/// server; call [`NetServer::stop`] (or send [`Message::StopServer`] from a
+/// client and call [`NetServer::wait`]).
+pub struct NetServer {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and serves
+    /// `cluster` with default timeouts.
+    pub fn start(addr: &str, cluster: Cluster) -> Result<NetServer> {
+        Self::start_with_config(addr, cluster, NetServerConfig::default())
+    }
+
+    /// Binds `addr` and serves `cluster` with explicit timeouts.
+    pub fn start_with_config(
+        addr: &str,
+        cluster: Cluster,
+        config: NetServerConfig,
+    ) -> Result<NetServer> {
+        let listener = TcpListener::bind(addr).map_err(Error::from)?;
+        let addr = listener.local_addr().map_err(Error::from)?;
+        let shared = Arc::new(Shared {
+            cluster,
+            stop: AtomicBool::new(false),
+            config,
+            addr,
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("bargain-net-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(Error::from)?
+        };
+        Ok(NetServer {
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Asks the server to stop without blocking: the acceptor wakes up and
+    /// exits, idle connections close at their next poll tick, busy ones
+    /// after their in-flight transaction.
+    pub fn request_stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.shared.addr);
+    }
+
+    /// Blocks until the server has stopped (via [`NetServer::request_stop`]
+    /// or a client's [`Message::StopServer`]), then joins every connection
+    /// thread and drains the cluster.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.conns.lock());
+        for c in conns {
+            let _ = c.join();
+        }
+        // The unwrap cannot fail in practice: every thread holding a clone
+        // has been joined. If it somehow does, the cluster's threads die
+        // with the process instead of draining.
+        if let Ok(shared) = Arc::try_unwrap(self.shared) {
+            shared.cluster.drain();
+        }
+    }
+
+    /// Graceful shutdown: [`NetServer::request_stop`] then
+    /// [`NetServer::wait`].
+    pub fn stop(self) {
+        self.request_stop();
+        self.wait();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let handler = {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name("bargain-net-conn".into())
+                .spawn(move || serve_conn(&shared, stream))
+        };
+        if let Ok(handle) = handler {
+            shared.conns.lock().push(handle);
+        }
+    }
+}
+
+/// What an idle poll on a connection observed.
+enum Poll {
+    /// Bytes are waiting; read a frame.
+    Readable,
+    /// Nothing yet; check the stop flag and poll again.
+    Idle,
+    /// The peer closed the connection.
+    Closed,
+}
+
+/// Waits up to `interval` for the connection to become readable, without
+/// consuming bytes. Lets idle connections notice the server's stop flag
+/// while blocking frame reads keep their full deadline once traffic
+/// arrives.
+fn poll_readable(stream: &TcpStream, interval: Duration, restore: Option<Duration>) -> Poll {
+    if stream.set_read_timeout(Some(interval)).is_err() {
+        return Poll::Closed;
+    }
+    let mut probe = [0u8; 1];
+    let polled = match stream.peek(&mut probe) {
+        Ok(0) => Poll::Closed,
+        Ok(_) => Poll::Readable,
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Poll::Idle
+        }
+        Err(_) => Poll::Closed,
+    };
+    if stream.set_read_timeout(restore).is_err() {
+        return Poll::Closed;
+    }
+    polled
+}
+
+fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let config = &shared.config;
+    let Ok(mut conn) = Connection::from_stream(stream, config.read_timeout, config.write_timeout)
+    else {
+        return;
+    };
+    // Per-connection state: the cluster session (opened on demand) and the
+    // templates this connection prepared, keyed by their cluster-wide id.
+    let mut session: Option<Session> = None;
+    let mut templates: HashMap<TemplateId, (Arc<TransactionTemplate>, TableSet)> = HashMap::new();
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match poll_readable(conn.stream(), config.poll_interval, config.read_timeout) {
+            Poll::Idle => continue,
+            Poll::Closed => return,
+            Poll::Readable => {}
+        }
+        let msg = match conn.recv() {
+            Ok(msg) => msg,
+            Err(Error::ConnectionClosed(_)) => return,
+            Err(e) => {
+                // Codec errors (bad magic, checksum mismatch) mean stream
+                // framing is lost: report once and drop the connection.
+                let _ = conn.send(&Message::Err(e));
+                return;
+            }
+        };
+        let reply = handle_message(shared, msg, &mut session, &mut templates);
+        let stop_after = matches!(reply, Some(Message::Ack) if shared.stop.load(Ordering::SeqCst));
+        if let Some(reply) = reply {
+            if conn.send(&reply).is_err() {
+                return;
+            }
+        }
+        if stop_after {
+            return;
+        }
+    }
+}
+
+fn handle_message(
+    shared: &Arc<Shared>,
+    msg: Message,
+    session: &mut Option<Session>,
+    templates: &mut HashMap<TemplateId, (Arc<TransactionTemplate>, TableSet)>,
+) -> Option<Message> {
+    let reply = match msg {
+        Message::Hello => Message::HelloAck {
+            replicas: shared.cluster.replicas() as u32,
+            mode: shared.cluster.mode(),
+        },
+        Message::OpenSession => {
+            let s = shared.cluster.connect();
+            let client = s.client().0;
+            *session = Some(s);
+            Message::SessionOpened { client }
+        }
+        Message::Ddl { sql } => match shared.cluster.execute_ddl(&sql) {
+            Ok(()) => Message::Ack,
+            Err(e) => Message::Err(e),
+        },
+        Message::Prepare { name, sqls } => {
+            let sql_refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+            match shared.cluster.prepare_template(&name, &sql_refs) {
+                Ok((template, table_set)) => {
+                    let id = template.id;
+                    templates.insert(id, (template, table_set));
+                    Message::Prepared { template: id }
+                }
+                Err(e) => Message::Err(e),
+            }
+        }
+        Message::Run { template, params } => match run_txn(session, templates, template, params) {
+            Ok(reply) => reply,
+            Err(e) => Message::Err(e),
+        },
+        Message::Stats => match shared.cluster.stats() {
+            Ok(s) => Message::StatsReply {
+                routed: s.routed,
+                commits: s.commits,
+                aborts: s.aborts,
+                v_system: s.v_system,
+            },
+            Err(e) => Message::Err(e),
+        },
+        Message::StopServer => {
+            shared.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking acceptor so it observes the flag.
+            let _ = TcpStream::connect(shared.addr);
+            Message::Ack
+        }
+        other => Message::Err(Error::Protocol(format!(
+            "unexpected message kind {} on a frontend connection",
+            other.kind()
+        ))),
+    };
+    Some(reply)
+}
+
+fn run_txn(
+    session: &mut Option<Session>,
+    templates: &HashMap<TemplateId, (Arc<TransactionTemplate>, TableSet)>,
+    template: TemplateId,
+    params: Vec<Vec<bargain_common::Value>>,
+) -> Result<Message> {
+    let session = session
+        .as_mut()
+        .ok_or_else(|| Error::Protocol("no session open; send OpenSession first".into()))?;
+    let (template, table_set) = templates
+        .get(&template)
+        .ok_or_else(|| Error::Protocol(format!("unknown template {template}; prepare it first")))?;
+    let (outcome, results) = session.run_prepared(template, table_set.clone(), params)?;
+    Ok(Message::TxnReply { outcome, results })
+}

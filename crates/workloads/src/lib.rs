@@ -17,10 +17,12 @@
 //! context's seed, so simulated experiments are exactly reproducible.
 
 pub mod client;
+pub mod driver;
 pub mod micro;
 pub mod tpcw;
 
 pub use client::ClientContext;
+pub use driver::{drive, DriveStats, LocalDriver, RemoteDriver, TxnDriver};
 pub use micro::MicroBenchmark;
 pub use tpcw::{TpcwMix, TpcwWorkload};
 

@@ -1,0 +1,154 @@
+//! The bookstore, split across two real OS processes: a server process
+//! hosts the replicated cluster behind `bargain-net`'s TCP endpoint, and
+//! this (parent) process drives it with concurrent shoppers over loopback
+//! sockets — the paper's middleware deployment, where clients and the
+//! replicated system do not share an address space.
+//!
+//! The example re-execs itself with `--serve` as the server child, waits
+//! for its `LISTENING <addr>` handshake line, shops against it over TCP,
+//! audits the books remotely, and stops the server gracefully with the
+//! wire protocol's `StopServer` message.
+//!
+//! Run with: `cargo run --release --example netstore`
+
+use bargain::cluster::{Cluster, ClusterConfig};
+use bargain::common::{ClientId, ConsistencyMode};
+use bargain::net::{NetServer, RemoteSession};
+use bargain::workloads::{ClientContext, RemoteDriver, TpcwMix, TpcwWorkload, TxnDriver, Workload};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+const SHOPPERS: u64 = 6;
+const VISITS_PER_SHOPPER: usize = 150;
+
+fn storefront() -> TpcwWorkload {
+    TpcwWorkload {
+        items: 200,
+        customers: 100,
+        carts: 64,
+        orders: 50,
+        think_time_ms: 0.0,
+        ..TpcwWorkload::new(TpcwMix::Shopping)
+    }
+}
+
+/// Server mode (`--serve`): host the cluster on a loopback TCP port and
+/// print the bound address for the parent, then serve until `StopServer`.
+fn serve() {
+    let workload = storefront();
+    let install = workload.clone();
+    let cluster = Cluster::start_with_setup(
+        ClusterConfig {
+            replicas: 3,
+            mode: ConsistencyMode::LazyFine,
+            ..ClusterConfig::default()
+        },
+        move |e| install.install(e),
+    );
+    let server = NetServer::start("127.0.0.1:0", cluster).expect("bind loopback");
+    // The handshake line the parent blocks on. Printed exactly once, after
+    // the listener is accepting.
+    println!("LISTENING {}", server.local_addr());
+    server.wait();
+}
+
+fn spawn_server() -> (Child, String) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut child = Command::new(exe)
+        .arg("--serve")
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn server process");
+    let stdout = child.stdout.take().expect("child stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let line = lines
+        .next()
+        .expect("server prints its address")
+        .expect("readable child stdout");
+    let addr = line
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected handshake line: {line}"))
+        .to_string();
+    (child, addr)
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--serve") {
+        serve();
+        return;
+    }
+
+    let (mut child, addr) = spawn_server();
+    let workload = storefront();
+    println!(
+        "bookstore open in process {} at {addr}: {} shoppers x {} page visits over TCP",
+        child.id(),
+        SHOPPERS,
+        VISITS_PER_SHOPPER
+    );
+
+    let mut threads = Vec::new();
+    for shopper in 0..SHOPPERS {
+        let addr = addr.clone();
+        let workload = workload.clone();
+        threads.push(std::thread::spawn(move || {
+            let session = RemoteSession::connect(&addr).expect("shopper connects");
+            let mut driver = RemoteDriver::new(session);
+            driver
+                .register(&workload.templates())
+                .expect("templates prepare remotely");
+            let mut ctx = ClientContext::new(2026, ClientId(shopper));
+            let (mut committed, mut retried) = (0u32, 0u32);
+            for _ in 0..VISITS_PER_SHOPPER {
+                let (tid, params) = workload.next_transaction(&mut ctx);
+                loop {
+                    match driver.run(tid, params.clone()) {
+                        Ok(_) => {
+                            committed += 1;
+                            break;
+                        }
+                        Err(e) if e.is_retryable() => retried += 1,
+                        Err(e) => panic!("template {tid}: {e}"),
+                    }
+                }
+            }
+            (committed, retried)
+        }));
+    }
+    let mut total_committed = 0;
+    let mut total_retried = 0;
+    for t in threads {
+        let (c, r) = t.join().unwrap();
+        total_committed += c;
+        total_retried += r;
+    }
+
+    // Same audit as the in-process bookstore, performed over the wire:
+    // every confirmed order has exactly 3 order lines and 1 card charge.
+    let mut auditor = RemoteSession::connect(&addr).expect("auditor connects");
+    let mut count = |sql: &str| -> i64 {
+        auditor.run_sql(&[(sql, vec![])]).unwrap().1[0]
+            .rows()
+            .unwrap()[0][0]
+            .as_int()
+            .unwrap()
+    };
+    let orders = count("SELECT COUNT(*) FROM orders");
+    let lines = count("SELECT COUNT(*) FROM order_line");
+    let ccs = count("SELECT COUNT(*) FROM cc_xacts");
+    println!(
+        "\nclosed for the day: {total_committed} transactions committed, {total_retried} conflict retries"
+    );
+    println!("audit: {orders} orders, {lines} order lines, {ccs} card transactions");
+    assert_eq!(lines, orders * 3, "each order must have exactly 3 lines");
+    assert_eq!(
+        ccs, orders,
+        "each order must have exactly 1 card transaction"
+    );
+    println!("audit passed: atomicity held up across a real socket boundary ✓");
+
+    auditor.stop_server().expect("graceful server stop");
+    let status = child.wait().expect("server process exits");
+    assert!(status.success(), "server exited with {status}");
+    println!("server process drained and exited cleanly ✓");
+}

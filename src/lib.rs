@@ -18,6 +18,9 @@
 //!   balancer, and the four consistency configurations (`Eager`,
 //!   `LazyCoarse`, `LazyFine`, `Session`).
 //! - [`cluster`] — a live, threaded in-process deployment for applications.
+//! - [`net`] — the TCP wire protocol: frontend and certifier servers plus
+//!   the `RemoteSession` client driver, so the middleware runs as real
+//!   processes across machine boundaries.
 //! - [`sim`] — a deterministic discrete-event simulator used to reproduce
 //!   the paper's evaluation.
 //! - [`workloads`] — the micro-benchmark and TPC-W workload generators.
@@ -59,6 +62,7 @@
 pub use bargain_cluster as cluster;
 pub use bargain_common as common;
 pub use bargain_core as core;
+pub use bargain_net as net;
 pub use bargain_sim as sim;
 pub use bargain_sql as sql;
 pub use bargain_storage as storage;
