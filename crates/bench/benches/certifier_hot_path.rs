@@ -49,6 +49,7 @@ fn req(txn: i64, snapshot: Version, writeset: WriteSet) -> CertifyRequest {
         replica: ReplicaId(0),
         snapshot,
         writeset,
+        idem: None,
     }
 }
 

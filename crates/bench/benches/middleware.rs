@@ -37,6 +37,7 @@ fn bench_certify(c: &mut Criterion) {
                         replica: ReplicaId(0),
                         snapshot,
                         writeset: ws(k),
+                        idem: None,
                     })
                     .unwrap(),
             )
@@ -56,6 +57,7 @@ fn bench_certify_with_conflict_window(c: &mut Criterion) {
                     replica: ReplicaId(0),
                     snapshot: v,
                     writeset: ws(i),
+                    idem: None,
                 })
                 .unwrap();
         }
@@ -70,6 +72,7 @@ fn bench_certify_with_conflict_window(c: &mut Criterion) {
                         replica: ReplicaId(1),
                         snapshot: old_snapshot,
                         writeset: ws(k),
+                        idem: None,
                     })
                     .unwrap(),
             )
@@ -91,6 +94,7 @@ fn bench_lb_route(c: &mut Criterion) {
                         session: SessionId(i % 64),
                         template: TemplateId(0),
                         params: vec![],
+                        idem: None,
                     })
                     .unwrap();
                 // Complete it immediately to keep active counts bounded.

@@ -38,6 +38,7 @@ fn bench_codec(c: &mut Criterion) {
     let run = Message::Run {
         template: bargain_common::TemplateId(7),
         params: vec![vec![Value::Int(123_456), Value::Int(42)]],
+        idem: None,
     };
     c.bench_function("net/codec_run_round_trip", |b| {
         b.iter(|| {

@@ -54,6 +54,7 @@ fn routed(
         params,
         replica: ReplicaId(replica),
         start_requirement: req,
+        idem: None,
     }
 }
 

@@ -71,6 +71,11 @@ pub struct ClusterStats {
     pub aborts: u64,
     /// The system version (`V_system`) at the load balancer.
     pub v_system: Version,
+    /// Whether the link to the certification service is currently healthy
+    /// (always `true` for the in-process certifier).
+    pub certifier_up: bool,
+    /// How many times the certifier link has been declared down.
+    pub certifier_downs: u64,
 }
 
 pub(crate) enum ToLb {
@@ -96,6 +101,9 @@ pub(crate) enum ToLb {
     Drain {
         ack: Sender<()>,
     },
+    /// The certifier link changed health: `false` sheds new update traffic
+    /// at the load balancer, `true` resumes admission.
+    CertifierHealth(bool),
     Shutdown,
 }
 
@@ -107,6 +115,14 @@ enum ToReplica {
     Refresh(Refresh),
     Decision(CertifyDecision),
     GlobalCommit(TxnId),
+    /// The certifier link went down (failure epoch attached): abort every
+    /// certifying transaction — its outcome is unknowable until the link
+    /// recovers — and acknowledge the sweep back through the certifier
+    /// request channel so the link can tell pre-sweep requests (to be
+    /// discarded) from post-sweep ones (to be forwarded after reconnect).
+    CertifierLost {
+        epoch: u64,
+    },
     Ddl {
         stmt: Box<Statement>,
         ack: Sender<Result<()>>,
@@ -128,6 +144,18 @@ pub enum CertifierRequest {
         replica: ReplicaId,
         /// The version it has applied.
         version: Version,
+    },
+    /// A replica acknowledges the link-loss sweep of the given epoch. The
+    /// request channel is FIFO per replica, so every certify request the
+    /// replica enqueued *before* this marker belonged to a transaction the
+    /// sweep aborted: the link discards those instead of replaying them
+    /// after reconnecting (replaying one could commit writes whose origin
+    /// copy is gone, leaving a version gap at the origin replica).
+    SweepAck {
+        /// The acknowledging replica.
+        replica: ReplicaId,
+        /// The failure epoch being acknowledged.
+        epoch: u64,
     },
     /// Flush pending work and stop serving.
     Shutdown,
@@ -157,6 +185,27 @@ pub enum CertifierDelivery {
         origin: ReplicaId,
         /// The globally committed transaction.
         txn: TxnId,
+    },
+    /// The transport declared the certification service unreachable
+    /// (heartbeat expiry or send failure). Because this travels the same
+    /// FIFO channel as decisions, every decision the link received before
+    /// the failure is processed by its replica *before* the sweep this
+    /// triggers.
+    Down {
+        /// Monotone failure epoch (first failure is epoch 1).
+        epoch: u64,
+    },
+    /// The transport reconnected and finished resynchronizing: new update
+    /// traffic may be admitted again.
+    Up,
+    /// Commits certified while the link was down (or whose deliveries were
+    /// lost with the old connection), fetched from the service's durable
+    /// history on reconnect. The runtime replays them as refreshes to
+    /// *every* replica — origins included, since the sweep aborted their
+    /// local copies — and replicas ignore versions they already applied.
+    Resync {
+        /// The missed commit records, in commit order.
+        records: Vec<LogRecord>,
     },
 }
 
@@ -352,6 +401,7 @@ impl Cluster {
                         .expect("spawn certifier link thread"),
                 );
                 let replica_txs = replica_txs.clone();
+                let lb_tx = lb_tx.clone();
                 handles.push(
                     std::thread::Builder::new()
                         .name("bargain-certdispatch".into())
@@ -369,6 +419,27 @@ impl Cluster {
                                     CertifierDelivery::GlobalCommit { origin, txn } => {
                                         let _ = replica_txs[origin.index()]
                                             .send(ToReplica::GlobalCommit(txn));
+                                    }
+                                    CertifierDelivery::Down { epoch } => {
+                                        for r in &replica_txs {
+                                            let _ = r.send(ToReplica::CertifierLost { epoch });
+                                        }
+                                        let _ = lb_tx.send(ToLb::CertifierHealth(false));
+                                    }
+                                    CertifierDelivery::Up => {
+                                        let _ = lb_tx.send(ToLb::CertifierHealth(true));
+                                    }
+                                    CertifierDelivery::Resync { records } => {
+                                        for rec in records {
+                                            for r in &replica_txs {
+                                                let _ = r.send(ToReplica::Refresh(Refresh {
+                                                    origin: rec.origin,
+                                                    txn: rec.txn,
+                                                    commit_version: rec.commit_version,
+                                                    writeset: Arc::clone(&rec.writeset),
+                                                }));
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -642,12 +713,34 @@ fn replica_main(
                 handle_events(&mut proxy, events, &mut n_stmts, &mut results, &lb, &cert);
             }
             ToReplica::Decision(decision) => {
-                let events = proxy.on_decision(decision).expect("decision applies");
-                handle_events(&mut proxy, events, &mut n_stmts, &mut results, &lb, &cert);
+                match proxy.on_decision(decision) {
+                    Ok(events) => {
+                        handle_events(&mut proxy, events, &mut n_stmts, &mut results, &lb, &cert);
+                    }
+                    // A decision for a transaction the certifier-loss sweep
+                    // already aborted: its commit, if any, reaches this
+                    // replica through the reconnect resync instead.
+                    Err(Error::NoSuchTransaction(_)) => {}
+                    Err(e) => panic!("decision failed: {e}"),
+                }
             }
-            ToReplica::GlobalCommit(txn) => {
-                let outcome = proxy.on_global_commit(txn).expect("awaiting global");
-                send_outcome(outcome, &mut n_stmts, &mut results, &lb);
+            ToReplica::GlobalCommit(txn) => match proxy.on_global_commit(txn) {
+                Ok(outcome) => send_outcome(outcome, &mut n_stmts, &mut results, &lb),
+                // Stale global-commit notification for a swept transaction.
+                Err(Error::NoSuchTransaction(_) | Error::Protocol(_)) => {}
+                Err(e) => panic!("global commit failed: {e}"),
+            },
+            ToReplica::CertifierLost { epoch } => {
+                let outcomes = proxy.abort_certifying(
+                    "certifier unavailable: link down, outcome unknown (retry-after)",
+                );
+                for outcome in outcomes {
+                    send_outcome(outcome, &mut n_stmts, &mut results, &lb);
+                }
+                let _ = cert.send(CertifierRequest::SweepAck {
+                    replica: proxy.replica(),
+                    epoch,
+                });
             }
             ToReplica::Ddl { stmt, ack } => {
                 let _ = ack.send(execute_ddl(proxy.engine_mut(), &stmt));
@@ -703,6 +796,9 @@ fn certifier_main(
                         let _ = replicas[origin.index()].send(ToReplica::GlobalCommit(txn));
                     }
                 }
+                // The in-process certifier never declares itself down, so a
+                // sweep acknowledgement has nothing to fence.
+                CertifierRequest::SweepAck { .. } => {}
                 CertifierRequest::Shutdown => {
                     flush_batch(&mut certifier, &mut batch, &replicas);
                     break 'outer;
@@ -802,7 +898,16 @@ fn lb_main(
                     commits: s.commits,
                     aborts: s.aborts,
                     v_system: lb.v_system(),
+                    certifier_up: lb.certifier_is_up(),
+                    certifier_downs: s.certifier_downs,
                 });
+            }
+            ToLb::CertifierHealth(up) => {
+                if up {
+                    lb.mark_certifier_up();
+                } else {
+                    lb.mark_certifier_down();
+                }
             }
             ToLb::Drain { ack } => {
                 if replies.is_empty() {

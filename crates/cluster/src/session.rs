@@ -1,7 +1,7 @@
 //! Client sessions: the application-facing API of the cluster.
 
 use crate::runtime::ToLb;
-use bargain_common::{ClientId, Error, Result, SessionId, TableSet, TemplateId, Value};
+use bargain_common::{ClientId, Error, IdemKey, Result, SessionId, TableSet, TemplateId, Value};
 use bargain_core::{TxnOutcome, TxnRequest};
 use bargain_sql::{QueryResult, TransactionTemplate};
 use bargain_storage::Engine;
@@ -21,7 +21,10 @@ pub type TxnResult = (TxnOutcome, Vec<QueryResult>);
 pub fn abort_error(reason: String) -> Error {
     if reason.contains("certification") {
         Error::CertificationConflict(reason)
-    } else if reason.contains("draining") {
+    } else if reason.contains("draining")
+        || reason.contains("unavailable")
+        || reason.contains("overloaded")
+    {
         Error::Unavailable(reason)
     } else {
         Error::SqlExecution(reason)
@@ -115,6 +118,20 @@ impl Session {
         table_set: TableSet,
         params: Vec<Vec<Value>>,
     ) -> Result<TxnResult> {
+        self.run_prepared_keyed(template, table_set, params, None)
+    }
+
+    /// [`Session::run_prepared`] with an optional client idempotency key.
+    /// A remote client retrying an in-doubt transaction re-submits under
+    /// the same key; the certifier answers duplicates with the original
+    /// commit instead of applying the writes twice.
+    pub fn run_prepared_keyed(
+        &mut self,
+        template: &Arc<TransactionTemplate>,
+        table_set: TableSet,
+        params: Vec<Vec<Value>>,
+        idem: Option<IdemKey>,
+    ) -> Result<TxnResult> {
         let (reply_tx, reply_rx) = unbounded();
         self.lb
             .send(ToLb::Run {
@@ -125,6 +142,7 @@ impl Session {
                     session: self.session,
                     template: template.id,
                     params,
+                    idem,
                 },
                 reply: reply_tx,
             })

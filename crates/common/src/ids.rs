@@ -106,6 +106,32 @@ id_type! {
     TemplateId(u32)
 }
 
+/// An idempotency key a client attaches to an update transaction so the
+/// certifier can recognize a *retry* of a request whose acknowledgement was
+/// lost in the network.
+///
+/// `client` is a client-chosen nonce (not a cluster [`ClientId`], which is
+/// reassigned on reconnect); `seq` increments once per logical transaction,
+/// *not* per retry — every re-issue of an in-doubt transaction carries the
+/// same key. The certifier remembers, per client nonce, the latest certified
+/// `(seq, txn, commit_version)` and answers a duplicate with the original
+/// commit version instead of certifying (and applying) the writes twice.
+/// The mapping is rebuilt from the commit log on recovery, so exactly-once
+/// holds across certifier restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IdemKey {
+    /// Client-chosen random nonce identifying one logical client.
+    pub client: u64,
+    /// Per-client logical transaction sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for IdemKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IdemKey({:#x}/{})", self.client, self.seq)
+    }
+}
+
 impl ReplicaId {
     /// Convenience accessor for indexing per-replica vectors.
     #[must_use]

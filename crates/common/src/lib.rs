@@ -21,7 +21,7 @@ pub mod writeset;
 
 pub use config::ConsistencyMode;
 pub use error::{Error, Result};
-pub use ids::{ClientId, ReplicaId, SessionId, TableId, TemplateId, TxnId, Version};
+pub use ids::{ClientId, IdemKey, ReplicaId, SessionId, TableId, TemplateId, TxnId, Version};
 pub use tableset::TableSet;
 pub use value::{Row, Value};
 pub use writeset::{CertifiedWriteSet, KeySet, WriteOp, WriteSet, WriteSetEntry};

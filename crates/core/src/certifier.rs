@@ -35,7 +35,7 @@
 
 use crate::messages::{CertifyDecision, CertifyRequest, Refresh};
 use crate::wal::{CommitLog, LogRecord, MemoryLog};
-use bargain_common::{ReplicaId, Result, TableId, TxnId, Value, Version, WriteSet};
+use bargain_common::{IdemKey, ReplicaId, Result, TableId, TxnId, Value, Version, WriteSet};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -50,6 +50,9 @@ pub struct CertifierStats {
     pub refreshes_sent: u64,
     /// History entries pruned.
     pub pruned: u64,
+    /// Certify requests answered from the idempotency map (client retries
+    /// of already-committed transactions).
+    pub duplicates: u64,
 }
 
 struct EagerState {
@@ -69,6 +72,7 @@ struct EagerState {
 struct HistoryEntry {
     txn: TxnId,
     origin: ReplicaId,
+    idem: Option<IdemKey>,
     writeset: Arc<WriteSet>,
 }
 
@@ -89,6 +93,12 @@ pub struct Certifier {
     /// [`Certifier::recover`].
     row_index: HashMap<TableId, HashMap<Value, Version>>,
     log: Box<dyn CommitLog>,
+    /// Exactly-once retry map: per client nonce, the newest certified
+    /// `(seq, txn, commit_version)`. One entry per client ever seen (a
+    /// client retries only its current sequence number, so older entries
+    /// are dead weight and are overwritten). Rebuilt from the log by
+    /// [`Certifier::recover`], so deduplication survives restarts.
+    dedup: HashMap<u64, (u64, TxnId, Version)>,
     /// Eager-mode accounting: commit version → replicas applied so far.
     eager_pending: HashMap<Version, EagerState>,
     eager_enabled: bool,
@@ -112,6 +122,7 @@ impl Certifier {
             history_floor: Version::ZERO,
             row_index: HashMap::new(),
             log,
+            dedup: HashMap::new(),
             eager_pending: HashMap::new(),
             eager_enabled: false,
             stats: CertifierStats::default(),
@@ -209,6 +220,36 @@ impl Certifier {
                 req.snapshot, self.history_floor
             )));
         }
+        // Exactly-once: a retry of an already-certified request is answered
+        // with the original outcome instead of committing its writes twice.
+        // The certifier is the single serialization point, so this check
+        // catches every ordering of original and retry: whichever arrives
+        // second sees the first's entry. Aborted originals leave no entry
+        // (their retry certifies fresh, which is correct — they had no
+        // effect).
+        if let Some(key) = req.idem {
+            if let Some(&(seq, txn, commit_version)) = self.dedup.get(&key.client) {
+                if seq == key.seq {
+                    self.stats.duplicates += 1;
+                    return Ok((
+                        CertifyDecision::Duplicate {
+                            txn: req.txn,
+                            original: txn,
+                            commit_version,
+                        },
+                        Vec::new(),
+                    ));
+                }
+                if seq > key.seq {
+                    // A correct client only ever retries its *current*
+                    // sequence number; seeing an older one means the key is
+                    // being replayed out of protocol.
+                    return Err(bargain_common::Error::Protocol(format!(
+                        "certify: stale idempotency key {key} (client already certified seq {seq})"
+                    )));
+                }
+            }
+        }
         // Probe the last writer of every row in the writeset. The newest
         // last-writer above the snapshot is exactly the newest conflicting
         // committed version.
@@ -236,9 +277,14 @@ impl Certifier {
             commit_version,
             txn: req.txn,
             origin: req.replica,
+            idem: req.idem,
             writeset: Arc::clone(&writeset),
         });
         self.v_commit = commit_version;
+        if let Some(key) = req.idem {
+            self.dedup
+                .insert(key.client, (key.seq, req.txn, commit_version));
+        }
         for entry in writeset.entries() {
             self.row_index
                 .entry(entry.table)
@@ -248,6 +294,7 @@ impl Certifier {
         self.history.push_back(HistoryEntry {
             txn: req.txn,
             origin: req.replica,
+            idem: req.idem,
             writeset: Arc::clone(&writeset),
         });
         if self.eager_enabled {
@@ -393,6 +440,7 @@ impl Certifier {
         self.history_floor = Version::ZERO;
         self.v_commit = Version::ZERO;
         self.row_index.clear();
+        self.dedup.clear();
         self.eager_pending.clear();
         for rec in &records {
             if rec.commit_version != self.v_commit.next() {
@@ -408,9 +456,16 @@ impl Certifier {
                     .or_default()
                     .insert(row.key.clone(), rec.commit_version);
             }
+            // Replayed in commit order, so per client the newest certified
+            // sequence number wins — exactly the pre-crash dedup state.
+            if let Some(key) = rec.idem {
+                self.dedup
+                    .insert(key.client, (key.seq, rec.txn, rec.commit_version));
+            }
             self.history.push_back(HistoryEntry {
                 txn: rec.txn,
                 origin: rec.origin,
+                idem: rec.idem,
                 writeset: Arc::clone(&rec.writeset),
             });
             if self.eager_enabled {
@@ -449,6 +504,7 @@ impl Certifier {
                     commit_version: Version(self.history_floor.0 + i as u64 + 1),
                     txn: e.txn,
                     origin: e.origin,
+                    idem: e.idem,
                     writeset: Arc::clone(&e.writeset),
                 })
                 .collect());
@@ -527,7 +583,13 @@ mod tests {
             replica: ReplicaId(replica),
             snapshot: Version(snapshot),
             writeset: w,
+            idem: None,
         }
+    }
+
+    fn keyed(mut r: CertifyRequest, client: u64, seq: u64) -> CertifyRequest {
+        r.idem = Some(IdemKey { client, seq });
+        r
     }
 
     #[test]
@@ -668,7 +730,7 @@ mod tests {
         let (d, _) = c.certify(req(1, 1, 0, ws(0, 1))).unwrap();
         let v = match d {
             CertifyDecision::Commit { commit_version, .. } => commit_version,
-            CertifyDecision::Abort { .. } => panic!("should commit"),
+            _ => panic!("should commit"),
         };
         assert_eq!(c.on_commit_applied(ReplicaId(1), v), None); // origin applied
         assert_eq!(c.on_commit_applied(ReplicaId(0), v), None);
@@ -686,7 +748,7 @@ mod tests {
         let (d, _) = c.certify(req(1, 0, 0, ws(0, 1))).unwrap();
         let v = match d {
             CertifyDecision::Commit { commit_version, .. } => commit_version,
-            CertifyDecision::Abort { .. } => panic!("should commit"),
+            _ => panic!("should commit"),
         };
         assert_eq!(c.on_commit_applied(ReplicaId(0), v), None);
         assert_eq!(c.on_commit_applied(ReplicaId(1), v), None);
@@ -854,6 +916,82 @@ mod tests {
         c.recover().unwrap();
         assert!(c.on_replica_hello(ReplicaId(0), Version(1)).is_empty());
         assert!(c.on_replica_hello(ReplicaId(1), Version(1)).is_empty());
+    }
+
+    #[test]
+    fn retry_of_committed_txn_is_answered_with_original_outcome() {
+        let mut c = Certifier::new(replicas(2));
+        let (d, _) = c.certify(keyed(req(1, 0, 0, ws(0, 1)), 42, 0)).unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Commit {
+                txn: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
+        // The retry executes on another replica under a different TxnId but
+        // carries the same key: no new version, no refreshes, original
+        // outcome echoed.
+        let (d, r) = c.certify(keyed(req(9, 1, 1, ws(0, 1)), 42, 0)).unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Duplicate {
+                txn: TxnId(9),
+                original: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
+        assert!(r.is_empty());
+        assert_eq!(c.version(), Version(1));
+        assert_eq!(c.stats().duplicates, 1);
+        assert_eq!(c.stats().commits, 1);
+    }
+
+    #[test]
+    fn aborted_original_leaves_no_dedup_entry() {
+        let mut c = Certifier::new(replicas(2));
+        c.certify(req(1, 0, 0, ws(0, 5))).unwrap(); // v1 writes row 5
+                                                    // Keyed request conflicts and aborts: no dedup entry.
+        let (d, _) = c.certify(keyed(req(2, 1, 0, ws(0, 5)), 7, 3)).unwrap();
+        assert!(matches!(d, CertifyDecision::Abort { .. }));
+        // The client's retry (fresh snapshot) certifies normally.
+        let (d, _) = c.certify(keyed(req(3, 1, 1, ws(0, 5)), 7, 3)).unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Commit {
+                txn: TxnId(3),
+                commit_version: Version(2)
+            }
+        );
+    }
+
+    #[test]
+    fn newer_seq_replaces_dedup_entry_and_stale_keys_are_rejected() {
+        let mut c = Certifier::new(replicas(2));
+        c.certify(keyed(req(1, 0, 0, ws(0, 1)), 5, 0)).unwrap();
+        c.certify(keyed(req(2, 0, 1, ws(0, 2)), 5, 1)).unwrap();
+        // Retrying the current seq dedups...
+        let (d, _) = c.certify(keyed(req(3, 1, 2, ws(0, 2)), 5, 1)).unwrap();
+        assert!(matches!(d, CertifyDecision::Duplicate { .. }));
+        // ...but replaying a seq the client already moved past is a
+        // protocol violation.
+        assert!(c.certify(keyed(req(4, 1, 2, ws(0, 1)), 5, 0)).is_err());
+    }
+
+    #[test]
+    fn dedup_map_survives_recovery() {
+        let mut c = Certifier::new(replicas(2));
+        c.certify(keyed(req(1, 0, 0, ws(0, 1)), 11, 4)).unwrap();
+        c.recover().unwrap();
+        let (d, _) = c.certify(keyed(req(2, 1, 1, ws(0, 1)), 11, 4)).unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Duplicate {
+                txn: TxnId(2),
+                original: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub struct LoadBalancerStats {
     pub replica_downs: u64,
     /// Transactions re-routed away from a failed replica.
     pub rerouted: u64,
+    /// Times the certifier was marked down (link failure detected).
+    pub certifier_downs: u64,
+    /// Times the certifier was marked up again (link recovered).
+    pub certifier_ups: u64,
+    /// Transactions refused with `Unavailable` while the certifier was
+    /// down (overload-shedding style backpressure instead of queueing
+    /// unboundedly behind a dead link).
+    pub shed_certifier_down: u64,
 }
 
 /// The load balancer state machine.
@@ -74,6 +82,10 @@ pub struct LoadBalancer {
     /// [`LoadBalancer::register_template`].
     table_sets: HashMap<TemplateId, TableSet>,
     next_txn: u64,
+    /// Whether the certifier link is currently believed healthy. While it
+    /// is down, new transactions are refused with `Unavailable` rather than
+    /// queued behind a link that may never answer.
+    certifier_up: bool,
     policy: RoutingPolicy,
     rr_next: usize,
     rng_state: u64,
@@ -96,6 +108,7 @@ impl LoadBalancer {
             sessions: HashMap::new(),
             table_sets: HashMap::new(),
             next_txn: 0,
+            certifier_up: true,
             policy: RoutingPolicy::LeastConnections,
             rr_next: 0,
             rng_state: 0x243F_6A88_85A3_08D3,
@@ -181,6 +194,30 @@ impl LoadBalancer {
         !self.down[self.index_of(replica)]
     }
 
+    /// Marks the certifier unreachable: new transactions are refused with
+    /// `Unavailable` until [`Self::mark_certifier_up`]. Fed by the
+    /// certifier link's heartbeat failure detector.
+    pub fn mark_certifier_down(&mut self) {
+        if self.certifier_up {
+            self.certifier_up = false;
+            self.stats.certifier_downs += 1;
+        }
+    }
+
+    /// Marks the certifier reachable again (link reconnected and resynced).
+    pub fn mark_certifier_up(&mut self) {
+        if !self.certifier_up {
+            self.certifier_up = true;
+            self.stats.certifier_ups += 1;
+        }
+    }
+
+    /// Whether the certifier link is currently believed healthy.
+    #[must_use]
+    pub fn certifier_is_up(&self) -> bool {
+        self.certifier_up
+    }
+
     /// Number of routable replicas.
     #[must_use]
     pub fn up_count(&self) -> usize {
@@ -198,6 +235,12 @@ impl LoadBalancer {
     /// [`TxnId`], and computes the start requirement for the current mode.
     /// Fails when every replica is marked down.
     pub fn route(&mut self, req: TxnRequest) -> Result<RoutedTxn> {
+        if !self.certifier_up {
+            self.stats.shed_certifier_down += 1;
+            return Err(bargain_common::Error::Unavailable(
+                "certifier unavailable: link down, reconnecting (retry-after)".to_owned(),
+            ));
+        }
         let start_requirement = self.start_requirement(req.session, req.template)?;
         let idx = self.pick_replica()?;
         self.active[idx] += 1;
@@ -212,6 +255,7 @@ impl LoadBalancer {
             params: req.params,
             replica: self.replicas[idx],
             start_requirement,
+            idem: req.idem,
         })
     }
 
@@ -352,6 +396,7 @@ mod tests {
             session: SessionId(session),
             template: TemplateId(template),
             params: vec![],
+            idem: None,
         }
     }
 
@@ -615,6 +660,25 @@ mod tests {
             ..outcome(moved.replica.0, 1, Some(1), 1, &[0])
         });
         assert_eq!(lb.active_on(moved.replica), 0);
+    }
+
+    #[test]
+    fn certifier_down_sheds_new_transactions_until_recovery() {
+        let mut lb = lb(ConsistencyMode::LazyCoarse);
+        assert!(lb.certifier_is_up());
+        lb.mark_certifier_down();
+        lb.mark_certifier_down(); // idempotent: counts once
+        assert!(!lb.certifier_is_up());
+        let err = lb.route(request(1, 0)).unwrap_err();
+        assert!(matches!(err, bargain_common::Error::Unavailable(_)));
+        assert!(err.to_string().contains("retry-after"));
+        lb.mark_certifier_up();
+        assert!(lb.certifier_is_up());
+        assert!(lb.route(request(1, 0)).is_ok());
+        let s = lb.stats();
+        assert_eq!(s.certifier_downs, 1);
+        assert_eq!(s.certifier_ups, 1);
+        assert_eq!(s.shed_certifier_down, 1);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! consume them.
 
 use bargain_common::{
-    ClientId, ReplicaId, SessionId, TableId, TemplateId, TxnId, Value, Version, WriteSet,
+    ClientId, IdemKey, ReplicaId, SessionId, TableId, TemplateId, TxnId, Value, Version, WriteSet,
 };
 use std::sync::Arc;
 
@@ -25,6 +25,10 @@ pub struct TxnRequest {
     pub template: TemplateId,
     /// Parameters for each statement of the template, in statement order.
     pub params: Vec<Vec<Value>>,
+    /// Optional idempotency key: a retry of an in-doubt transaction carries
+    /// the same key, and the certifier answers with the original outcome
+    /// instead of committing the writes a second time.
+    pub idem: Option<IdemKey>,
 }
 
 /// A transaction routed to a replica (load balancer → proxy).
@@ -46,6 +50,8 @@ pub struct RoutedTxn {
     /// transaction may start ([`Version::ZERO`] means "start immediately").
     /// This single field encodes all four consistency configurations.
     pub start_requirement: Version,
+    /// Idempotency key carried through from the [`TxnRequest`].
+    pub idem: Option<IdemKey>,
 }
 
 /// The proxy's answer to "can this transaction start now?".
@@ -82,6 +88,9 @@ pub struct CertifyRequest {
     pub snapshot: Version,
     /// The transaction's complete writeset.
     pub writeset: WriteSet,
+    /// Idempotency key, if the client attached one. Recorded durably with
+    /// the commit so retries deduplicate across certifier restarts.
+    pub idem: Option<IdemKey>,
 }
 
 /// The certifier's decision (certifier → originating proxy).
@@ -103,6 +112,19 @@ pub enum CertifyDecision {
         /// version above `snapshot` that wrote a row the aborted writeset
         /// also writes.
         conflicting_version: Version,
+    },
+    /// The request's idempotency key matches an already-certified commit:
+    /// the client is retrying a transaction whose acknowledgement was lost.
+    /// The proxy must *discard* the retry's tentative local writes (the
+    /// original's writes are already in the global sequence) and report the
+    /// transaction committed at the original version.
+    Duplicate {
+        /// The retrying transaction (to be discarded).
+        txn: TxnId,
+        /// The transaction id of the original commit.
+        original: TxnId,
+        /// The original commit's global version.
+        commit_version: Version,
     },
 }
 

@@ -31,8 +31,8 @@ use crate::messages::{
     CertifyDecision, CertifyRequest, Refresh, RoutedTxn, StartDecision, TxnOutcome,
 };
 use bargain_common::{
-    ClientId, ConsistencyMode, Error, KeySet, ReplicaId, Result, SessionId, TemplateId, TxnId,
-    Value, Version, WriteSet,
+    ClientId, ConsistencyMode, Error, IdemKey, KeySet, ReplicaId, Result, SessionId, TemplateId,
+    TxnId, Value, Version, WriteSet,
 };
 use bargain_sql::{QueryResult, TransactionTemplate};
 use bargain_storage::{Engine, TxnHandle};
@@ -63,6 +63,13 @@ pub struct ProxyStats {
     /// Refreshes ignored because the replica had already applied that
     /// version (duplicate deliveries during post-crash re-synchronization).
     pub duplicate_refreshes_ignored: u64,
+    /// Local transactions answered as duplicates by the certifier (client
+    /// retries of already-committed transactions): their tentative writes
+    /// were discarded and the original outcome reported.
+    pub duplicate_commits: u64,
+    /// Certifying transactions aborted because the certifier link was lost
+    /// while their decision was outstanding.
+    pub certifier_lost_aborts: u64,
     /// Times [`Proxy::crash`] was invoked.
     pub crashes: u64,
 }
@@ -131,6 +138,7 @@ struct ActiveTxn {
     params: Vec<Vec<Value>>,
     snapshot: Version,
     phase: TxnPhase,
+    idem: Option<IdemKey>,
 }
 
 enum PendingApply {
@@ -301,6 +309,7 @@ impl Proxy {
                 params: routed.params.clone(),
                 snapshot,
                 phase: TxnPhase::Executing,
+                idem: routed.idem,
             },
         );
         snapshot
@@ -358,14 +367,14 @@ impl Proxy {
     /// transactions commit locally and immediately; update transactions
     /// produce a certification request for the host to forward.
     pub fn finish(&mut self, txn: TxnId) -> Result<FinishAction> {
-        let (handle, snapshot) = {
+        let (handle, snapshot, idem) = {
             let a = self.active_txn(txn)?;
             if a.phase != TxnPhase::Executing {
                 return Err(Error::Protocol(format!(
                     "finish on non-executing txn {txn}"
                 )));
             }
-            (a.handle, a.snapshot)
+            (a.handle, a.snapshot, a.idem)
         };
         if self.engine.is_read_only(handle)? {
             self.engine.commit_read_only(handle)?;
@@ -390,6 +399,7 @@ impl Proxy {
             replica: self.replica,
             snapshot,
             writeset,
+            idem,
         }))
     }
 
@@ -416,6 +426,38 @@ impl Proxy {
                 self.stats.certifier_aborts += 1;
                 let outcome = self.abort_active(txn, "certification conflict")?;
                 Ok(vec![ProxyEvent::TxnFinished(outcome)])
+            }
+            CertifyDecision::Duplicate {
+                txn,
+                commit_version,
+                ..
+            } => {
+                // The client retried a transaction that already committed.
+                // The retry's tentative writes must be *discarded* — the
+                // original's writes are already in the global sequence and
+                // reach this replica as a local commit or refresh — and the
+                // client is told the truth: committed, at the original
+                // version. (The outcome carries no row results; a client
+                // that receives it already lost the original's results to
+                // the network, and re-reading is its own transaction.)
+                let a = self
+                    .active
+                    .remove(&txn)
+                    .ok_or_else(|| Error::NoSuchTransaction(format!("{txn}")))?;
+                let tables = self.engine.partial_writeset(a.handle)?.tables();
+                self.engine.abort(a.handle)?;
+                self.stats.duplicate_commits += 1;
+                Ok(vec![ProxyEvent::TxnFinished(TxnOutcome {
+                    txn,
+                    client: a.client,
+                    session: a.session,
+                    replica: self.replica,
+                    committed: true,
+                    commit_version: Some(commit_version),
+                    observed_version: commit_version,
+                    tables_written: tables,
+                    abort_reason: None,
+                })])
             }
         }
     }
@@ -474,6 +516,32 @@ impl Proxy {
     /// (e.g. a statement failed), returning the abort outcome to relay.
     pub fn client_abort(&mut self, txn: TxnId, reason: &str) -> Result<TxnOutcome> {
         self.abort_active(txn, reason)
+    }
+
+    /// The certifier link was lost: every transaction whose certification
+    /// request may have vanished in flight is aborted with an ambiguous
+    /// outcome (the client retries under its idempotency key, so a request
+    /// that in fact committed is answered with the original outcome rather
+    /// than applied twice). Executing transactions are untouched — their
+    /// requests have not been sent yet and will queue until the link
+    /// recovers.
+    pub fn abort_certifying(&mut self, reason: &str) -> Vec<TxnOutcome> {
+        let mut certifying: Vec<TxnId> = self
+            .active
+            .iter()
+            .filter(|(_, a)| a.phase == TxnPhase::Certifying)
+            .map(|(&txn, _)| txn)
+            .collect();
+        certifying.sort_unstable();
+        let mut outcomes = Vec::with_capacity(certifying.len());
+        for txn in certifying {
+            self.stats.certifier_lost_aborts += 1;
+            outcomes.push(
+                self.abort_active(txn, reason)
+                    .expect("certifying txn aborts"),
+            );
+        }
+        outcomes
     }
 
     /// Eager mode: the certifier reports the transaction is globally
@@ -713,6 +781,7 @@ mod tests {
             params,
             replica: ReplicaId(0),
             start_requirement: Version(req),
+            idem: None,
         }
     }
 
@@ -1232,5 +1301,78 @@ mod tests {
             .collect();
         assert_eq!(started, vec![TxnId(1), TxnId(2)]);
         assert_eq!(p.waiting_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_decision_discards_writes_and_reports_original_commit() {
+        let mut p = make_proxy(ConsistencyMode::LazyCoarse);
+        // The retry executes locally (writing bal=7 to row 3)...
+        p.start(routed(
+            5,
+            T_WRITE,
+            vec![vec![Value::Int(7), Value::Int(3)]],
+            0,
+        ))
+        .unwrap();
+        p.execute_statement(TxnId(5), 0).unwrap();
+        p.finish(TxnId(5)).unwrap();
+        // ...but the certifier recognizes the idempotency key: the original
+        // already committed at v1 (and reaches this replica as a refresh).
+        let ev = p
+            .on_decision(CertifyDecision::Duplicate {
+                txn: TxnId(5),
+                original: TxnId(2),
+                commit_version: Version(1),
+            })
+            .unwrap();
+        match &ev[..] {
+            [ProxyEvent::TxnFinished(out)] => {
+                assert!(out.committed);
+                assert_eq!(out.commit_version, Some(Version(1)));
+                assert_eq!(out.observed_version, Version(1));
+                assert_eq!(out.tables_written, vec![TableId(0)]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(p.stats().duplicate_commits, 1);
+        // The retry's own writes were discarded, not applied: V_local is
+        // still 0 until the original's refresh arrives.
+        assert_eq!(p.version(), Version::ZERO);
+        let ev = p.on_refresh(refresh(1, 3)).unwrap();
+        assert!(ev.is_empty());
+        assert_eq!(p.version(), Version(1));
+    }
+
+    #[test]
+    fn abort_certifying_leaves_executing_txns_alone() {
+        let mut p = make_proxy(ConsistencyMode::LazyCoarse);
+        // Txn 1 is certifying, txn 2 still executing.
+        p.start(routed(
+            1,
+            T_WRITE,
+            vec![vec![Value::Int(1), Value::Int(1)]],
+            0,
+        ))
+        .unwrap();
+        p.execute_statement(TxnId(1), 0).unwrap();
+        p.finish(TxnId(1)).unwrap();
+        p.start(routed(
+            2,
+            T_WRITE,
+            vec![vec![Value::Int(2), Value::Int(2)]],
+            0,
+        ))
+        .unwrap();
+        p.execute_statement(TxnId(2), 0).unwrap();
+        let outcomes = p.abort_certifying("certifier unavailable: link lost (retry-after)");
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].txn, TxnId(1));
+        assert!(!outcomes[0].committed);
+        assert_eq!(p.stats().certifier_lost_aborts, 1);
+        // Txn 2 can still finish and certify once the link is back.
+        assert!(matches!(
+            p.finish(TxnId(2)).unwrap(),
+            FinishAction::NeedsCertification(_)
+        ));
     }
 }

@@ -11,7 +11,7 @@
 //! tests) and [`FileLog`] (a real append-only file with a simple
 //! length-prefixed binary record format and optional fsync).
 
-use bargain_common::{Error, ReplicaId, Result, TxnId, Value, Version, WriteOp, WriteSet};
+use bargain_common::{Error, IdemKey, ReplicaId, Result, TxnId, Value, Version, WriteOp, WriteSet};
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, Read, Write};
 use std::path::Path;
@@ -29,7 +29,8 @@ use std::sync::Arc;
 // writeset: u32 entry_count
 //             per entry: u32 table | value key
 //                        | u8 op (0=ins,1=upd,2=del) [| u32 ncols | values]
-// record:   u64 commit_version | u64 txn_id | u32 origin | writeset
+// record:   u64 commit_version | u64 txn_id | u32 origin
+//             | u8 has_idem [| u64 idem_client | u64 idem_seq] | writeset
 // ```
 // ----------------------------------------------------------------------
 
@@ -148,6 +149,14 @@ pub fn write_record(buf: &mut Vec<u8>, record: &LogRecord) {
     buf.extend_from_slice(&record.commit_version.0.to_le_bytes());
     buf.extend_from_slice(&record.txn.0.to_le_bytes());
     buf.extend_from_slice(&record.origin.0.to_le_bytes());
+    match record.idem {
+        Some(k) => {
+            buf.push(1);
+            buf.extend_from_slice(&k.client.to_le_bytes());
+            buf.extend_from_slice(&k.seq.to_le_bytes());
+        }
+        None => buf.push(0),
+    }
     write_writeset(buf, &record.writeset);
 }
 
@@ -167,11 +176,25 @@ pub fn read_record(r: &mut impl Read) -> Result<Option<LogRecord>> {
     let mut b4 = [0u8; 4];
     r.read_exact(&mut b4)?;
     let origin = ReplicaId(u32::from_le_bytes(b4));
+    let mut has_idem = [0u8; 1];
+    r.read_exact(&mut has_idem)?;
+    let idem = match has_idem[0] {
+        0 => None,
+        1 => {
+            r.read_exact(&mut b8)?;
+            let client = u64::from_le_bytes(b8);
+            r.read_exact(&mut b8)?;
+            let seq = u64::from_le_bytes(b8);
+            Some(IdemKey { client, seq })
+        }
+        t => return Err(Error::Codec(format!("bad idempotency-key tag {t}"))),
+    };
     let ws = read_writeset(r)?;
     Ok(Some(LogRecord {
         commit_version,
         txn,
         origin,
+        idem,
         writeset: Arc::new(ws),
     }))
 }
@@ -191,6 +214,9 @@ pub struct LogRecord {
     /// Replica the transaction executed on. Needed to rebuild the eager
     /// configuration's global-commit accounting after a certifier crash.
     pub origin: ReplicaId,
+    /// The client's idempotency key, if one was attached. Persisted so the
+    /// retry-deduplication map survives certifier restarts.
+    pub idem: Option<IdemKey>,
     /// Its writeset (shared with the history and the refresh fan-out).
     pub writeset: Arc<WriteSet>,
 }
@@ -261,7 +287,8 @@ impl CommitLog for MemoryLog {
 /// Record format (all integers little-endian):
 ///
 /// ```text
-/// u64 commit_version | u64 txn_id | u32 origin_replica | u32 entry_count
+/// u64 commit_version | u64 txn_id | u32 origin_replica
+///   | u8 has_idem [| u64 idem_client | u64 idem_seq] | u32 entry_count
 ///   per entry: u32 table | value key | u8 op (0=ins,1=upd,2=del) | [u32 ncols | values...]
 /// value: u8 tag (0=null,1=int,2=float,3=text) | payload
 /// ```
@@ -373,6 +400,11 @@ mod tests {
             commit_version: Version(version),
             txn: TxnId(version * 10),
             origin: ReplicaId(version as u32 % 3),
+            // Exercise both the keyed and unkeyed encodings.
+            idem: (version % 2 == 1).then_some(IdemKey {
+                client: 0xC0FFEE ^ version,
+                seq: version,
+            }),
             writeset: Arc::new(ws),
         }
     }
@@ -462,6 +494,7 @@ mod tests {
             commit_version: Version(5),
             txn: TxnId(7),
             origin: ReplicaId(2),
+            idem: None,
             writeset: Arc::new(WriteSet::new()),
         };
         let mut log = MemoryLog::new();

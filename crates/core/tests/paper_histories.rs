@@ -68,6 +68,7 @@ fn routed(txn: u64, template: TemplateId, replica: u32, requirement: Version) ->
         params: vec![vec![]; 3],
         replica: ReplicaId(replica),
         start_requirement: requirement,
+        idem: None,
     }
 }
 

@@ -132,12 +132,15 @@ proptest! {
                             replica: ReplicaId(0),
                             snapshot: Version(snapshot),
                             writeset: ws,
+                            idem: None,
                         })
                         .expect("valid snapshot never errors");
                     prop_assert_eq!(&got, &expected, "decision diverged at txn {}", txn);
                     match got {
                         CertifyDecision::Commit { .. } => prop_assert_eq!(refreshes.len(), 2),
                         CertifyDecision::Abort { .. } => prop_assert!(refreshes.is_empty()),
+                        // No idempotency keys in this schedule.
+                        CertifyDecision::Duplicate { .. } => prop_assert!(false),
                     }
                 }
                 Op::Prune { amount } => {

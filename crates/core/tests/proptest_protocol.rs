@@ -173,6 +173,7 @@ impl Harness {
                 session: SessionId(client.0),
                 template,
                 params,
+                idem: None,
             })
             .unwrap();
         self.checker

@@ -33,6 +33,7 @@ fn request(id: u64, t: &GenTxn, snapshot: Version) -> CertifyRequest {
         replica: ReplicaId(t.origin),
         snapshot,
         writeset: ws,
+        idem: None,
     }
 }
 
@@ -42,7 +43,8 @@ fn new_certifier() -> Certifier {
 
 fn decision_version(d: &CertifyDecision) -> Option<Version> {
     match d {
-        CertifyDecision::Commit { commit_version, .. } => Some(*commit_version),
+        CertifyDecision::Commit { commit_version, .. }
+        | CertifyDecision::Duplicate { commit_version, .. } => Some(*commit_version),
         CertifyDecision::Abort { .. } => None,
     }
 }

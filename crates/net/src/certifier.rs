@@ -3,7 +3,7 @@
 //! certifier from the replicas), plus the cluster-side link that connects a
 //! [`bargain_cluster::Cluster`] to it.
 //!
-//! Protocol (certifier endpoint, message kinds 20–26):
+//! Protocol (certifier endpoint, message kinds 15–16 and 20–26):
 //!
 //! - On connect, the cluster sends [`Message::FetchHistory`] once and
 //!   fast-forwards its replicas through the returned commit history.
@@ -13,23 +13,49 @@
 //!   [`Message::GlobalCommitFor`] deliveries, each tagged with the replica
 //!   it addresses (the TCP link carries what the in-process runtime carries
 //!   on per-replica channels).
+//! - [`Message::Ping`] is answered with [`Message::Pong`]: the link pings
+//!   when its request stream is idle, and a certifier that stops answering
+//!   within the heartbeat deadline is declared down.
+//!
+//! # Fault tolerance
 //!
 //! The cluster side splits its socket: a writer (the `CertifierLink::serve`
 //! thread) streams requests while a dedicated reader thread drains
-//! deliveries, so neither direction can block the other — the deadlock that
-//! a single request/response loop would hit when a certify decision and a
-//! refresh fan-out race in opposite directions.
+//! deliveries, so neither direction can block the other. The reader's
+//! socket deadline doubles as the failure detector: if no frame — decision,
+//! refresh, or pong — arrives within `heartbeat_timeout`, the link is
+//! declared down in bounded time even against a peer that is hung rather
+//! than dead.
+//!
+//! On failure the link emits [`CertifierDelivery::Down`]; the runtime
+//! sweeps (aborts) every certifying transaction and sheds new updates at
+//! the load balancer. The link then reconnects with backoff, fetches the
+//! commits it may have missed ([`Message::FetchHistory`] with the last
+//! version it saw a decision for), replays them as
+//! [`CertifierDelivery::Resync`] refreshes, and emits
+//! [`CertifierDelivery::Up`].
+//!
+//! Exactly-once across the outage hinges on one fencing rule: a certify
+//! request enqueued *before* its replica processed the sweep belongs to an
+//! aborted transaction and must never reach the certifier (if it committed,
+//! its origin — which discarded the tentative writes — could never apply
+//! the commit, leaving a version gap). The sweep acknowledgement
+//! (`CertifierRequest::SweepAck`) travels the same FIFO request channel as
+//! the certify traffic, so the link discards every certify request from a
+//! replica until that replica's acknowledgement of the current failure
+//! epoch arrives, and forwards everything after it.
 
 use crate::codec::Message;
 use crate::conn::{ConnectPolicy, Connection};
 use bargain_cluster::{CertifierDelivery, CertifierLink, CertifierRequest};
 use bargain_common::{Error, ReplicaId, Result, Version};
 use bargain_core::{Certifier, CertifyRequest, LogRecord};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -63,8 +89,8 @@ impl Default for CertifierServerConfig {
 
 /// A running certifier service. Serves one cluster connection at a time
 /// (the certifier is a singleton component); when a cluster disconnects,
-/// the service keeps listening so a restarted cluster can reconnect and
-/// re-fetch the durable history.
+/// the service keeps listening so a restarted (or reconnecting) cluster can
+/// re-fetch the durable history and resume.
 pub struct CertifierServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -209,8 +235,9 @@ fn handle_certifier_message(
     stop: &AtomicBool,
 ) -> bool {
     match msg {
-        Message::FetchHistory => {
-            let records = match certifier.certified_since(Version::ZERO) {
+        Message::Ping => conn.send(&Message::Pong).is_ok(),
+        Message::FetchHistory { after } => {
+            let records = match certifier.certified_since(after) {
                 Ok(records) => records,
                 Err(e) => return conn.send(&Message::Err(e)).is_ok(),
             };
@@ -237,6 +264,10 @@ fn handle_certifier_message(
                         return false;
                     }
                 }
+                // The decision goes out last: the link treats a received
+                // decision as proof that every refresh of that commit (sent
+                // earlier on this stream) has arrived, and advances its
+                // resync floor accordingly.
                 if conn.send(&Message::Decision { origin, decision }).is_err() {
                     return false;
                 }
@@ -268,11 +299,41 @@ fn handle_certifier_message(
 // Cluster-side link
 // ----------------------------------------------------------------------
 
+/// Heartbeat/failure-detection tuning for [`RemoteCertifierLink`].
+#[derive(Debug, Clone)]
+pub struct CertifierLinkConfig {
+    /// Idle gap on the request stream after which the link sends a
+    /// [`Message::Ping`].
+    pub heartbeat_interval: Duration,
+    /// Delivery-stream deadline: if no frame (pong included) arrives within
+    /// this window, the peer is declared down. Must exceed
+    /// `heartbeat_interval` or a healthy idle link flaps.
+    pub heartbeat_timeout: Duration,
+    /// Sleep between reconnect rounds once the policy's attempts inside a
+    /// round are exhausted.
+    pub reconnect_pause: Duration,
+}
+
+impl Default for CertifierLinkConfig {
+    fn default() -> Self {
+        CertifierLinkConfig {
+            heartbeat_interval: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_secs(2),
+            reconnect_pause: Duration::from_millis(100),
+        }
+    }
+}
+
 /// The cluster side of the TCP certifier transport: pass it to
 /// [`bargain_cluster::Cluster::start_with_certifier_link`] to run against a
-/// [`CertifierServer`] in another process.
+/// [`CertifierServer`] in another process. Survives certifier restarts and
+/// link failures: see the module docs for the down/resync/up protocol.
 pub struct RemoteCertifierLink {
-    conn: Connection,
+    addr: String,
+    policy: ConnectPolicy,
+    config: CertifierLinkConfig,
+    conn: Option<Connection>,
+    max_seen: Version,
 }
 
 impl RemoteCertifierLink {
@@ -283,14 +344,27 @@ impl RemoteCertifierLink {
 
     /// Connects with an explicit retry/backoff policy.
     pub fn connect_with(addr: &str, policy: &ConnectPolicy) -> Result<RemoteCertifierLink> {
-        let conn = Connection::connect(addr, policy)?;
-        Ok(RemoteCertifierLink { conn })
+        Self::connect_with_config(addr, policy, CertifierLinkConfig::default())
     }
-}
 
-impl CertifierLink for RemoteCertifierLink {
-    fn history(&mut self) -> Result<Vec<LogRecord>> {
-        match self.conn.call(&Message::FetchHistory)? {
+    /// Connects with explicit retry/backoff and heartbeat tuning.
+    pub fn connect_with_config(
+        addr: &str,
+        policy: &ConnectPolicy,
+        config: CertifierLinkConfig,
+    ) -> Result<RemoteCertifierLink> {
+        let conn = Connection::connect(addr, policy)?;
+        Ok(RemoteCertifierLink {
+            addr: addr.to_owned(),
+            policy: policy.clone(),
+            config,
+            conn: Some(conn),
+            max_seen: Version::ZERO,
+        })
+    }
+
+    fn fetch_history(conn: &mut Connection, after: Version) -> Result<Vec<LogRecord>> {
+        match conn.call(&Message::FetchHistory { after })? {
             Message::History { records } => Ok(records),
             other => Err(Error::Protocol(format!(
                 "expected History, got message kind {}",
@@ -299,64 +373,250 @@ impl CertifierLink for RemoteCertifierLink {
         }
     }
 
+    /// Reconnects with backoff, harvesting queued requests into `buffer` so
+    /// a concurrent [`CertifierRequest::Shutdown`] (e.g. `Cluster::drain`
+    /// while the certifier is away) still tears the link down promptly.
+    /// Returns `None` when a shutdown was harvested.
+    fn reconnect(
+        &self,
+        requests: &Receiver<CertifierRequest>,
+        buffer: &mut VecDeque<CertifierRequest>,
+    ) -> Option<Connection> {
+        loop {
+            while let Ok(req) = requests.try_recv() {
+                if matches!(req, CertifierRequest::Shutdown) {
+                    return None;
+                }
+                buffer.push_back(req);
+            }
+            match Connection::connect(self.addr.as_str(), &self.policy) {
+                Ok(conn) => return Some(conn),
+                Err(_) => std::thread::sleep(self.config.reconnect_pause),
+            }
+        }
+    }
+}
+
+/// What processing one request against the writer produced.
+enum Flow {
+    Continue,
+    /// The transport failed mid-send: declare the link down.
+    Down,
+    /// Graceful shutdown was requested.
+    Stop,
+}
+
+/// Forwards one harvested request over `writer`, enforcing the sweep fence:
+/// certify traffic from a replica is dropped until that replica has
+/// acknowledged the current failure epoch (`acked[replica] == epoch`).
+fn forward_request(
+    writer: &mut Connection,
+    req: CertifierRequest,
+    epoch: u64,
+    acked: &mut HashMap<u32, u64>,
+) -> Flow {
+    match req {
+        CertifierRequest::Certify(r) => {
+            if acked.get(&r.replica.0).copied().unwrap_or(0) != epoch {
+                // Enqueued before the replica processed the sweep: its
+                // transaction was aborted, so certifying it now could
+                // commit writes its origin can no longer apply.
+                return Flow::Continue;
+            }
+            if writer.send(&Message::Certify(r)).is_err() {
+                return Flow::Down;
+            }
+            Flow::Continue
+        }
+        CertifierRequest::Applied { replica, version } => {
+            if writer.send(&Message::Applied { replica, version }).is_err() {
+                return Flow::Down;
+            }
+            Flow::Continue
+        }
+        CertifierRequest::SweepAck { replica, epoch } => {
+            acked.insert(replica.0, epoch);
+            Flow::Continue
+        }
+        CertifierRequest::Shutdown => Flow::Stop,
+    }
+}
+
+impl CertifierLink for RemoteCertifierLink {
+    fn history(&mut self) -> Result<Vec<LogRecord>> {
+        let conn = self
+            .conn
+            .as_mut()
+            .ok_or_else(|| Error::Protocol("certifier link already serving".into()))?;
+        let records = Self::fetch_history(conn, Version::ZERO)?;
+        // The cluster replays these before the link serves: they are the
+        // floor for any post-reconnect resync.
+        if let Some(last) = records.last() {
+            self.max_seen = last.commit_version;
+        }
+        Ok(records)
+    }
+
     fn serve(
-        self: Box<Self>,
+        mut self: Box<Self>,
         requests: Receiver<CertifierRequest>,
         deliveries: Sender<CertifierDelivery>,
     ) {
-        // Split the socket: this thread writes requests, a dedicated reader
-        // drains deliveries. Decisions can arrive while we're mid-stream of
-        // certify requests, so the directions must not serialize.
-        let reader = self
-            .conn
-            .stream()
-            .try_clone()
-            .ok()
-            .and_then(|s| Connection::from_stream(s, None, None).ok());
-        let reader_handle = reader.map(|mut reader| {
-            std::thread::Builder::new()
-                .name("bargain-certlink-read".into())
-                .spawn(move || {
-                    loop {
-                        let delivery = match reader.recv() {
-                            Ok(Message::Decision { origin, decision }) => {
-                                CertifierDelivery::Decision { origin, decision }
-                            }
-                            Ok(Message::RefreshFor { to, refresh }) => {
-                                CertifierDelivery::Refresh { to, refresh }
-                            }
-                            Ok(Message::GlobalCommitFor { origin, txn }) => {
-                                CertifierDelivery::GlobalCommit { origin, txn }
-                            }
-                            // Unexpected frame or dead connection: the link
-                            // is done delivering.
-                            Ok(_) | Err(_) => break,
-                        };
-                        if deliveries.send(delivery).is_err() {
-                            break;
+        let mut conn = self.conn.take();
+        // Highest commit version whose decision frame arrived; advanced by
+        // the reader, read by the writer only after the reader has been
+        // joined. Decisions are sent after their commit's refresh fan-out,
+        // so everything at or below this version has been fully delivered.
+        let max_seen = Arc::new(AtomicU64::new(self.max_seen.0));
+        // Failure epoch: bumped each time the link is declared down.
+        let mut epoch: u64 = 0;
+        // Per-replica sweep acknowledgements (replica -> acked epoch).
+        let mut acked: HashMap<u32, u64> = HashMap::new();
+        // Requests harvested while reconnecting, flushed (fence applied)
+        // once the link is back.
+        let mut buffer: VecDeque<CertifierRequest> = VecDeque::new();
+
+        'link: loop {
+            let mut writer = match conn.take() {
+                Some(c) => c,
+                None => match self.reconnect(&requests, &mut buffer) {
+                    Some(c) => c,
+                    None => break 'link, // shutdown while down
+                },
+            };
+
+            if epoch > 0 {
+                // Resynchronize: fetch commits certified while the link was
+                // down (or whose deliveries died with the old socket) and
+                // replay them to every replica before resuming admission.
+                let after = Version(max_seen.load(Ordering::SeqCst));
+                match Self::fetch_history(&mut writer, after) {
+                    Ok(records) => {
+                        if let Some(last) = records.last() {
+                            max_seen.store(last.commit_version.0, Ordering::SeqCst);
+                        }
+                        if !records.is_empty()
+                            && deliveries
+                                .send(CertifierDelivery::Resync { records })
+                                .is_err()
+                        {
+                            break 'link;
+                        }
+                        if deliveries.send(CertifierDelivery::Up).is_err() {
+                            break 'link;
                         }
                     }
-                })
-                .expect("spawn certifier link reader")
-        });
-
-        let mut writer = self.conn;
-        while let Ok(req) = requests.recv() {
-            let sent = match req {
-                CertifierRequest::Certify(r) => writer.send(&Message::Certify(r)),
-                CertifierRequest::Applied { replica, version } => {
-                    writer.send(&Message::Applied { replica, version })
+                    Err(_) => {
+                        // Lost the race with another failure (e.g. a
+                        // partition that lets TCP connect but kills the
+                        // first round trip): pause, then reconnect. Down
+                        // was already announced for this epoch, so don't
+                        // announce it again.
+                        std::thread::sleep(self.config.reconnect_pause);
+                        continue 'link;
+                    }
                 }
-                CertifierRequest::Shutdown => break,
-            };
-            if sent.is_err() {
-                break;
             }
-        }
-        // Closing both directions unblocks the reader thread's recv.
-        let _ = writer.stream().shutdown(Shutdown::Both);
-        if let Some(h) = reader_handle {
-            let _ = h.join();
+
+            // Split the socket: this thread writes requests, a dedicated
+            // reader drains deliveries. The reader's deadline is the
+            // failure detector; on any exit it shuts the socket down so the
+            // writer notices even while idle.
+            let reader_conn = writer.stream().try_clone().ok().and_then(|s| {
+                Connection::from_stream(
+                    s,
+                    Some(self.config.heartbeat_timeout),
+                    self.policy.write_timeout,
+                )
+                .ok()
+            });
+            let Some(mut reader) = reader_conn else {
+                // Could not split: treat as a transport failure.
+                epoch += 1;
+                if deliveries.send(CertifierDelivery::Down { epoch }).is_err() {
+                    break 'link;
+                }
+                continue 'link;
+            };
+            let reader_handle = {
+                let deliveries = deliveries.clone();
+                let max_seen = Arc::clone(&max_seen);
+                std::thread::Builder::new()
+                    .name("bargain-certlink-read".into())
+                    .spawn(move || {
+                        loop {
+                            let delivery = match reader.recv() {
+                                Ok(Message::Decision { origin, decision }) => {
+                                    if let bargain_core::CertifyDecision::Commit {
+                                        commit_version,
+                                        ..
+                                    } = &decision
+                                    {
+                                        max_seen.store(commit_version.0, Ordering::SeqCst);
+                                    }
+                                    CertifierDelivery::Decision { origin, decision }
+                                }
+                                Ok(Message::RefreshFor { to, refresh }) => {
+                                    CertifierDelivery::Refresh { to, refresh }
+                                }
+                                Ok(Message::GlobalCommitFor { origin, txn }) => {
+                                    CertifierDelivery::GlobalCommit { origin, txn }
+                                }
+                                // Heartbeat answer: its arrival already
+                                // reset the read deadline.
+                                Ok(Message::Pong) => continue,
+                                // Unexpected frame, checksum failure, read
+                                // deadline expiry, or dead connection: the
+                                // link is done delivering on this socket.
+                                Ok(_) | Err(_) => break,
+                            };
+                            if deliveries.send(delivery).is_err() {
+                                break;
+                            }
+                        }
+                        let _ = reader.stream().shutdown(Shutdown::Both);
+                    })
+                    .expect("spawn certifier link reader")
+            };
+
+            // Flush requests harvested while the link was away, then serve
+            // live traffic; idle gaps become heartbeats.
+            let mut flow = Flow::Continue;
+            while let Some(req) = buffer.pop_front() {
+                flow = forward_request(&mut writer, req, epoch, &mut acked);
+                if !matches!(flow, Flow::Continue) {
+                    break;
+                }
+            }
+            while matches!(flow, Flow::Continue) {
+                flow = match requests.recv_timeout(self.config.heartbeat_interval) {
+                    Ok(req) => forward_request(&mut writer, req, epoch, &mut acked),
+                    Err(RecvTimeoutError::Timeout) => {
+                        if writer.send(&Message::Ping).is_err() {
+                            Flow::Down
+                        } else {
+                            Flow::Continue
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => Flow::Stop,
+                };
+            }
+
+            // Tear this socket down and join the reader; decisions it
+            // already pushed are ahead of any Down in the delivery channel,
+            // so replicas process them before the sweep.
+            let _ = writer.stream().shutdown(Shutdown::Both);
+            let _ = reader_handle.join();
+
+            match flow {
+                Flow::Stop => break 'link,
+                _ => {
+                    epoch += 1;
+                    if deliveries.send(CertifierDelivery::Down { epoch }).is_err() {
+                        break 'link;
+                    }
+                }
+            }
         }
     }
 }

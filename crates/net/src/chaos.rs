@@ -1,0 +1,462 @@
+//! A chaos proxy: a TCP interposer that injects network faults between a
+//! client and a server, for end-to-end fault-tolerance tests over real
+//! sockets.
+//!
+//! The proxy listens on a local port and pipes every accepted connection
+//! to a fixed upstream address, byte for byte, until the schedule says
+//! otherwise. Faults are scripted by a [`NetFaultPlan`] — the network
+//! sibling of the simulator's `FaultPlan` (`bargain-sim`), with the same
+//! builder surface and the same self-contained xorshift64* generator for
+//! seed-derived schedules: `NetFaultPlan::random(seed, horizon)` is fully
+//! determined by its arguments, so a failing seed reproduces the same
+//! schedule every run. (The *schedule* is deterministic; where a fault
+//! lands relative to in-flight traffic is wall-clock timing, which is
+//! exactly the point — the invariants under test must hold regardless.)
+//!
+//! Fault kinds:
+//!
+//! - [`NetFaultKind::Partition`]: kill every live connection and
+//!   accept-then-close new ones for a duration — the upstream is
+//!   unreachable, as in a network partition.
+//! - [`NetFaultKind::LatencyBurst`]: delay every forwarded chunk for a
+//!   duration (tests heartbeat/deadline tuning under congestion).
+//! - [`NetFaultKind::CorruptFrame`]: flip one byte in the next forwarded
+//!   chunk — the receiver's frame checksum must catch it.
+//! - [`NetFaultKind::KillConnections`]: hard-close every live connection
+//!   once (mid-frame, mid-transaction, wherever they happen to be).
+//! - [`NetFaultKind::Truncate`]: forward only a prefix of the next chunk,
+//!   then kill that connection — a peer dying mid-write.
+
+use bargain_common::{Error, Result};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One kind of network fault the proxy can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Sever the network for `duration_ms`: live connections are killed
+    /// and new ones are accepted and immediately closed until it heals.
+    Partition {
+        /// How long the partition lasts.
+        duration_ms: u64,
+    },
+    /// Add `extra_us` of delay to every forwarded chunk for
+    /// `duration_ms`.
+    LatencyBurst {
+        /// Extra per-chunk delay, microseconds.
+        extra_us: u64,
+        /// How long the burst lasts.
+        duration_ms: u64,
+    },
+    /// Flip one byte in the next forwarded chunk (in either direction).
+    CorruptFrame,
+    /// Hard-close every live connection once.
+    KillConnections,
+    /// Forward only the first `bytes` bytes of the next chunk, then kill
+    /// that connection.
+    Truncate {
+        /// Prefix length to let through.
+        bytes: u64,
+    },
+}
+
+/// A scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFaultEvent {
+    /// When to fire, in milliseconds after the proxy starts.
+    pub at_ms: u64,
+    /// What to inject.
+    pub kind: NetFaultKind,
+}
+
+/// A schedule of network faults (order does not matter; the proxy fires
+/// them by `at_ms`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    /// The scheduled faults.
+    pub events: Vec<NetFaultEvent>,
+}
+
+impl NetFaultPlan {
+    /// The empty plan (a transparent proxy).
+    #[must_use]
+    pub fn none() -> Self {
+        NetFaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a fault, builder style.
+    #[must_use]
+    pub fn with(mut self, at_ms: u64, kind: NetFaultKind) -> Self {
+        self.events.push(NetFaultEvent { at_ms, kind });
+        self
+    }
+
+    /// A pseudo-random plan derived entirely from `seed`: two to five
+    /// faults of mixed kinds over `(20%, 85%)` of `horizon_ms`. Same seed,
+    /// same plan — suitable for seed-sweep tests.
+    #[must_use]
+    pub fn random(seed: u64, horizon_ms: u64) -> Self {
+        // Self-contained xorshift64* (same generator as the simulator's
+        // FaultPlan::random): the plan must be a pure function of the
+        // seed.
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let lo = horizon_ms / 5;
+        let hi = horizon_ms * 17 / 20;
+        let span = hi.saturating_sub(lo).max(1);
+        let n_faults = 2 + (next() % 4) as usize; // 2..=5
+        let mut plan = NetFaultPlan::none();
+        for _ in 0..n_faults {
+            let at_ms = lo + next() % span;
+            let kind = match next() % 5 {
+                0 => NetFaultKind::Partition {
+                    duration_ms: 50 + next() % 250,
+                },
+                1 => NetFaultKind::LatencyBurst {
+                    extra_us: 500 + next() % 4_500,
+                    duration_ms: 50 + next() % 200,
+                },
+                2 => NetFaultKind::CorruptFrame,
+                3 => NetFaultKind::KillConnections,
+                _ => NetFaultKind::Truncate {
+                    bytes: 1 + next() % 32,
+                },
+            };
+            plan = plan.with(at_ms, kind);
+        }
+        plan
+    }
+}
+
+/// Fault state shared between the ticker, the acceptor, and the pumps.
+struct ChaosState {
+    stop: AtomicBool,
+    started: Instant,
+    /// Bumped on every kill/partition event; a pump whose birth epoch is
+    /// older than the current one tears its connection down.
+    kill_epoch: AtomicU64,
+    /// Partition end, as milliseconds since `started` (0 = no partition).
+    partition_until_ms: AtomicU64,
+    /// Latency-burst end, as milliseconds since `started`.
+    latency_until_ms: AtomicU64,
+    /// Extra per-chunk delay while the burst is active, microseconds.
+    latency_extra_us: AtomicU64,
+    /// One-shot: flip a byte in the next forwarded chunk.
+    corrupt_pending: AtomicBool,
+    /// One-shot: truncate the next forwarded chunk to this many bytes and
+    /// kill its connection (0 = inactive).
+    truncate_pending: AtomicU64,
+    /// Live sockets, for kill/partition events. Cleared on each kill;
+    /// pumps notice via `kill_epoch` and exit.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl ChaosState {
+    fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn partitioned(&self) -> bool {
+        self.elapsed_ms() < self.partition_until_ms.load(Ordering::SeqCst)
+    }
+
+    fn kill_all(&self) {
+        self.kill_epoch.fetch_add(1, Ordering::SeqCst);
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running chaos proxy. Stop it with [`ChaosProxy::stop`]; dropping the
+/// handle leaves it running for the life of the process.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    state: Arc<ChaosState>,
+    acceptor: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an OS-assigned local port, forwarding to
+    /// `upstream`, injecting `plan`. The plan's clock starts now.
+    pub fn start(upstream: &str, plan: NetFaultPlan) -> Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(Error::from)?;
+        let addr = listener.local_addr().map_err(Error::from)?;
+        let upstream = upstream.to_owned();
+        let state = Arc::new(ChaosState {
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+            kill_epoch: AtomicU64::new(0),
+            partition_until_ms: AtomicU64::new(0),
+            latency_until_ms: AtomicU64::new(0),
+            latency_extra_us: AtomicU64::new(0),
+            corrupt_pending: AtomicBool::new(false),
+            truncate_pending: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let mut events = plan.events;
+        events.sort_by_key(|e| e.at_ms);
+        let ticker = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("bargain-chaos-tick".into())
+                .spawn(move || ticker(&state, &events))
+                .map_err(Error::from)?
+        };
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("bargain-chaos-accept".into())
+                .spawn(move || accept_loop(&listener, &upstream, &state))
+                .map_err(Error::from)?
+        };
+        Ok(ChaosProxy {
+            addr,
+            state,
+            acceptor: Some(acceptor),
+            ticker: Some(ticker),
+        })
+    }
+
+    /// The proxy's listening address — point clients here.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the proxy and closes every proxied connection.
+    pub fn stop(mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        self.state.kill_all();
+        // Wake the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn ticker(state: &ChaosState, events: &[NetFaultEvent]) {
+    for event in events {
+        // Step-sleep to the fire time so stop() is honored promptly.
+        loop {
+            if state.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = state.elapsed_ms();
+            if now >= event.at_ms {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis((event.at_ms - now).min(10)));
+        }
+        match event.kind {
+            NetFaultKind::Partition { duration_ms } => {
+                state
+                    .partition_until_ms
+                    .store(state.elapsed_ms() + duration_ms, Ordering::SeqCst);
+                state.kill_all();
+            }
+            NetFaultKind::LatencyBurst {
+                extra_us,
+                duration_ms,
+            } => {
+                state.latency_extra_us.store(extra_us, Ordering::SeqCst);
+                state
+                    .latency_until_ms
+                    .store(state.elapsed_ms() + duration_ms, Ordering::SeqCst);
+            }
+            NetFaultKind::CorruptFrame => {
+                state.corrupt_pending.store(true, Ordering::SeqCst);
+            }
+            NetFaultKind::KillConnections => state.kill_all(),
+            NetFaultKind::Truncate { bytes } => {
+                state.truncate_pending.store(bytes.max(1), Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, upstream: &str, state: &Arc<ChaosState>) {
+    for stream in listener.incoming() {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = stream else { continue };
+        if state.partitioned() {
+            // The network is down: accept (so the client sees a TCP-level
+            // connect succeed) then close immediately, as a NATed
+            // partition would.
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        }
+        let Ok(server) = TcpStream::connect(upstream) else {
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        let epoch = state.kill_epoch.load(Ordering::SeqCst);
+        {
+            let mut conns = state.conns.lock();
+            if let Ok(c) = client.try_clone() {
+                conns.push(c);
+            }
+            if let Ok(s) = server.try_clone() {
+                conns.push(s);
+            }
+        }
+        spawn_pump(client, server, Arc::clone(state), epoch);
+    }
+}
+
+/// Spawns the two byte pumps of one proxied connection (client → server
+/// and server → client). Either pump dying closes both directions.
+fn spawn_pump(client: TcpStream, server: TcpStream, state: Arc<ChaosState>, epoch: u64) {
+    let pairs = match (client.try_clone(), server.try_clone()) {
+        (Ok(c2), Ok(s2)) => [(client, server), (s2, c2)],
+        _ => return,
+    };
+    for (src, dst) in pairs {
+        let state = Arc::clone(&state);
+        let _ = std::thread::Builder::new()
+            .name("bargain-chaos-pump".into())
+            .spawn(move || pump(&src, &dst, &state, epoch));
+    }
+}
+
+fn pump(src: &TcpStream, dst: &TcpStream, state: &ChaosState, epoch: u64) {
+    // Short read timeout: the pump polls the stop flag and kill epoch
+    // every 10ms even when the connection is idle.
+    if src
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .is_err()
+    {
+        return;
+    }
+    let mut src = src;
+    let mut dst = dst;
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if state.stop.load(Ordering::SeqCst) || state.kill_epoch.load(Ordering::SeqCst) != epoch {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        // Latency burst: hold the chunk.
+        if state.elapsed_ms() < state.latency_until_ms.load(Ordering::SeqCst) {
+            let extra = state.latency_extra_us.load(Ordering::SeqCst);
+            std::thread::sleep(Duration::from_micros(extra));
+        }
+        // One-shot corruption: flip a byte mid-chunk. The receiver's
+        // frame checksum must reject it.
+        if state
+            .corrupt_pending
+            .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            buf[n / 2] ^= 0xFF;
+        }
+        // One-shot truncation: forward a prefix, then die mid-frame.
+        let cut = state.truncate_pending.swap(0, Ordering::SeqCst);
+        if cut > 0 && (cut as usize) < n {
+            let _ = dst.write_all(&buf[..cut as usize]);
+            break;
+        }
+        if dst.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let a = NetFaultPlan::random(7, 2_000);
+        let b = NetFaultPlan::random(7, 2_000);
+        let c = NetFaultPlan::random(8, 2_000);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should give different plans");
+        assert!((2..=5).contains(&a.events.len()));
+        for e in &a.events {
+            assert!(e.at_ms >= 2_000 / 5 && e.at_ms < 2_000 * 17 / 20);
+        }
+    }
+
+    #[test]
+    fn transparent_proxy_pipes_bytes_both_ways() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+        });
+        let proxy = ChaosProxy::start(&upstream_addr.to_string(), NetFaultPlan::none()).unwrap();
+        let mut client = TcpStream::connect(proxy.local_addr()).unwrap();
+        client.write_all(b"hello").unwrap();
+        let mut back = [0u8; 5];
+        client.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello");
+        echo.join().unwrap();
+        proxy.stop();
+    }
+
+    #[test]
+    fn partition_closes_new_connections() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let plan = NetFaultPlan::none().with(
+            0,
+            NetFaultKind::Partition {
+                duration_ms: 60_000,
+            },
+        );
+        let proxy = ChaosProxy::start(&upstream_addr.to_string(), plan).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let mut client = TcpStream::connect(proxy.local_addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        // The proxy accepts and immediately closes: the read sees EOF, not
+        // a timeout.
+        assert_eq!(client.read(&mut buf).unwrap_or(0), 0);
+        proxy.stop();
+    }
+}

@@ -19,7 +19,9 @@
 //!               | u64 observed_version | vec<u32> tables_written
 //!               | option<string> abort_reason
 //! query result: u8 tag (0=rows,1=affected) | vec<vec<value>> or u64
-//! decision:     u8 tag (0=commit,1=abort) | u64 txn | u64 version
+//! idem key:     u8 (0|1) [| u64 client | u64 seq]
+//! decision:     u8 tag (0=commit,1=abort,2=duplicate) | u64 txn
+//!               | u64 version (commit/abort) or u64 original | u64 version
 //! refresh:      u32 origin | u64 txn | u64 commit_version | writeset
 //! ```
 //!
@@ -27,8 +29,8 @@
 //! all yield [`Error::Codec`]; nothing panics on malformed input.
 
 use bargain_common::{
-    ClientId, ConsistencyMode, Error, ReplicaId, Result, SessionId, TemplateId, TxnId, Value,
-    Version,
+    ClientId, ConsistencyMode, Error, IdemKey, ReplicaId, Result, SessionId, TemplateId, TxnId,
+    Value, Version,
 };
 use bargain_core::wal::{read_value, read_writeset, write_value, write_writeset};
 use bargain_core::{CertifyDecision, CertifyRequest, LogRecord, Refresh, TxnOutcome};
@@ -37,7 +39,7 @@ use std::io::Read;
 use std::sync::Arc;
 
 /// One protocol message. The numeric discriminants are the frame `kind`
-/// byte; frontend traffic uses 1–14, certifier traffic 20–26.
+/// byte; frontend traffic uses 1–16, certifier traffic 20–26.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Client → server: first frame on every connection.
@@ -84,6 +86,9 @@ pub enum Message {
         template: TemplateId,
         /// Parameters for each statement.
         params: Vec<Vec<Value>>,
+        /// Optional idempotency key; a retry of an in-doubt transaction
+        /// carries the same key so the cluster deduplicates it.
+        idem: Option<IdemKey>,
     },
     /// Server → client: the transaction's outcome and per-statement
     /// results (present only on commit).
@@ -105,11 +110,20 @@ pub enum Message {
         aborts: u64,
         /// The load balancer's `V_system`.
         v_system: Version,
+        /// Whether the certifier link is currently healthy.
+        certifier_up: bool,
+        /// How many times the certifier link has been declared down.
+        certifier_downs: u64,
     },
     /// Client → server: drain the cluster and exit (the SIGTERM-style
     /// remote stop; `std::process::Child::kill` is SIGKILL and would skip
     /// the drain).
     StopServer,
+    /// Either direction: liveness probe. The peer must answer with
+    /// [`Message::Pong`] promptly; a missed deadline marks the peer down.
+    Ping,
+    /// Either direction: answer to [`Message::Ping`].
+    Pong,
     /// Cluster → certifier: certify an update transaction.
     Certify(CertifyRequest),
     /// Cluster → certifier: a replica applied the given version (eager
@@ -141,9 +155,13 @@ pub enum Message {
         /// The globally committed transaction.
         txn: TxnId,
     },
-    /// Cluster → certifier: request the durable commit history (sent once,
-    /// at cluster start, to fast-forward the replicas).
-    FetchHistory,
+    /// Cluster → certifier: request the durable commit history after the
+    /// given version (version zero at cluster start to fast-forward the
+    /// replicas; the last version seen when resyncing after a reconnect).
+    FetchHistory {
+        /// Return only records with `commit_version > after`.
+        after: Version,
+    },
     /// Certifier → cluster: the commit history since version zero.
     History {
         /// Certified records in commit order.
@@ -200,6 +218,28 @@ fn read_string(r: &mut impl Read) -> Result<String> {
 // ----------------------------------------------------------------------
 // Composite helpers
 // ----------------------------------------------------------------------
+
+fn write_idem(buf: &mut Vec<u8>, idem: Option<IdemKey>) {
+    match idem {
+        Some(k) => {
+            write_u8(buf, 1);
+            write_u64(buf, k.client);
+            write_u64(buf, k.seq);
+        }
+        None => write_u8(buf, 0),
+    }
+}
+
+fn read_idem(r: &mut impl Read) -> Result<Option<IdemKey>> {
+    match read_u8(r)? {
+        0 => Ok(None),
+        1 => Ok(Some(IdemKey {
+            client: read_u64(r)?,
+            seq: read_u64(r)?,
+        })),
+        t => Err(Error::Codec(format!("bad idempotency-key tag {t}"))),
+    }
+}
 
 fn mode_tag(mode: ConsistencyMode) -> u8 {
     match mode {
@@ -416,21 +456,35 @@ fn write_decision(buf: &mut Vec<u8>, d: &CertifyDecision) {
             write_u64(buf, txn.0);
             write_u64(buf, conflicting_version.0);
         }
+        CertifyDecision::Duplicate {
+            txn,
+            original,
+            commit_version,
+        } => {
+            write_u8(buf, 2);
+            write_u64(buf, txn.0);
+            write_u64(buf, original.0);
+            write_u64(buf, commit_version.0);
+        }
     }
 }
 
 fn read_decision(r: &mut impl Read) -> Result<CertifyDecision> {
     let tag = read_u8(r)?;
     let txn = TxnId(read_u64(r)?);
-    let version = Version(read_u64(r)?);
     Ok(match tag {
         0 => CertifyDecision::Commit {
             txn,
-            commit_version: version,
+            commit_version: Version(read_u64(r)?),
         },
         1 => CertifyDecision::Abort {
             txn,
-            conflicting_version: version,
+            conflicting_version: Version(read_u64(r)?),
+        },
+        2 => CertifyDecision::Duplicate {
+            txn,
+            original: TxnId(read_u64(r)?),
+            commit_version: Version(read_u64(r)?),
         },
         t => return Err(Error::Codec(format!("bad decision tag {t}"))),
     })
@@ -456,6 +510,7 @@ fn write_log_record(buf: &mut Vec<u8>, rec: &LogRecord) {
     write_u64(buf, rec.commit_version.0);
     write_u64(buf, rec.txn.0);
     write_u32(buf, rec.origin.0);
+    write_idem(buf, rec.idem);
     write_writeset(buf, &rec.writeset);
 }
 
@@ -464,6 +519,7 @@ fn read_log_record(r: &mut impl Read) -> Result<LogRecord> {
         commit_version: Version(read_u64(r)?),
         txn: TxnId(read_u64(r)?),
         origin: ReplicaId(read_u32(r)?),
+        idem: read_idem(r)?,
         writeset: Arc::new(read_writeset(r)?),
     })
 }
@@ -491,12 +547,14 @@ impl Message {
             Message::Stats => 12,
             Message::StatsReply { .. } => 13,
             Message::StopServer => 14,
+            Message::Ping => 15,
+            Message::Pong => 16,
             Message::Certify(_) => 20,
             Message::Applied { .. } => 21,
             Message::Decision { .. } => 22,
             Message::RefreshFor { .. } => 23,
             Message::GlobalCommitFor { .. } => 24,
-            Message::FetchHistory => 25,
+            Message::FetchHistory { .. } => 25,
             Message::History { .. } => 26,
         }
     }
@@ -512,7 +570,9 @@ impl Message {
             | Message::Ack
             | Message::Stats
             | Message::StopServer
-            | Message::FetchHistory => {}
+            | Message::Ping
+            | Message::Pong => {}
+            Message::FetchHistory { after } => write_u64(&mut buf, after.0),
             Message::HelloAck { replicas, mode } => {
                 write_u32(&mut buf, *replicas);
                 write_u8(&mut buf, mode_tag(*mode));
@@ -528,9 +588,14 @@ impl Message {
                 }
             }
             Message::Prepared { template } => write_u32(&mut buf, template.0),
-            Message::Run { template, params } => {
+            Message::Run {
+                template,
+                params,
+                idem,
+            } => {
                 write_u32(&mut buf, template.0);
                 write_params(&mut buf, params);
+                write_idem(&mut buf, *idem);
             }
             Message::TxnReply { outcome, results } => {
                 write_outcome(&mut buf, outcome);
@@ -544,16 +609,21 @@ impl Message {
                 commits,
                 aborts,
                 v_system,
+                certifier_up,
+                certifier_downs,
             } => {
                 write_u64(&mut buf, *routed);
                 write_u64(&mut buf, *commits);
                 write_u64(&mut buf, *aborts);
                 write_u64(&mut buf, v_system.0);
+                write_u8(&mut buf, u8::from(*certifier_up));
+                write_u64(&mut buf, *certifier_downs);
             }
             Message::Certify(req) => {
                 write_u64(&mut buf, req.txn.0);
                 write_u32(&mut buf, req.replica.0);
                 write_u64(&mut buf, req.snapshot.0);
+                write_idem(&mut buf, req.idem);
                 write_writeset(&mut buf, &req.writeset);
             }
             Message::Applied { replica, version } => {
@@ -587,16 +657,28 @@ impl Message {
     /// [`Error::Codec`] errors.
     pub fn decode(kind: u8, payload: &[u8]) -> Result<Message> {
         let mut r = payload;
-        let msg = Self::decode_body(kind, &mut r).map_err(|e| match e {
+        let res = Self::decode_body(kind, &mut r);
+        // How far into the payload decoding got before stopping; reported
+        // in errors so a corrupted frame can be located on the wire.
+        let offset = payload.len() - r.len();
+        let msg = res.map_err(|e| match e {
             // A short read inside a payload slice is a truncated message,
             // not an I/O failure.
-            Error::Io(m) => Error::Codec(format!("truncated message (kind {kind}): {m}")),
+            Error::Io(m) => Error::Codec(format!(
+                "truncated message (kind {kind}, at byte {offset} of {}): {m}",
+                payload.len()
+            )),
+            Error::Codec(m) => Error::Codec(format!(
+                "bad message (kind {kind}, at byte {offset} of {}): {m}",
+                payload.len()
+            )),
             other => other,
         })?;
         if !r.is_empty() {
             return Err(Error::Codec(format!(
-                "{} trailing bytes after message (kind {kind})",
-                r.len()
+                "{} trailing bytes after message (kind {kind}, payload {} bytes)",
+                r.len(),
+                payload.len()
             )));
         }
         Ok(msg)
@@ -633,6 +715,7 @@ impl Message {
             10 => Message::Run {
                 template: TemplateId(read_u32(r)?),
                 params: read_params(r)?,
+                idem: read_idem(r)?,
             },
             11 => {
                 let outcome = read_outcome(r)?;
@@ -649,12 +732,21 @@ impl Message {
                 commits: read_u64(r)?,
                 aborts: read_u64(r)?,
                 v_system: Version(read_u64(r)?),
+                certifier_up: match read_u8(r)? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(Error::Codec(format!("bad bool tag {t}"))),
+                },
+                certifier_downs: read_u64(r)?,
             },
             14 => Message::StopServer,
+            15 => Message::Ping,
+            16 => Message::Pong,
             20 => Message::Certify(CertifyRequest {
                 txn: TxnId(read_u64(r)?),
                 replica: ReplicaId(read_u32(r)?),
                 snapshot: Version(read_u64(r)?),
+                idem: read_idem(r)?,
                 writeset: read_writeset(r)?,
             }),
             21 => Message::Applied {
@@ -673,7 +765,9 @@ impl Message {
                 origin: ReplicaId(read_u32(r)?),
                 txn: TxnId(read_u64(r)?),
             },
-            25 => Message::FetchHistory,
+            25 => Message::FetchHistory {
+                after: Version(read_u64(r)?),
+            },
             26 => {
                 let n = read_u32(r)? as usize;
                 let mut records = Vec::with_capacity(n.min(4096));
@@ -728,6 +822,15 @@ mod tests {
         round_trip(Message::Run {
             template: TemplateId(17),
             params: vec![vec![Value::Int(1), Value::Null], vec![]],
+            idem: None,
+        });
+        round_trip(Message::Run {
+            template: TemplateId(17),
+            params: vec![vec![Value::Int(1)]],
+            idem: Some(IdemKey {
+                client: 0xDEAD_BEEF,
+                seq: 42,
+            }),
         });
         round_trip(Message::TxnReply {
             outcome: TxnOutcome {
@@ -752,12 +855,17 @@ mod tests {
             commits: 8,
             aborts: 2,
             v_system: Version(8),
+            certifier_up: true,
+            certifier_downs: 1,
         });
         round_trip(Message::StopServer);
+        round_trip(Message::Ping);
+        round_trip(Message::Pong);
         round_trip(Message::Certify(CertifyRequest {
             txn: TxnId(3),
             replica: ReplicaId(1),
             snapshot: Version(4),
+            idem: Some(IdemKey { client: 7, seq: 9 }),
             writeset: ws.clone(),
         }));
         round_trip(Message::Applied {
@@ -769,6 +877,14 @@ mod tests {
             decision: CertifyDecision::Abort {
                 txn: TxnId(3),
                 conflicting_version: Version(5),
+            },
+        });
+        round_trip(Message::Decision {
+            origin: ReplicaId(1),
+            decision: CertifyDecision::Duplicate {
+                txn: TxnId(4),
+                original: TxnId(3),
+                commit_version: Version(6),
             },
         });
         round_trip(Message::RefreshFor {
@@ -784,14 +900,27 @@ mod tests {
             origin: ReplicaId(0),
             txn: TxnId(11),
         });
-        round_trip(Message::FetchHistory);
+        round_trip(Message::FetchHistory { after: Version(12) });
         round_trip(Message::History {
-            records: vec![LogRecord {
-                commit_version: Version(1),
-                txn: TxnId(1),
-                origin: ReplicaId(0),
-                writeset: Arc::new(ws),
-            }],
+            records: vec![
+                LogRecord {
+                    commit_version: Version(1),
+                    txn: TxnId(1),
+                    origin: ReplicaId(0),
+                    idem: None,
+                    writeset: Arc::new(ws.clone()),
+                },
+                LogRecord {
+                    commit_version: Version(2),
+                    txn: TxnId(2),
+                    origin: ReplicaId(1),
+                    idem: Some(IdemKey {
+                        client: 0xC0FFEE,
+                        seq: 3,
+                    }),
+                    writeset: Arc::new(ws),
+                },
+            ],
         });
     }
 
@@ -808,6 +937,18 @@ mod tests {
                 "truncation at {cut} must error"
             );
         }
+    }
+
+    #[test]
+    fn truncation_error_reports_byte_offset() {
+        let msg = Message::SessionOpened { client: 7 };
+        let payload = msg.encode();
+        let err = Message::decode(msg.kind(), &payload[..3]).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("kind 4") && text.contains("byte") && text.contains("of 3"),
+            "error should name the frame kind and byte offset: {text}"
+        );
     }
 
     #[test]

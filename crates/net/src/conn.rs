@@ -6,7 +6,7 @@ use crate::frame::{encode_frame, parse_header, verify_payload, HEADER_LEN};
 use bargain_common::{Error, Result};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How a client establishes and maintains a connection.
 #[derive(Debug, Clone)]
@@ -19,6 +19,16 @@ pub struct ConnectPolicy {
     pub initial_backoff: Duration,
     /// Backoff ceiling.
     pub max_backoff: Duration,
+    /// Randomization applied to every backoff sleep: each sleep is scaled
+    /// by a factor drawn uniformly from `[1 - jitter, 1 + jitter]`, so a
+    /// fleet of clients reconnecting after the same outage does not retry
+    /// in lockstep. `0.0` disables jitter.
+    pub jitter: f64,
+    /// Total retry-time budget across all attempts. When the next backoff
+    /// sleep would push the elapsed time past this cap, the policy gives up
+    /// with a clear [`Error::Timeout`] instead of sleeping on. `None`
+    /// bounds retries by `max_attempts` alone.
+    pub max_total: Option<Duration>,
     /// Read deadline for replies (`None` blocks forever).
     pub read_timeout: Option<Duration>,
     /// Write deadline for requests (`None` blocks forever).
@@ -31,31 +41,62 @@ impl Default for ConnectPolicy {
             max_attempts: 5,
             initial_backoff: Duration::from_millis(20),
             max_backoff: Duration::from_secs(1),
+            jitter: 0.2,
+            max_total: Some(Duration::from_secs(30)),
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
 
+impl ConnectPolicy {
+    /// The backoff sleep before attempt `attempt` (1-based over retries),
+    /// jittered by `seed`.
+    fn backoff_for(&self, attempt: u32, seed: u64) -> Duration {
+        let base = self
+            .initial_backoff
+            .saturating_mul(1u32 << attempt.min(20).saturating_sub(1))
+            .min(self.max_backoff);
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        // xorshift64* over the seed and attempt number: cheap, deterministic
+        // per (seed, attempt), uniform enough to spread a reconnect herd.
+        let mut x = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let unit = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * unit;
+        base.mul_f64(factor.max(0.0))
+    }
+}
+
 /// Classifies an I/O failure on an established connection: deadline
 /// expiries become [`Error::Timeout`], peer disappearances
-/// [`Error::ConnectionClosed`], anything else stays [`Error::Io`].
-pub(crate) fn classify_io(e: &io::Error, what: &str) -> Error {
+/// [`Error::ConnectionClosed`], anything else stays [`Error::Io`]. The
+/// peer's address is included so a multi-link host (client ↔ frontend ↔
+/// certifier) can tell which hop failed.
+pub(crate) fn classify_io(e: &io::Error, what: &str, peer: &str) -> Error {
     match e.kind() {
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
-            Error::Timeout(format!("{what} deadline expired: {e}"))
+            Error::Timeout(format!("{what} deadline expired (peer {peer}): {e}"))
         }
         io::ErrorKind::UnexpectedEof
         | io::ErrorKind::ConnectionReset
         | io::ErrorKind::ConnectionAborted
-        | io::ErrorKind::BrokenPipe => Error::ConnectionClosed(format!("{what}: {e}")),
-        _ => Error::Io(format!("{what}: {e}")),
+        | io::ErrorKind::BrokenPipe => {
+            Error::ConnectionClosed(format!("{what} (peer {peer}): {e}"))
+        }
+        _ => Error::Io(format!("{what} (peer {peer}): {e}")),
     }
 }
 
 /// A connection that sends and receives whole [`Message`]s.
+#[derive(Debug)]
 pub struct Connection {
     stream: TcpStream,
+    peer: String,
 }
 
 impl Connection {
@@ -71,20 +112,42 @@ impl Connection {
         stream
             .set_write_timeout(write_timeout)
             .map_err(Error::from)?;
-        Ok(Connection { stream })
+        let peer = stream
+            .peer_addr()
+            .map_or_else(|_| "unknown".to_owned(), |a| a.to_string());
+        Ok(Connection { stream, peer })
     }
 
-    /// Connects to `addr` with bounded retry and exponential backoff. Each
-    /// failed attempt sleeps, doubles the backoff (up to the policy's
-    /// ceiling), and tries again; after `max_attempts` failures the last
-    /// error is wrapped in [`Error::Unavailable`].
-    pub fn connect(addr: impl ToSocketAddrs + Copy, policy: &ConnectPolicy) -> Result<Connection> {
-        let mut backoff = policy.initial_backoff;
+    /// Connects to `addr` with bounded retry and jittered exponential
+    /// backoff. Each failed attempt sleeps, doubles the backoff (up to the
+    /// policy's ceiling), and tries again. After `max_attempts` failures
+    /// the last error is wrapped in [`Error::Unavailable`]; exceeding the
+    /// policy's total retry-time budget yields [`Error::Timeout`].
+    pub fn connect(
+        addr: impl ToSocketAddrs + Copy + std::fmt::Display,
+        policy: &ConnectPolicy,
+    ) -> Result<Connection> {
+        let start = Instant::now();
+        // Seed the jitter from the clock so concurrent clients spread out.
+        let seed = Instant::now().elapsed().subsec_nanos() as u64
+            ^ std::process::id() as u64
+            ^ std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.subsec_nanos() as u64);
         let mut last_err = String::new();
         for attempt in 0..policy.max_attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(policy.max_backoff);
+                let sleep = policy.backoff_for(attempt, seed);
+                if let Some(cap) = policy.max_total {
+                    if start.elapsed() + sleep > cap {
+                        return Err(Error::Timeout(format!(
+                            "connect to {addr}: retry budget of {cap:?} exhausted after \
+                             {attempt} attempt(s) ({:?} elapsed): {last_err}",
+                            start.elapsed()
+                        )));
+                    }
+                }
+                std::thread::sleep(sleep);
             }
             match TcpStream::connect(addr) {
                 Ok(stream) => {
@@ -98,7 +161,7 @@ impl Connection {
             }
         }
         Err(Error::Unavailable(format!(
-            "connect failed after {} attempts: {last_err}",
+            "connect to {addr} failed after {} attempts: {last_err}",
             policy.max_attempts.max(1)
         )))
     }
@@ -108,12 +171,18 @@ impl Connection {
         &self.stream
     }
 
+    /// The peer's address, as reported at accept/connect time.
+    #[must_use]
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
     /// Sends one message as one frame (a single `write_all`).
     pub fn send(&mut self, msg: &Message) -> Result<()> {
         let buf = encode_frame(msg.kind(), &msg.encode())?;
         self.stream
             .write_all(&buf)
-            .map_err(|e| classify_io(&e, "write"))
+            .map_err(|e| classify_io(&e, "write", &self.peer))
     }
 
     /// Receives one message, blocking up to the read deadline.
@@ -121,13 +190,13 @@ impl Connection {
         let mut header = [0u8; HEADER_LEN];
         self.stream
             .read_exact(&mut header)
-            .map_err(|e| classify_io(&e, "read frame header"))?;
+            .map_err(|e| classify_io(&e, "read frame header", &self.peer))?;
         let (kind, len, crc) = parse_header(&header)?;
         let mut payload = vec![0u8; len as usize];
         self.stream
             .read_exact(&mut payload)
-            .map_err(|e| classify_io(&e, "read frame payload"))?;
-        verify_payload(crc, &payload)?;
+            .map_err(|e| classify_io(&e, "read frame payload", &self.peer))?;
+        verify_payload(kind, crc, &payload)?;
         Message::decode(kind, &payload)
     }
 
@@ -138,6 +207,85 @@ impl Connection {
         match self.recv()? {
             Message::Err(e) => Err(e),
             reply => Ok(reply),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_respects_ceiling() {
+        let policy = ConnectPolicy {
+            jitter: 0.0,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+            ..ConnectPolicy::default()
+        };
+        assert_eq!(policy.backoff_for(1, 0), Duration::from_millis(10));
+        assert_eq!(policy.backoff_for(2, 0), Duration::from_millis(20));
+        // Capped by the ceiling, not 40ms.
+        assert_eq!(policy.backoff_for(3, 0), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let policy = ConnectPolicy {
+            jitter: 0.2,
+            initial_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(10),
+            ..ConnectPolicy::default()
+        };
+        for seed in 0..64 {
+            let d = policy.backoff_for(1, seed);
+            assert!(
+                d >= Duration::from_millis(80) && d <= Duration::from_millis(120),
+                "jittered backoff {d:?} outside [80ms, 120ms]"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_timeout() {
+        // Nothing listens on this port (bound but not accepting releases
+        // the port again); connect attempts fail fast, and the tight total
+        // budget must convert the retry loop into a Timeout.
+        let policy = ConnectPolicy {
+            max_attempts: 100,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.0,
+            max_total: Some(Duration::from_millis(10)),
+            ..ConnectPolicy::default()
+        };
+        let err = Connection::connect("127.0.0.1:1", &policy).unwrap_err();
+        match err {
+            Error::Timeout(msg) => {
+                assert!(msg.contains("retry budget"), "unexpected message: {msg}");
+                assert!(msg.contains("127.0.0.1:1"), "peer missing: {msg}");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attempts_exhaustion_is_unavailable_with_peer() {
+        let policy = ConnectPolicy {
+            max_attempts: 2,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+            jitter: 0.0,
+            max_total: None,
+            ..ConnectPolicy::default()
+        };
+        let err = Connection::connect("127.0.0.1:1", &policy).unwrap_err();
+        match err {
+            Error::Unavailable(msg) => {
+                assert!(msg.contains("127.0.0.1:1"), "peer missing: {msg}");
+                assert!(msg.contains("2 attempts"), "unexpected message: {msg}");
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
         }
     }
 }

@@ -115,12 +115,15 @@ pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32, u32)> {
     Ok((kind, len, crc))
 }
 
-/// Verifies a received payload against the header's checksum.
-pub fn verify_payload(expected_crc: u32, payload: &[u8]) -> Result<()> {
+/// Verifies a received payload against the header's checksum. The frame
+/// kind and payload length are included in the error so a corrupted frame
+/// can be attributed to a message type and located on the wire.
+pub fn verify_payload(kind: u8, expected_crc: u32, payload: &[u8]) -> Result<()> {
     let actual = crc32(payload);
     if actual != expected_crc {
         return Err(Error::Codec(format!(
-            "frame checksum mismatch: header says {expected_crc:#010x}, payload hashes to {actual:#010x}"
+            "frame checksum mismatch (kind {kind}, {}-byte payload): header says              {expected_crc:#010x}, payload hashes to {actual:#010x}",
+            payload.len()
         )));
     }
     Ok(())
@@ -141,7 +144,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>)> {
     let (kind, len, crc) = parse_header(&header)?;
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    verify_payload(crc, &payload)?;
+    verify_payload(kind, crc, &payload)?;
     Ok((kind, payload))
 }
 
@@ -193,10 +196,15 @@ mod tests {
         write_frame(&mut buf, 1, b"payload").unwrap();
         let last = buf.len() - 1;
         buf[last] ^= 0x01;
-        assert!(matches!(
-            read_frame(&mut buf.as_slice()),
-            Err(Error::Codec(_))
-        ));
+        match read_frame(&mut buf.as_slice()) {
+            Err(Error::Codec(msg)) => {
+                assert!(
+                    msg.contains("kind 1") && msg.contains("7-byte payload"),
+                    "checksum error should name the frame kind and size: {msg}"
+                );
+            }
+            other => panic!("expected Codec error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,7 +19,14 @@
 //!   [`certifier::RemoteCertifierLink`].
 //! - [`client`] — [`client::RemoteSession`], a drop-in client driver with
 //!   the same surface as `bargain_cluster::Session`, plus the bounded
-//!   retry/backoff [`conn::ConnectPolicy`].
+//!   retry/backoff [`conn::ConnectPolicy`]. Retries in-doubt transactions
+//!   under durable idempotency keys, so client-visible commits are
+//!   exactly-once even across connection failures and server restarts.
+//!
+//! For testing there is also [`chaos`]: a fault-injecting TCP proxy driven
+//! by seed-deterministic schedules ([`chaos::NetFaultPlan`]), used by the
+//! end-to-end chaos suite to drive partitions, latency bursts, frame
+//! corruption, and mid-frame connection kills through the full stack.
 //!
 //! ```no_run
 //! use bargain_cluster::{Cluster, ClusterConfig};
@@ -40,13 +47,17 @@
 //! ```
 
 pub mod certifier;
+pub mod chaos;
 pub mod client;
 pub mod codec;
 pub mod conn;
 pub mod frame;
 pub mod server;
 
-pub use certifier::{CertifierServer, CertifierServerConfig, RemoteCertifierLink};
+pub use certifier::{
+    CertifierLinkConfig, CertifierServer, CertifierServerConfig, RemoteCertifierLink,
+};
+pub use chaos::{ChaosProxy, NetFaultEvent, NetFaultKind, NetFaultPlan};
 pub use client::RemoteSession;
 pub use codec::Message;
 pub use conn::{ConnectPolicy, Connection};

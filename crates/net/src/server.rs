@@ -8,25 +8,39 @@
 //! only takes its own session down — the cluster keeps serving everyone
 //! else.
 //!
-//! Shutdown is graceful: a [`Message::StopServer`] frame (or
-//! [`NetServer::stop`]) stops the acceptor, lets every connection finish
-//! its in-flight transaction, then drains the cluster —
+//! # Overload shedding
+//!
+//! `max_inflight` bounds concurrently executing transactions. Past the
+//! bound the server answers [`Message::Run`] with [`Error::Unavailable`]
+//! carrying a `retry-after` marker instead of queueing: a saturated
+//! middleware that queues unboundedly converts overload into timeouts for
+//! *everyone*, while shedding keeps admitted transactions fast and tells
+//! the shed clients exactly how to behave (back off and retry).
+//!
+//! # Shutdown
+//!
+//! Shutdown is graceful with a bounded tail: a [`Message::StopServer`]
+//! frame (or [`NetServer::stop`]) stops the acceptor, lets every
+//! connection finish its in-flight transaction, then drains the cluster —
 //! [`Cluster::drain`] flushes the certifier (and its WAL) and joins all
-//! runtime threads.
+//! runtime threads. Because a half-open peer could leave a connection
+//! thread blocked mid-frame forever, [`NetServer::wait`] arms a watchdog:
+//! after `shutdown_grace` it force-closes every registered connection
+//! socket, so shutdown always completes.
 
 use crate::codec::Message;
 use crate::conn::Connection;
 use bargain_cluster::{Cluster, Session};
-use bargain_common::{Error, Result, TableSet, TemplateId};
+use bargain_common::{Error, IdemKey, Result, TableSet, TemplateId};
 use bargain_sql::TransactionTemplate;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for the frontend server.
 #[derive(Debug, Clone)]
@@ -37,6 +51,18 @@ pub struct NetServerConfig {
     pub write_timeout: Option<Duration>,
     /// How often an idle connection checks the server's stop flag.
     pub poll_interval: Duration,
+    /// Admission bound: transactions concurrently executing in the
+    /// cluster. A [`Message::Run`] past the bound is shed with
+    /// [`Error::Unavailable`] (`retry-after` marker) instead of queued.
+    /// `None` admits everything.
+    pub max_inflight: Option<u64>,
+    /// Connections idle longer than this are closed (the client
+    /// reconnects transparently; see `RemoteSession`). `None` keeps idle
+    /// connections forever.
+    pub idle_timeout: Option<Duration>,
+    /// How long [`NetServer::wait`] lets connection threads wind down
+    /// before force-closing their sockets.
+    pub shutdown_grace: Duration,
 }
 
 impl Default for NetServerConfig {
@@ -45,9 +71,18 @@ impl Default for NetServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             poll_interval: Duration::from_millis(100),
+            max_inflight: None,
+            idle_timeout: None,
+            shutdown_grace: Duration::from_secs(5),
         }
     }
 }
+
+/// Connection-socket registry: lets the shutdown watchdog force-close
+/// sockets whose threads are stuck on a half-open peer. Kept in its own
+/// `Arc` (not behind [`Shared`]) so the watchdog never delays the
+/// `Arc::try_unwrap` that hands the cluster to [`Cluster::drain`].
+type StreamRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
 struct Shared {
     cluster: Cluster,
@@ -55,6 +90,10 @@ struct Shared {
     config: NetServerConfig,
     addr: SocketAddr,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    streams: StreamRegistry,
+    next_conn_id: AtomicU64,
+    inflight: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// A running frontend server. Dropping the handle does *not* stop the
@@ -86,6 +125,10 @@ impl NetServer {
             config,
             addr,
             conns: Mutex::new(Vec::new()),
+            streams: Arc::new(Mutex::new(HashMap::new())),
+            next_conn_id: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -106,6 +149,12 @@ impl NetServer {
         self.shared.addr
     }
 
+    /// Transactions shed so far by the `max_inflight` admission bound.
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shared.shed.load(Ordering::SeqCst)
+    }
+
     /// Asks the server to stop without blocking: the acceptor wakes up and
     /// exits, idle connections close at their next poll tick, busy ones
     /// after their in-flight transaction.
@@ -117,18 +166,46 @@ impl NetServer {
 
     /// Blocks until the server has stopped (via [`NetServer::request_stop`]
     /// or a client's [`Message::StopServer`]), then joins every connection
-    /// thread and drains the cluster.
+    /// thread and drains the cluster. A watchdog force-closes connection
+    /// sockets still open after `shutdown_grace`, so a half-open peer
+    /// cannot hang the shutdown.
     pub fn wait(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        let done = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let streams = Arc::clone(&self.shared.streams);
+            let done = Arc::clone(&done);
+            let grace = self.shared.config.shutdown_grace;
+            std::thread::Builder::new()
+                .name("bargain-net-watchdog".into())
+                .spawn(move || {
+                    let step = Duration::from_millis(20);
+                    let deadline = Instant::now() + grace;
+                    while Instant::now() < deadline {
+                        if done.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(step);
+                    }
+                    for stream in streams.lock().values() {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                })
+        };
         let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.conns.lock());
         for c in conns {
             let _ = c.join();
         }
+        done.store(true, Ordering::SeqCst);
+        if let Ok(watchdog) = watchdog {
+            let _ = watchdog.join();
+        }
         // The unwrap cannot fail in practice: every thread holding a clone
-        // has been joined. If it somehow does, the cluster's threads die
-        // with the process instead of draining.
+        // has been joined (the watchdog holds only the stream registry).
+        // If it somehow does, the cluster's threads die with the process
+        // instead of draining.
         if let Ok(shared) = Arc::try_unwrap(self.shared) {
             shared.cluster.drain();
         }
@@ -148,11 +225,18 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            shared.streams.lock().insert(conn_id, clone);
+        }
         let handler = {
             let shared = Arc::clone(shared);
             std::thread::Builder::new()
                 .name("bargain-net-conn".into())
-                .spawn(move || serve_conn(&shared, stream))
+                .spawn(move || {
+                    serve_conn(&shared, stream);
+                    shared.streams.lock().remove(&conn_id);
+                })
         };
         if let Ok(handle) = handler {
             shared.conns.lock().push(handle);
@@ -208,13 +292,21 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
     // templates this connection prepared, keyed by their cluster-wide id.
     let mut session: Option<Session> = None;
     let mut templates: HashMap<TemplateId, (Arc<TransactionTemplate>, TableSet)> = HashMap::new();
+    let mut last_activity = Instant::now();
 
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
         match poll_readable(conn.stream(), config.poll_interval, config.read_timeout) {
-            Poll::Idle => continue,
+            Poll::Idle => {
+                if let Some(idle) = config.idle_timeout {
+                    if last_activity.elapsed() > idle {
+                        return;
+                    }
+                }
+                continue;
+            }
             Poll::Closed => return,
             Poll::Readable => {}
         }
@@ -228,6 +320,7 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 return;
             }
         };
+        last_activity = Instant::now();
         let reply = handle_message(shared, msg, &mut session, &mut templates);
         let stop_after = matches!(reply, Some(Message::Ack) if shared.stop.load(Ordering::SeqCst));
         if let Some(reply) = reply {
@@ -252,6 +345,7 @@ fn handle_message(
             replicas: shared.cluster.replicas() as u32,
             mode: shared.cluster.mode(),
         },
+        Message::Ping => Message::Pong,
         Message::OpenSession => {
             let s = shared.cluster.connect();
             let client = s.client().0;
@@ -273,7 +367,11 @@ fn handle_message(
                 Err(e) => Message::Err(e),
             }
         }
-        Message::Run { template, params } => match run_txn(session, templates, template, params) {
+        Message::Run {
+            template,
+            params,
+            idem,
+        } => match run_txn(shared, session, templates, template, params, idem) {
             Ok(reply) => reply,
             Err(e) => Message::Err(e),
         },
@@ -283,6 +381,8 @@ fn handle_message(
                 commits: s.commits,
                 aborts: s.aborts,
                 v_system: s.v_system,
+                certifier_up: s.certifier_up,
+                certifier_downs: s.certifier_downs,
             },
             Err(e) => Message::Err(e),
         },
@@ -300,11 +400,41 @@ fn handle_message(
     Some(reply)
 }
 
+/// RAII admission token: holds one slot of the `max_inflight` bound.
+struct Admission<'a>(&'a AtomicU64);
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn admit(shared: &Shared) -> Result<Admission<'_>> {
+    let bound = match shared.config.max_inflight {
+        Some(bound) => bound,
+        None => {
+            shared.inflight.fetch_add(1, Ordering::SeqCst);
+            return Ok(Admission(&shared.inflight));
+        }
+    };
+    let prev = shared.inflight.fetch_add(1, Ordering::SeqCst);
+    if prev >= bound {
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        shared.shed.fetch_add(1, Ordering::SeqCst);
+        return Err(Error::Unavailable(format!(
+            "overloaded: {prev} transactions in flight, bound is {bound} (retry-after)"
+        )));
+    }
+    Ok(Admission(&shared.inflight))
+}
+
 fn run_txn(
+    shared: &Shared,
     session: &mut Option<Session>,
     templates: &HashMap<TemplateId, (Arc<TransactionTemplate>, TableSet)>,
     template: TemplateId,
     params: Vec<Vec<bargain_common::Value>>,
+    idem: Option<IdemKey>,
 ) -> Result<Message> {
     let session = session
         .as_mut()
@@ -312,6 +442,8 @@ fn run_txn(
     let (template, table_set) = templates
         .get(&template)
         .ok_or_else(|| Error::Protocol(format!("unknown template {template}; prepare it first")))?;
-    let (outcome, results) = session.run_prepared(template, table_set.clone(), params)?;
+    let _slot = admit(shared)?;
+    let (outcome, results) =
+        session.run_prepared_keyed(template, table_set.clone(), params, idem)?;
     Ok(Message::TxnReply { outcome, results })
 }

@@ -184,6 +184,7 @@ fn killed_connection_mid_transaction_leaves_cluster_serving() {
         conn.send(&Message::Run {
             template,
             params: vec![vec![Value::Int(4242), Value::Int(1)]],
+            idem: None,
         })
         .unwrap();
         // Dropped here without recv: the transaction is in flight.

@@ -4,8 +4,8 @@
 //! never a panic, never a silently wrong message.
 
 use bargain_common::{
-    ClientId, ConsistencyMode, Error, ReplicaId, SessionId, TableId, TemplateId, TxnId, Value,
-    Version, WriteOp, WriteSet,
+    ClientId, ConsistencyMode, Error, IdemKey, ReplicaId, SessionId, TableId, TemplateId, TxnId,
+    Value, Version, WriteOp, WriteSet,
 };
 use bargain_core::{CertifyDecision, CertifyRequest, LogRecord, Refresh, TxnOutcome};
 use bargain_net::frame::{read_frame, write_frame};
@@ -112,6 +112,12 @@ fn mode_strategy() -> impl Strategy<Value = ConsistencyMode> {
     ]
 }
 
+fn idem_strategy() -> impl Strategy<Value = Option<IdemKey>> {
+    proptest::option::of(
+        (any::<u64>(), any::<u64>()).prop_map(|(client, seq)| IdemKey { client, seq }),
+    )
+}
+
 fn refresh_strategy() -> impl Strategy<Value = Refresh> {
     (
         any::<u32>(),
@@ -132,12 +138,14 @@ fn log_record_strategy() -> impl Strategy<Value = LogRecord> {
         any::<u64>(),
         any::<u64>(),
         any::<u32>(),
+        idem_strategy(),
         writeset_strategy(),
     )
-        .prop_map(|(cv, txn, origin, ws)| LogRecord {
+        .prop_map(|(cv, txn, origin, idem, ws)| LogRecord {
             commit_version: Version(cv),
             txn: TxnId(txn),
             origin: ReplicaId(origin),
+            idem,
             writeset: Arc::new(ws),
         })
 }
@@ -162,11 +170,13 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         }),
         (
             any::<u32>(),
-            proptest::collection::vec(row_strategy(), 0..4)
+            proptest::collection::vec(row_strategy(), 0..4),
+            idem_strategy()
         )
-            .prop_map(|(t, params)| Message::Run {
+            .prop_map(|(t, params, idem)| Message::Run {
                 template: TemplateId(t),
-                params
+                params,
+                idem
             }),
         (
             outcome_strategy(),
@@ -174,49 +184,72 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         )
             .prop_map(|(outcome, results)| Message::TxnReply { outcome, results }),
         Just(Message::Stats),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-            |(routed, commits, aborts, v)| Message::StatsReply {
-                routed,
-                commits,
-                aborts,
-                v_system: Version(v)
-            }
-        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(routed, commits, aborts, v, certifier_up, certifier_downs)| {
+                    Message::StatsReply {
+                        routed,
+                        commits,
+                        aborts,
+                        v_system: Version(v),
+                        certifier_up,
+                        certifier_downs,
+                    }
+                }
+            ),
         Just(Message::StopServer),
         (
             any::<u64>(),
             any::<u32>(),
             any::<u64>(),
+            idem_strategy(),
             writeset_strategy()
         )
-            .prop_map(
-                |(txn, replica, snapshot, ws)| Message::Certify(CertifyRequest {
+            .prop_map(|(txn, replica, snapshot, idem, ws)| Message::Certify(
+                CertifyRequest {
                     txn: TxnId(txn),
                     replica: ReplicaId(replica),
                     snapshot: Version(snapshot),
                     writeset: ws,
-                })
-            ),
+                    idem,
+                }
+            )),
         (any::<u32>(), any::<u64>()).prop_map(|(r, v)| Message::Applied {
             replica: ReplicaId(r),
             version: Version(v)
         }),
-        (any::<u32>(), any::<bool>(), any::<u64>(), any::<u64>()).prop_map(
-            |(origin, commit, txn, v)| Message::Decision {
+        (
+            any::<u32>(),
+            0..3u8,
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(origin, tag, txn, v, original)| Message::Decision {
                 origin: ReplicaId(origin),
-                decision: if commit {
-                    CertifyDecision::Commit {
+                decision: match tag {
+                    0 => CertifyDecision::Commit {
                         txn: TxnId(txn),
                         commit_version: Version(v),
-                    }
-                } else {
-                    CertifyDecision::Abort {
+                    },
+                    1 => CertifyDecision::Abort {
                         txn: TxnId(txn),
                         conflicting_version: Version(v),
-                    }
+                    },
+                    _ => CertifyDecision::Duplicate {
+                        txn: TxnId(txn),
+                        original: TxnId(original),
+                        commit_version: Version(v),
+                    },
                 },
-            }
-        ),
+            }),
         (any::<u32>(), refresh_strategy()).prop_map(|(to, refresh)| Message::RefreshFor {
             to: ReplicaId(to),
             refresh
@@ -225,7 +258,11 @@ fn message_strategy() -> impl Strategy<Value = Message> {
             origin: ReplicaId(origin),
             txn: TxnId(txn)
         }),
-        Just(Message::FetchHistory),
+        Just(Message::Ping),
+        Just(Message::Pong),
+        any::<u64>().prop_map(|after| Message::FetchHistory {
+            after: Version(after)
+        }),
         proptest::collection::vec(log_record_strategy(), 0..4)
             .prop_map(|records| Message::History { records }),
     ]

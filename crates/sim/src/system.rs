@@ -896,6 +896,10 @@ impl<'w> Sim<'w> {
             session: ctx.session,
             template,
             params,
+            // Simulated clients never retry an in-doubt transaction (a
+            // lost ack is a lost client in the model), so they carry no
+            // idempotency keys.
+            idem: None,
         };
         let session = ctx.session;
         let routed = match self.lb.route(request) {
@@ -1131,7 +1135,11 @@ impl<'w> Sim<'w> {
                 let lane = self.apply_lane();
                 self.offer_replica(replica, lane, ReplicaJob::Decision { decision }, cost);
             }
-            CertifyDecision::Abort { txn, .. } => {
+            // Duplicate is unreachable here (simulated clients carry no
+            // idempotency keys) but handled uniformly for completeness:
+            // hand the decision to the proxy, which discards the retry's
+            // writes and reports the original outcome.
+            CertifyDecision::Abort { txn, .. } | CertifyDecision::Duplicate { txn, .. } => {
                 if let Some(track) = self.tracks.get_mut(txn) {
                     track.decision_at = now;
                     track.certify_us = now.saturating_sub(track.queries_done_at);

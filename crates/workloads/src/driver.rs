@@ -141,9 +141,18 @@ pub struct DriveStats {
     pub aborts: u64,
 }
 
+/// `Unavailable` carrying the server's explicit "back off and retry"
+/// marker: overload shedding and certifier-outage sheds/sweeps. The
+/// transaction definitively did not commit, so retrying is safe; backing
+/// off first is what the marker asks for.
+fn is_retry_after(e: &bargain_common::Error) -> bool {
+    matches!(e, bargain_common::Error::Unavailable(reason) if reason.contains("retry-after"))
+}
+
 /// Closed-loop client: draws `txns` instances from `workload` and runs each
-/// through `driver`, retrying retryable (certification) aborts up to
-/// `max_retries` times. Registration must already have happened.
+/// through `driver`, retrying retryable (certification) aborts and
+/// `retry-after` unavailability (overload shedding, certifier outages) up
+/// to `max_retries` times. Registration must already have happened.
 pub fn drive(
     driver: &mut impl TxnDriver,
     workload: &impl Workload,
@@ -161,8 +170,12 @@ pub fn drive(
                     stats.commits += 1;
                     break;
                 }
+                Err(e) if is_retry_after(&e) && attempt < max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(5 * attempt as u64));
+                }
                 Err(e) if e.is_retryable() && attempt < max_retries => attempt += 1,
-                Err(e) if e.is_retryable() => {
+                Err(e) if e.is_retryable() || is_retry_after(&e) => {
                     stats.aborts += 1;
                     break;
                 }

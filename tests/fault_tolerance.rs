@@ -23,6 +23,7 @@ fn req(txn: u64, snapshot: Version, w: WriteSet) -> CertifyRequest {
         replica: ReplicaId(0),
         snapshot,
         writeset: w,
+        idem: None,
     }
 }
 
@@ -117,6 +118,7 @@ fn crashed_replica_rebuilds_from_certified_history() {
             commit_version,
             txn: TxnId(i),
             origin: ReplicaId(0),
+            idem: None,
             writeset: std::sync::Arc::new(w),
         })
         .unwrap();

@@ -44,6 +44,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the deadline.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
     /// The sending half of an unbounded channel.
     pub struct Sender<T>(mpsc::Sender<T>);
 
@@ -77,6 +86,15 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Returns a message if one is ready, without blocking.
