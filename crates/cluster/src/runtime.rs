@@ -20,8 +20,8 @@ use bargain_common::{
     ConsistencyMode, Error, ReplicaId, Result, TableSet, TemplateId, TxnId, Version,
 };
 use bargain_core::{
-    Certifier, CertifyDecision, CertifyRequest, FinishAction, LoadBalancer, LogRecord, Proxy,
-    ProxyEvent, Refresh, RoutedTxn, StartDecision, StatementOutcome, TxnOutcome, TxnRequest,
+    CertifyDecision, CertifyRequest, FinishAction, LoadBalancer, LogRecord, Proxy, ProxyEvent,
+    Refresh, RoutedTxn, ShardedCertifier, StartDecision, StatementOutcome, TxnOutcome, TxnRequest,
 };
 use bargain_sql::{execute_ddl, parse, QueryResult, Statement, TransactionTemplate};
 use bargain_storage::Engine;
@@ -48,6 +48,14 @@ pub struct ClusterConfig {
     /// history — so restarting with the same `wal_dir` (and the same
     /// `setup`) resumes exactly where the last run committed.
     pub wal_dir: Option<std::path::PathBuf>,
+    /// Number of certifier shards (the table space is partitioned across
+    /// them; see `bargain_core::PartitionMap`). `1` — the default — is the
+    /// degenerate single-certifier configuration. With `wal_dir` set, shard
+    /// `i` of an N>1 configuration logs to `shard-i/certifier.wal` inside
+    /// the directory (each shard owns its own WAL directory), while N=1
+    /// keeps the legacy `certifier.wal` so existing durable clusters
+    /// restart unchanged.
+    pub shards: usize,
 }
 
 impl Default for ClusterConfig {
@@ -56,6 +64,7 @@ impl Default for ClusterConfig {
             replicas: 3,
             mode: ConsistencyMode::LazyFine,
             wal_dir: None,
+            shards: 1,
         }
     }
 }
@@ -294,9 +303,10 @@ impl Cluster {
         // The certified writesets fast-forward every replica engine from
         // its checkpoint (the `setup` state) to the durable version.
         enum Backend {
-            Local(Box<Certifier>),
+            Local(Box<ShardedCertifier>),
             Remote(Box<dyn CertifierLink>),
         }
+        assert!(config.shards >= 1, "need at least one certifier shard");
         let (backend, history) = match link {
             Some(mut link) => {
                 let history = link.history().expect("certifier link serves its history");
@@ -305,12 +315,21 @@ impl Cluster {
             None => {
                 let mut certifier = match &config.wal_dir {
                     Some(dir) => {
-                        std::fs::create_dir_all(dir).expect("wal directory is creatable");
-                        let log = bargain_core::FileLog::open(&dir.join("certifier.wal"))
-                            .expect("wal opens");
-                        Certifier::with_log(replica_ids.clone(), Box::new(log))
+                        let logs: Vec<Box<dyn bargain_core::CommitLog>> =
+                            shard_wal_paths(dir, config.shards)
+                                .into_iter()
+                                .map(|path| {
+                                    std::fs::create_dir_all(
+                                        path.parent().expect("wal path has a directory"),
+                                    )
+                                    .expect("wal directory is creatable");
+                                    Box::new(bargain_core::FileLog::open(&path).expect("wal opens"))
+                                        as Box<dyn bargain_core::CommitLog>
+                                })
+                                .collect();
+                        ShardedCertifier::with_logs(replica_ids.clone(), logs)
                     }
-                    None => Certifier::new(replica_ids.clone()),
+                    None => ShardedCertifier::new(replica_ids.clone(), config.shards),
                 };
                 certifier.set_eager(config.mode == ConsistencyMode::Eager);
                 let recovered = certifier.recover().expect("certifier log replays");
@@ -750,17 +769,31 @@ fn replica_main(
     }
 }
 
+/// The WAL path of each certifier shard inside `wal_dir`: the legacy flat
+/// `certifier.wal` for the single-shard configuration, one `shard-i`
+/// directory per shard otherwise.
+fn shard_wal_paths(dir: &std::path::Path, shards: usize) -> Vec<std::path::PathBuf> {
+    if shards == 1 {
+        vec![dir.join("certifier.wal")]
+    } else {
+        (0..shards)
+            .map(|i| dir.join(format!("shard-{i}")).join("certifier.wal"))
+            .collect()
+    }
+}
+
 fn certifier_main(
-    mut certifier: Certifier,
+    mut certifier: ShardedCertifier,
     rx: Receiver<CertifierRequest>,
     replicas: Vec<Sender<ToReplica>>,
 ) {
     // Group commit: every certify request sitting in the channel when the
-    // thread comes around is certified as one batch with a single WAL fsync.
-    // Under load the batch grows with the arrival rate (the classic group
-    // commit adaptivity); an idle certifier still serves single requests
-    // with single-append latency.
-    let flush_batch = |certifier: &mut Certifier,
+    // thread comes around is certified as one batch, drained to the shard
+    // WALs with a single fsync per dirty shard (the per-shard flushes run
+    // in parallel inside `certify_batch`). Under load the batch grows with
+    // the arrival rate (the classic group commit adaptivity); an idle
+    // certifier still serves single requests with single-append latency.
+    let flush_batch = |certifier: &mut ShardedCertifier,
                        batch: &mut Vec<CertifyRequest>,
                        replicas: &Vec<Sender<ToReplica>>| {
         if batch.is_empty() {

@@ -37,6 +37,7 @@ pub mod checker;
 pub mod lb;
 pub mod messages;
 pub mod proxy;
+pub mod shard;
 pub mod wal;
 
 pub use certifier::{Certifier, CertifierStats};
@@ -46,4 +47,5 @@ pub use messages::{
     CertifyDecision, CertifyRequest, Refresh, RoutedTxn, StartDecision, TxnOutcome, TxnRequest,
 };
 pub use proxy::{FinishAction, Proxy, ProxyEvent, ProxyStats, StatementOutcome};
+pub use shard::{PartitionMap, ShardedCertifier, ShardingStats};
 pub use wal::{CommitLog, FileLog, LogRecord, MemoryLog};

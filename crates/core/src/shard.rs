@@ -1,0 +1,1114 @@
+//! Partitioned certification: N certifier shards, each owning a disjoint
+//! set of tables with its own row-version index, history ring, and commit
+//! log — the scale-out refactor of the single [`Certifier`].
+//!
+//! # Partitioning
+//!
+//! A [`PartitionMap`] statically assigns every table to one shard (the
+//! fine-grained consistency mode already extracts static table-sets per
+//! prepared transaction, so the partitioning key exists at routing time).
+//! A transaction *involves* the shards owning the tables its writeset
+//! touches:
+//!
+//! - **Single-partition** transactions (the common case under the
+//!   micro-benchmark and most of TPC-W) certify at exactly one shard: one
+//!   index probe set, one history entry, one log record — no coordination.
+//! - **Cross-partition** transactions run an ordered two-phase shard
+//!   handshake: the involved shards are visited in ascending partition id —
+//!   the global lock order that makes the handshake deadlock-free — each
+//!   performing its *certify-prepare* (a conflict probe over the rows it
+//!   owns); if every shard reports no conflict, a lightweight sequencer
+//!   assigns the commit version atomically and each involved shard applies
+//!   the commit (index update, history entry, log record).
+//!
+//! The sequencer is the one piece of shared state: a single `V_commit`
+//! counter handed out at commit time, which keeps the global commit order
+//! total across shards. Because certification is a pure function of the
+//! row-version state, and the shard indexes partition the global index by
+//! table, a [`ShardedCertifier`] produces **bit-identical decisions** to a
+//! single [`Certifier`] fed the same request sequence — the degenerate
+//! `N = 1` configuration *is* the old certifier, and the differential
+//! proptest in `tests/proptest_sharded.rs` holds N ∈ {2,4,8} against it.
+//!
+//! # Durability and recovery
+//!
+//! Every involved shard logs the **full** record of a commit (cross-
+//! partition commits appear in multiple shard logs), and a decision is
+//! announced only after *all* involved shards' batches are flushed —
+//! [`ShardedCertifier::certify_batch`] drains the per-shard group-commit
+//! buffers in parallel (one fsync per dirty shard per batch, all fsyncs
+//! concurrent). Recovery merges the shard logs by commit version, dedupes
+//! the cross-partition copies, and keeps the longest *dense* prefix:
+//!
+//! - an **announced** commit was flushed at every involved shard, so at
+//!   least one copy survives any single shard's torn tail and the prefix
+//!   rule always retains it;
+//! - a record beyond the first version gap belongs to a batch that crashed
+//!   mid-flush and was never announced, so dropping it is safe. Dropped
+//!   records are physically truncated from their logs
+//!   ([`CommitLog::rewrite`]) so their stale bytes cannot collide with a
+//!   later reassignment of the same commit version.
+//!
+//! # Exactly-once
+//!
+//! The idempotency-key dedup entry of a commit lives at its *lowest
+//! involved shard*. A protocol-conformant retry carries the same writeset,
+//! so it routes to the same owner shard and is answered there; lookups
+//! nevertheless consult every shard and take the newest sequence number, so
+//! the sharded dedup state is observationally identical to the single
+//! certifier's global map even when a client's consecutive transactions
+//! touch different partitions.
+
+use crate::certifier::CertifierStats;
+use crate::messages::{CertifyDecision, CertifyRequest, Refresh};
+use crate::wal::{CommitLog, LogRecord, MemoryLog};
+use bargain_common::{Error, ReplicaId, Result, TableId, TxnId, Value, Version, WriteSet};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// The static table → shard assignment. Involved-shard lists are always
+/// returned in ascending partition id: that order is the global lock order
+/// of the cross-shard handshake, which is what makes it deadlock-free.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    n_shards: usize,
+}
+
+impl PartitionMap {
+    /// A map distributing tables over `n_shards` partitions (round-robin by
+    /// table id).
+    #[must_use]
+    pub fn new(n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one certifier shard");
+        PartitionMap { n_shards }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard owning `table`.
+    #[must_use]
+    pub fn shard_of_table(&self, table: TableId) -> usize {
+        table.index() % self.n_shards
+    }
+
+    /// The shards a writeset involves, ascending (= handshake lock order),
+    /// deduplicated. An empty writeset is anchored at shard 0 so its
+    /// (vacuous) commit still has a durable home and the merged log stays
+    /// dense.
+    #[must_use]
+    pub fn shards_of(&self, writeset: &WriteSet) -> Vec<usize> {
+        if writeset.is_empty() {
+            return vec![0];
+        }
+        let mut shards: Vec<usize> = writeset
+            .entries()
+            .iter()
+            .map(|e| self.shard_of_table(e.table))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+}
+
+/// Sharding-specific counters, alongside the [`CertifierStats`] the sharded
+/// certifier keeps for parity with the single one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardingStats {
+    /// Commit/abort decisions that involved exactly one shard.
+    pub single_partition: u64,
+    /// Decisions that ran the cross-shard handshake.
+    pub cross_partition: u64,
+    /// Durable records appended per shard (a cross-partition commit counts
+    /// at every involved shard).
+    pub per_shard_records: Vec<u64>,
+}
+
+struct EagerState {
+    origin: ReplicaId,
+    txn: TxnId,
+    applied: Vec<ReplicaId>,
+}
+
+/// One certifier shard: the row-version index, retained history, dedup
+/// entries, and commit log for the tables this shard owns. History entries
+/// are full [`LogRecord`]s (explicit commit versions — the per-shard view
+/// of the global sequence is sparse).
+struct Shard {
+    row_index: HashMap<TableId, HashMap<Value, Version>>,
+    history: VecDeque<LogRecord>,
+    log: Box<dyn CommitLog>,
+    dedup: HashMap<u64, (u64, TxnId, Version)>,
+    /// Commits buffered since the last group-commit drain.
+    pending: Vec<LogRecord>,
+}
+
+impl Shard {
+    fn new(log: Box<dyn CommitLog>) -> Self {
+        Shard {
+            row_index: HashMap::new(),
+            history: VecDeque::new(),
+            log,
+            dedup: HashMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Certify-prepare: the newest retained commit above `snapshot` that
+    /// wrote one of the writeset rows *this shard owns*.
+    fn prepare(
+        &self,
+        partition: &PartitionMap,
+        me: usize,
+        snapshot: Version,
+        writeset: &WriteSet,
+    ) -> Option<Version> {
+        let mut newest: Option<Version> = None;
+        for entry in writeset.entries() {
+            if partition.shard_of_table(entry.table) != me {
+                continue;
+            }
+            if let Some(&last_writer) = self
+                .row_index
+                .get(&entry.table)
+                .and_then(|rows| rows.get(&entry.key))
+            {
+                if last_writer > snapshot && newest.is_none_or(|n| last_writer > n) {
+                    newest = Some(last_writer);
+                }
+            }
+        }
+        newest
+    }
+
+    /// Commit-apply: index the owned rows, retain the record, and buffer it
+    /// for the next log drain (recovery installs skip the buffer).
+    fn apply(&mut self, partition: &PartitionMap, me: usize, record: &LogRecord, buffer: bool) {
+        for row in record.writeset.entries() {
+            if partition.shard_of_table(row.table) != me {
+                continue;
+            }
+            self.row_index
+                .entry(row.table)
+                .or_default()
+                .insert(row.key.clone(), record.commit_version);
+        }
+        self.history.push_back(record.clone());
+        if buffer {
+            self.pending.push(record.clone());
+        }
+    }
+
+    /// Drops retained entries at or below `floor`, keeping the row index
+    /// exact (a row is evicted only while the pruned entry is still its
+    /// last writer).
+    fn prune_below(&mut self, partition: &PartitionMap, me: usize, floor: Version) {
+        let mut pruned_any = false;
+        while let Some(front) = self.history.front() {
+            if front.commit_version > floor {
+                break;
+            }
+            let entry = self.history.pop_front().expect("front checked");
+            for row in entry.writeset.entries() {
+                if partition.shard_of_table(row.table) != me {
+                    continue;
+                }
+                if let Some(rows) = self.row_index.get_mut(&row.table) {
+                    if rows.get(&row.key) == Some(&entry.commit_version) {
+                        rows.remove(&row.key);
+                    }
+                }
+            }
+            pruned_any = true;
+        }
+        if pruned_any {
+            self.row_index.retain(|_, rows| !rows.is_empty());
+        }
+    }
+}
+
+/// The partitioned certifier: N [`Shard`]s behind one sequencer, with the
+/// same host-facing API as [`Certifier`] (the cluster runtime, the network
+/// certifier server, and the simulator host either interchangeably). See
+/// the module docs for the handshake and recovery invariants.
+///
+/// [`Certifier`]: crate::Certifier
+pub struct ShardedCertifier {
+    partition: PartitionMap,
+    shards: Vec<Shard>,
+    replicas: Vec<ReplicaId>,
+    /// The sequencer: the single commit-version counter shared by all
+    /// shards, keeping the global commit order total.
+    v_commit: Version,
+    history_floor: Version,
+    eager_pending: HashMap<Version, EagerState>,
+    eager_enabled: bool,
+    stats: CertifierStats,
+    sharding: ShardingStats,
+}
+
+impl ShardedCertifier {
+    /// A sharded certifier with in-memory logs (simulation and tests).
+    #[must_use]
+    pub fn new(replicas: Vec<ReplicaId>, n_shards: usize) -> Self {
+        let logs = (0..n_shards)
+            .map(|_| Box::new(MemoryLog::new()) as Box<dyn CommitLog>)
+            .collect();
+        Self::with_logs(replicas, logs)
+    }
+
+    /// A sharded certifier over caller-provided durable logs, one per shard
+    /// (`logs.len()` determines the shard count).
+    #[must_use]
+    pub fn with_logs(replicas: Vec<ReplicaId>, logs: Vec<Box<dyn CommitLog>>) -> Self {
+        assert!(!logs.is_empty(), "need at least one shard log");
+        let partition = PartitionMap::new(logs.len());
+        let shards: Vec<Shard> = logs.into_iter().map(Shard::new).collect();
+        let sharding = ShardingStats {
+            per_shard_records: vec![0; shards.len()],
+            ..ShardingStats::default()
+        };
+        ShardedCertifier {
+            partition,
+            shards,
+            replicas,
+            v_commit: Version::ZERO,
+            history_floor: Version::ZERO,
+            eager_pending: HashMap::new(),
+            eager_enabled: false,
+            stats: CertifierStats::default(),
+            sharding,
+        }
+    }
+
+    /// The table → shard assignment in force.
+    #[must_use]
+    pub fn partition(&self) -> &PartitionMap {
+        &self.partition
+    }
+
+    /// Number of certifier shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enables eager global-commit accounting.
+    pub fn set_eager(&mut self, enabled: bool) {
+        self.eager_enabled = enabled;
+    }
+
+    /// The latest certified version (the sequencer's `V_commit`).
+    #[must_use]
+    pub fn version(&self) -> Version {
+        self.v_commit
+    }
+
+    /// The single-certifier-compatible counters.
+    #[must_use]
+    pub fn stats(&self) -> CertifierStats {
+        self.stats
+    }
+
+    /// The sharding-specific counters.
+    #[must_use]
+    pub fn sharding_stats(&self) -> &ShardingStats {
+        &self.sharding
+    }
+
+    /// Number of distinct commit versions retained for conflict checking
+    /// (the global history is dense between the prune floor and
+    /// `V_commit`, so this equals the single certifier's history length).
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        self.v_commit.gap_from(self.history_floor) as usize
+    }
+
+    /// Certifies one update transaction (a one-element
+    /// [`Self::certify_batch`]).
+    pub fn certify(&mut self, req: CertifyRequest) -> Result<(CertifyDecision, Vec<Refresh>)> {
+        let mut results = self.certify_batch(vec![req])?;
+        Ok(results.pop().expect("one request in, one result out"))
+    }
+
+    /// Certifies a batch in order with one durability point per involved
+    /// shard: requests are certified sequentially against the shard state
+    /// (identical decisions to one-by-one certification), then every dirty
+    /// shard's buffered records are flushed as one group commit, all shard
+    /// flushes running in parallel. No decision is returned before every
+    /// flush completes — a decision is durable at *all* its involved shards
+    /// before it is announced.
+    ///
+    /// If a request fails validation mid-batch, the records buffered so far
+    /// are still flushed before the error is returned (no already-made
+    /// decision is ever lost), exactly like the single certifier.
+    pub fn certify_batch(
+        &mut self,
+        reqs: Vec<CertifyRequest>,
+    ) -> Result<Vec<(CertifyDecision, Vec<Refresh>)>> {
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut first_err = None;
+        for req in reqs {
+            match self.certify_one(req) {
+                Ok(result) => out.push(result),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        self.drain_pending()?;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// The in-memory certification state machine: validate, dedup, run the
+    /// ordered prepare across the involved shards, then sequence and apply.
+    fn certify_one(&mut self, req: CertifyRequest) -> Result<(CertifyDecision, Vec<Refresh>)> {
+        if req.snapshot > self.v_commit {
+            return Err(Error::Protocol(format!(
+                "certify: snapshot {} is in the future of V_commit {}",
+                req.snapshot, self.v_commit
+            )));
+        }
+        if req.snapshot < self.history_floor {
+            return Err(Error::Protocol(format!(
+                "certify: snapshot {} is below the pruned history floor {}",
+                req.snapshot, self.history_floor
+            )));
+        }
+        // Exactly-once: consult every shard, newest sequence number wins —
+        // observationally the single certifier's per-client map.
+        if let Some(key) = req.idem {
+            if let Some((seq, txn, commit_version)) = self.dedup_lookup(key.client) {
+                if seq == key.seq {
+                    self.stats.duplicates += 1;
+                    return Ok((
+                        CertifyDecision::Duplicate {
+                            txn: req.txn,
+                            original: txn,
+                            commit_version,
+                        },
+                        Vec::new(),
+                    ));
+                }
+                if seq > key.seq {
+                    return Err(Error::Protocol(format!(
+                        "certify: stale idempotency key {key} (client already certified seq {seq})"
+                    )));
+                }
+            }
+        }
+        // Phase 1 — certify-prepare at every involved shard, in ascending
+        // partition id (the deadlock-free lock order). Each shard probes
+        // only the rows it owns; the newest conflict across shards is
+        // exactly the global index's answer.
+        let involved = self.partition.shards_of(&req.writeset);
+        if involved.len() == 1 {
+            self.sharding.single_partition += 1;
+        } else {
+            self.sharding.cross_partition += 1;
+        }
+        let mut conflict: Option<Version> = None;
+        for &s in &involved {
+            if let Some(v) = self.shards[s].prepare(&self.partition, s, req.snapshot, &req.writeset)
+            {
+                if conflict.is_none_or(|n| v > n) {
+                    conflict = Some(v);
+                }
+            }
+        }
+        debug_assert_eq!(
+            conflict,
+            self.conflict_linear(req.snapshot, &req.writeset),
+            "sharded indexes diverged from the linear-scan oracle"
+        );
+        if let Some(conflicting_version) = conflict {
+            self.stats.aborts += 1;
+            return Ok((
+                CertifyDecision::Abort {
+                    txn: req.txn,
+                    conflicting_version,
+                },
+                Vec::new(),
+            ));
+        }
+        // Phase 2 — the sequencer assigns the commit version atomically,
+        // then every involved shard applies (same ascending order). Each
+        // shard logs the full record: any surviving copy reconstructs the
+        // commit at recovery.
+        let commit_version = self.v_commit.next();
+        let writeset = Arc::new(req.writeset);
+        let record = LogRecord {
+            commit_version,
+            txn: req.txn,
+            origin: req.replica,
+            idem: req.idem,
+            writeset: Arc::clone(&writeset),
+        };
+        for &s in &involved {
+            self.shards[s].apply(&self.partition, s, &record, true);
+            self.sharding.per_shard_records[s] += 1;
+        }
+        self.v_commit = commit_version;
+        if let Some(key) = req.idem {
+            // The dedup entry lives at the lowest involved shard.
+            self.shards[involved[0]]
+                .dedup
+                .insert(key.client, (key.seq, req.txn, commit_version));
+        }
+        if self.eager_enabled {
+            self.eager_pending.insert(
+                commit_version,
+                EagerState {
+                    origin: req.replica,
+                    txn: req.txn,
+                    applied: Vec::new(),
+                },
+            );
+        }
+        self.stats.commits += 1;
+        let n_targets = self.replicas.iter().filter(|&&r| r != req.replica).count();
+        self.stats.refreshes_sent += n_targets as u64;
+        let refreshes: Vec<Refresh> = (0..n_targets)
+            .map(|_| Refresh {
+                origin: req.replica,
+                txn: req.txn,
+                commit_version,
+                writeset: Arc::clone(&writeset),
+            })
+            .collect();
+        Ok((
+            CertifyDecision::Commit {
+                txn: req.txn,
+                commit_version,
+            },
+            refreshes,
+        ))
+    }
+
+    /// Newest dedup entry for `client` across all shards.
+    fn dedup_lookup(&self, client: u64) -> Option<(u64, TxnId, Version)> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.dedup.get(&client).copied())
+            .max_by_key(|&(seq, _, _)| seq)
+    }
+
+    /// Drains every shard's group-commit buffer. When more than one dirty
+    /// shard has a log that blocks on real I/O, the flushes run in parallel
+    /// (one fsync per dirty shard, fsyncs concurrent); for cheap logs the
+    /// spawn overhead would dwarf the flush, so they drain inline. Nothing
+    /// is announced until every flush returns.
+    fn drain_pending(&mut self) -> Result<()> {
+        let dirty = self.shards.iter().filter(|s| !s.pending.is_empty()).count();
+        if dirty == 0 {
+            return Ok(());
+        }
+        let parallel_pays = dirty > 1
+            && self
+                .shards
+                .iter()
+                .filter(|s| !s.pending.is_empty())
+                .any(|s| s.log.blocking_flush());
+        if !parallel_pays {
+            for shard in &mut self.shards {
+                if !shard.pending.is_empty() {
+                    let records = std::mem::take(&mut shard.pending);
+                    shard.log.append_batch(&records)?;
+                }
+            }
+            return Ok(());
+        }
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .filter(|s| !s.pending.is_empty())
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let records = std::mem::take(&mut shard.pending);
+                        shard.log.append_batch(&records)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Reference oracle: a linear scan over every shard's retained history
+    /// (cross-partition entries are scanned once per involved shard, which
+    /// cannot change the newest-conflict answer). Identical to
+    /// [`Certifier::conflict_linear`] over the same committed history.
+    ///
+    /// [`Certifier::conflict_linear`]: crate::Certifier::conflict_linear
+    #[must_use]
+    pub fn conflict_linear(&self, snapshot: Version, writeset: &WriteSet) -> Option<Version> {
+        let mut newest: Option<Version> = None;
+        for shard in &self.shards {
+            for entry in shard.history.iter().rev() {
+                if entry.commit_version <= snapshot {
+                    break;
+                }
+                if newest.is_some_and(|n| entry.commit_version <= n) {
+                    break;
+                }
+                if entry.writeset.conflicts_with(writeset) {
+                    newest = Some(entry.commit_version);
+                    break;
+                }
+            }
+        }
+        newest
+    }
+
+    /// The replicas a refresh fan-out targets, in replica order.
+    #[must_use]
+    pub fn refresh_targets(&self, origin: ReplicaId) -> Vec<ReplicaId> {
+        self.replicas
+            .iter()
+            .copied()
+            .filter(|&r| r != origin)
+            .collect()
+    }
+
+    /// Eager mode: a replica reports it applied the commit at `version`
+    /// (identical semantics to the single certifier — the accounting is
+    /// global, not per shard).
+    pub fn on_commit_applied(
+        &mut self,
+        replica: ReplicaId,
+        version: Version,
+    ) -> Option<(ReplicaId, TxnId)> {
+        let n = self.replicas.len();
+        let state = self.eager_pending.get_mut(&version)?;
+        if !state.applied.contains(&replica) {
+            state.applied.push(replica);
+        }
+        if state.applied.len() >= n {
+            let state = self.eager_pending.remove(&version).expect("present");
+            Some((state.origin, state.txn))
+        } else {
+            None
+        }
+    }
+
+    /// Eager mode, post-crash re-synchronization (identical semantics to
+    /// the single certifier).
+    pub fn on_replica_hello(
+        &mut self,
+        replica: ReplicaId,
+        v_local: Version,
+    ) -> Vec<(ReplicaId, TxnId)> {
+        if !self.eager_enabled {
+            return Vec::new();
+        }
+        let n = self.replicas.len();
+        let mut completed: Vec<Version> = Vec::new();
+        let mut versions: Vec<Version> = self
+            .eager_pending
+            .keys()
+            .copied()
+            .filter(|&v| v <= v_local)
+            .collect();
+        versions.sort_unstable();
+        for v in versions {
+            let state = self.eager_pending.get_mut(&v).expect("present");
+            if !state.applied.contains(&replica) {
+                state.applied.push(replica);
+            }
+            if state.applied.len() >= n {
+                completed.push(v);
+            }
+        }
+        completed
+            .into_iter()
+            .map(|v| {
+                let state = self.eager_pending.remove(&v).expect("present");
+                (state.origin, state.txn)
+            })
+            .collect()
+    }
+
+    /// Prunes conflict-check history at or below `floor` across all shards.
+    /// The floor is global: every shard drops its retained entries up to
+    /// the same version, so snapshot admission stays uniform.
+    pub fn prune(&mut self, floor: Version) {
+        let new_floor = floor.min(self.v_commit);
+        if new_floor <= self.history_floor {
+            return;
+        }
+        self.stats.pruned += new_floor.gap_from(self.history_floor);
+        self.history_floor = new_floor;
+        let partition = self.partition.clone();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.prune_below(&partition, i, new_floor);
+        }
+    }
+
+    /// Rebuilds the sharded state from the shard logs (crash recovery).
+    /// Returns the number of records recovered.
+    ///
+    /// The shard logs are merged by commit version (cross-partition copies
+    /// deduplicated) and the longest dense prefix is kept — see the module
+    /// docs for why that retains every announced decision and drops only
+    /// never-announced ones. If the merge found records beyond a gap, the
+    /// affected shard logs are truncated ([`CommitLog::rewrite`]) so the
+    /// dropped versions can be reassigned safely.
+    pub fn recover(&mut self) -> Result<usize> {
+        let mut replayed_len: Vec<usize> = Vec::with_capacity(self.shards.len());
+        let mut by_version: BTreeMap<Version, LogRecord> = BTreeMap::new();
+        for shard in &mut self.shards {
+            let records = shard.log.replay()?;
+            replayed_len.push(records.len());
+            for rec in records {
+                by_version.entry(rec.commit_version).or_insert(rec);
+            }
+        }
+        // The dense prefix from version 1.
+        let mut merged: Vec<LogRecord> = Vec::new();
+        let mut v = Version::ZERO;
+        while let Some(rec) = by_version.remove(&v.next()) {
+            v = v.next();
+            merged.push(rec);
+        }
+        let dropped = !by_version.is_empty();
+        // Reset and reinstall.
+        self.v_commit = Version::ZERO;
+        self.history_floor = Version::ZERO;
+        self.eager_pending.clear();
+        for shard in &mut self.shards {
+            shard.row_index.clear();
+            shard.history.clear();
+            shard.dedup.clear();
+            shard.pending.clear();
+        }
+        let partition = self.partition.clone();
+        for rec in &merged {
+            let involved = partition.shards_of(&rec.writeset);
+            for &s in &involved {
+                self.shards[s].apply(&partition, s, rec, false);
+            }
+            if let Some(key) = rec.idem {
+                self.shards[involved[0]]
+                    .dedup
+                    .insert(key.client, (key.seq, rec.txn, rec.commit_version));
+            }
+            if self.eager_enabled {
+                self.eager_pending.insert(
+                    rec.commit_version,
+                    EagerState {
+                        origin: rec.origin,
+                        txn: rec.txn,
+                        applied: Vec::new(),
+                    },
+                );
+            }
+            self.v_commit = rec.commit_version;
+        }
+        if dropped {
+            // Per shard, the retained records are a prefix of what its log
+            // replayed (only the newest versions are ever dropped), so a
+            // length mismatch identifies exactly the logs needing
+            // truncation.
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                let keep: Vec<LogRecord> = shard.history.iter().cloned().collect();
+                if keep.len() != replayed_len[i] {
+                    shard.log.rewrite(&keep)?;
+                }
+            }
+        }
+        Ok(merged.len())
+    }
+
+    /// Every durable commit with a version strictly above `after`, in
+    /// version order, merged across shards. Suffixes within the retained
+    /// window are served from the shard histories (`Arc` clones, no log
+    /// I/O); deeper requests replay the shard logs.
+    pub fn certified_since(&mut self, after: Version) -> Result<Vec<LogRecord>> {
+        let mut by_version: BTreeMap<Version, LogRecord> = BTreeMap::new();
+        if after >= self.history_floor {
+            for shard in &self.shards {
+                for rec in shard.history.iter().rev() {
+                    if rec.commit_version <= after {
+                        break;
+                    }
+                    by_version
+                        .entry(rec.commit_version)
+                        .or_insert_with(|| rec.clone());
+                }
+            }
+        } else {
+            for shard in &mut self.shards {
+                for rec in shard.log.replay()? {
+                    if rec.commit_version > after {
+                        by_version.entry(rec.commit_version).or_insert(rec);
+                    }
+                }
+            }
+        }
+        Ok(by_version.into_values().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Certifier;
+    use bargain_common::{IdemKey, WriteOp};
+
+    fn replicas(n: u32) -> Vec<ReplicaId> {
+        (0..n).map(ReplicaId).collect()
+    }
+
+    /// A writeset over explicit `(table, key)` pairs.
+    fn ws(rows: &[(u32, i64)]) -> WriteSet {
+        let mut w = WriteSet::new();
+        for &(table, key) in rows {
+            w.push(
+                TableId(table),
+                Value::Int(key),
+                WriteOp::Update(vec![Value::Int(key), Value::Int(0)]),
+            );
+        }
+        w
+    }
+
+    fn req(txn: u64, replica: u32, snapshot: u64, w: WriteSet) -> CertifyRequest {
+        CertifyRequest {
+            txn: TxnId(txn),
+            replica: ReplicaId(replica),
+            snapshot: Version(snapshot),
+            writeset: w,
+            idem: None,
+        }
+    }
+
+    fn keyed(mut r: CertifyRequest, client: u64, seq: u64) -> CertifyRequest {
+        r.idem = Some(IdemKey { client, seq });
+        r
+    }
+
+    #[test]
+    fn partition_map_is_sorted_and_deduplicated() {
+        let p = PartitionMap::new(4);
+        // Entry order reversed and interleaved: the involved list is still
+        // ascending — the handshake's global lock order, regardless of how
+        // the transaction named its tables.
+        let shards = p.shards_of(&ws(&[(7, 1), (5, 1), (6, 2), (2, 1)]));
+        assert_eq!(shards, vec![1, 2, 3]);
+        let single = p.shards_of(&ws(&[(5, 1), (1, 2), (9, 3)]));
+        assert_eq!(single, vec![1], "all tables ≡ 1 (mod 4): one shard");
+        assert_eq!(p.shards_of(&WriteSet::new()), vec![0]);
+    }
+
+    #[test]
+    fn single_partition_decisions_match_oracle() {
+        let mut sharded = ShardedCertifier::new(replicas(3), 4);
+        let mut oracle = Certifier::new(replicas(3));
+        let reqs = vec![
+            req(1, 0, 0, ws(&[(0, 1)])),
+            req(2, 1, 0, ws(&[(1, 1)])),
+            req(3, 2, 0, ws(&[(0, 1)])), // conflicts with txn 1
+            req(4, 0, 2, ws(&[(0, 1)])), // snapshot covers it: commits
+        ];
+        for r in reqs {
+            let (want, want_ref) = oracle.certify(r.clone()).unwrap();
+            let (got, got_ref) = sharded.certify(r).unwrap();
+            assert_eq!(got, want);
+            assert_eq!(got_ref, want_ref);
+        }
+        assert_eq!(sharded.version(), oracle.version());
+        assert_eq!(sharded.stats(), oracle.stats());
+        assert_eq!(sharded.sharding_stats().cross_partition, 0);
+    }
+
+    #[test]
+    fn cross_partition_transaction_touching_all_shards() {
+        let mut sharded = ShardedCertifier::new(replicas(2), 4);
+        let mut oracle = Certifier::new(replicas(2));
+        // Tables 0..3 cover every shard of a 4-way partition.
+        let all = ws(&[(0, 1), (1, 1), (2, 1), (3, 1)]);
+        // The all-shard transaction commits, and a later single-partition
+        // write on any one of its tables conflicts with it — identically on
+        // both certifiers.
+        let script = vec![req(1, 0, 0, all), req(2, 1, 0, ws(&[(2, 1)]))];
+        for r in script {
+            let want = oracle.certify(r.clone()).unwrap();
+            let got = sharded.certify(r).unwrap();
+            assert_eq!(got, want);
+        }
+        assert_eq!(sharded.version(), oracle.version());
+        assert_eq!(sharded.sharding_stats().cross_partition, 1);
+        // The all-shard commit is durable at every shard.
+        assert_eq!(sharded.sharding_stats().per_shard_records, vec![1, 1, 1, 1]);
+        // A non-conflicting single-partition write still flows with no
+        // handshake.
+        assert!(matches!(
+            sharded.certify(req(3, 0, 1, ws(&[(2, 2)]))).unwrap().0,
+            CertifyDecision::Commit { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_writeset_commits_and_stays_dense() {
+        let mut sharded = ShardedCertifier::new(replicas(2), 4);
+        let (d, _) = sharded.certify(req(1, 0, 0, WriteSet::new())).unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Commit {
+                txn: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
+        sharded.certify(req(2, 0, 1, ws(&[(3, 9)]))).unwrap();
+        // The vacuous commit is anchored at shard 0, so the merged history
+        // is dense and recovery keeps everything.
+        assert_eq!(sharded.recover().unwrap(), 2);
+        assert_eq!(sharded.version(), Version(2));
+        let recs = sharded.certified_since(Version::ZERO).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].writeset.is_empty());
+    }
+
+    #[test]
+    fn reversed_table_orders_cannot_deadlock() {
+        // Two cross-partition transactions naming their tables in opposite
+        // orders: the partition map normalizes both to the same ascending
+        // shard sequence, so the handshake acquires shards in one global
+        // order and both certify (no lock cycle is even expressible).
+        let p = PartitionMap::new(4);
+        let ab = ws(&[(1, 1), (2, 2)]);
+        let ba = ws(&[(2, 2), (1, 1)]);
+        assert_eq!(p.shards_of(&ab), p.shards_of(&ba));
+
+        let mut sharded = ShardedCertifier::new(replicas(2), 4);
+        let (d1, _) = sharded.certify(req(1, 0, 0, ab)).unwrap();
+        let (d2, _) = sharded.certify(req(2, 1, 1, ba)).unwrap();
+        assert!(matches!(d1, CertifyDecision::Commit { .. }));
+        assert!(matches!(d2, CertifyDecision::Commit { .. }));
+    }
+
+    #[test]
+    fn idem_replay_is_answered_by_the_owner_shard() {
+        let mut sharded = ShardedCertifier::new(replicas(2), 4);
+        // Cross-partition commit whose lowest involved shard is 1.
+        let (d, _) = sharded
+            .certify(keyed(req(1, 0, 0, ws(&[(1, 5), (3, 5)])), 42, 0))
+            .unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Commit {
+                txn: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
+        assert_eq!(sharded.shards[1].dedup.len(), 1, "entry lives at shard 1");
+        assert!(sharded.shards[3].dedup.is_empty());
+        // The retry (same writeset, same key) is answered with the original
+        // outcome; no version is consumed.
+        let (d, r) = sharded
+            .certify(keyed(req(9, 1, 1, ws(&[(1, 5), (3, 5)])), 42, 0))
+            .unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Duplicate {
+                txn: TxnId(9),
+                original: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
+        assert!(r.is_empty());
+        assert_eq!(sharded.version(), Version(1));
+    }
+
+    #[test]
+    fn stale_idem_key_is_rejected_across_shard_sets() {
+        let mut sharded = ShardedCertifier::new(replicas(2), 4);
+        // seq 0 commits on shard 1, seq 1 on shard 2: the client's entries
+        // live at different shards.
+        sharded
+            .certify(keyed(req(1, 0, 0, ws(&[(1, 1)])), 5, 0))
+            .unwrap();
+        sharded
+            .certify(keyed(req(2, 0, 1, ws(&[(2, 1)])), 5, 1))
+            .unwrap();
+        // Current seq dedups (answered from shard 2)...
+        let (d, _) = sharded
+            .certify(keyed(req(3, 1, 2, ws(&[(2, 1)])), 5, 1))
+            .unwrap();
+        assert!(matches!(d, CertifyDecision::Duplicate { .. }));
+        // ...and the out-of-protocol replay of seq 0 is rejected even
+        // though its entry lives at a different shard: the lookup takes the
+        // newest sequence number across all shards.
+        assert!(sharded
+            .certify(keyed(req(4, 1, 2, ws(&[(1, 1)])), 5, 0))
+            .is_err());
+    }
+
+    #[test]
+    fn dedup_survives_recovery_at_the_owner_shard() {
+        let mut sharded = ShardedCertifier::new(replicas(2), 4);
+        sharded
+            .certify(keyed(req(1, 0, 0, ws(&[(1, 5), (3, 5)])), 11, 4))
+            .unwrap();
+        sharded.recover().unwrap();
+        let (d, _) = sharded
+            .certify(keyed(req(2, 1, 1, ws(&[(1, 5), (3, 5)])), 11, 4))
+            .unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Duplicate {
+                txn: TxnId(2),
+                original: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
+    }
+
+    #[test]
+    fn cross_partition_records_are_logged_at_every_involved_shard() {
+        let mut logs: Vec<Box<dyn CommitLog>> =
+            (0..3).map(|_| Box::new(MemoryLog::new()) as _).collect();
+        let mut sharded = ShardedCertifier::with_logs(replicas(2), std::mem::take(&mut logs));
+        sharded
+            .certify(req(1, 0, 0, ws(&[(0, 1), (1, 1)])))
+            .unwrap(); // shards 0,1
+        sharded.certify(req(2, 0, 1, ws(&[(2, 7)]))).unwrap(); // shard 2
+        let counts = &sharded.sharding_stats().per_shard_records;
+        assert_eq!(counts, &vec![1, 1, 1]);
+        // The full record (both tables) is recoverable from either copy:
+        // recovery after losing nothing sees both commits once each.
+        assert_eq!(sharded.recover().unwrap(), 2);
+        let recs = sharded.certified_since(Version::ZERO).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].writeset.len(), 2);
+    }
+
+    #[test]
+    fn recovery_keeps_dense_prefix_and_truncates_beyond_gap() {
+        let mut sharded = ShardedCertifier::new(replicas(2), 2);
+        sharded.certify(req(1, 0, 0, ws(&[(0, 1)]))).unwrap(); // v1 @ shard 0
+        sharded.certify(req(2, 0, 1, ws(&[(1, 1)]))).unwrap(); // v2 @ shard 1
+        sharded.certify(req(3, 0, 2, ws(&[(0, 2)]))).unwrap(); // v3 @ shard 0
+                                                               // Simulate shard 1 losing its unsynced tail: wipe its log. v2's
+                                                               // only copy is gone, so the dense prefix ends at v1 and v3 — never
+                                                               // announced in this scenario — must be dropped *and truncated* so a
+                                                               // later commit can safely reuse version 2.
+        sharded.shards[1].log.rewrite(&[]).unwrap();
+        assert_eq!(sharded.recover().unwrap(), 1);
+        assert_eq!(sharded.version(), Version(1));
+        // Shard 0's log was physically truncated: replaying it again finds
+        // only v1, so the next commits get v2, v3 without collisions.
+        sharded.certify(req(4, 0, 1, ws(&[(1, 9)]))).unwrap();
+        sharded.certify(req(5, 0, 2, ws(&[(0, 9)]))).unwrap();
+        assert_eq!(sharded.recover().unwrap(), 3);
+        let recs = sharded.certified_since(Version::ZERO).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1].txn, TxnId(4));
+        assert_eq!(recs[2].txn, TxnId(5));
+    }
+
+    #[test]
+    fn prune_is_global_and_keeps_indexes_exact() {
+        let mut sharded = ShardedCertifier::new(replicas(2), 2);
+        let mut oracle = Certifier::new(replicas(2));
+        let script = vec![
+            req(1, 0, 0, ws(&[(0, 7)])),         // v1 @ shard 0
+            req(2, 0, 1, ws(&[(0, 7), (1, 7)])), // v2 rewrites row 7 + shard 1
+            req(3, 0, 2, ws(&[(1, 3)])),         // v3 @ shard 1
+        ];
+        for r in script {
+            oracle.certify(r.clone()).unwrap();
+            sharded.certify(r).unwrap();
+        }
+        oracle.prune(Version(1));
+        sharded.prune(Version(1));
+        assert_eq!(sharded.history_len(), oracle.history_len());
+        assert_eq!(sharded.stats().pruned, oracle.stats().pruned);
+        // Row 7's last writer (v2) is retained: still conflicts.
+        let want = oracle.certify(req(4, 1, 1, ws(&[(0, 7)]))).unwrap();
+        let got = sharded.certify(req(4, 1, 1, ws(&[(0, 7)]))).unwrap();
+        assert_eq!(got, want);
+        // Below-floor snapshots are rejected at every shard equally.
+        assert!(sharded.certify(req(5, 0, 0, ws(&[(1, 3)]))).is_err());
+        assert!(oracle.certify(req(5, 0, 0, ws(&[(1, 3)]))).is_err());
+    }
+
+    #[test]
+    fn certified_since_merges_ring_and_log_paths_identically() {
+        let mut sharded = ShardedCertifier::new(replicas(2), 3);
+        for i in 1..=6u64 {
+            let table = (i % 3) as u32;
+            sharded
+                .certify(req(i, 0, i - 1, ws(&[(table, i as i64)])))
+                .unwrap();
+        }
+        sharded.prune(Version(3));
+        let ring = sharded.certified_since(Version(4)).unwrap();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring[0].commit_version, Version(5));
+        assert_eq!(ring[1].commit_version, Version(6));
+        let deep = sharded.certified_since(Version(1)).unwrap();
+        assert_eq!(deep.len(), 5);
+        assert_eq!(deep[0].commit_version, Version(2));
+        assert_eq!(&deep[3..], &ring[..]);
+    }
+
+    #[test]
+    fn eager_accounting_matches_single_certifier() {
+        let mut sharded = ShardedCertifier::new(replicas(3), 2);
+        sharded.set_eager(true);
+        let (d, _) = sharded
+            .certify(req(1, 1, 0, ws(&[(0, 1), (1, 1)])))
+            .unwrap();
+        let v = match d {
+            CertifyDecision::Commit { commit_version, .. } => commit_version,
+            _ => panic!("should commit"),
+        };
+        assert_eq!(sharded.on_commit_applied(ReplicaId(1), v), None);
+        assert_eq!(sharded.on_commit_applied(ReplicaId(0), v), None);
+        assert_eq!(
+            sharded.on_commit_applied(ReplicaId(2), v),
+            Some((ReplicaId(1), TxnId(1)))
+        );
+        // Recovery rebuilds pending conservatively; hellos re-credit.
+        sharded.recover().unwrap();
+        assert!(sharded.on_replica_hello(ReplicaId(0), v).is_empty());
+        assert!(sharded.on_replica_hello(ReplicaId(1), v).is_empty());
+        assert_eq!(
+            sharded.on_replica_hello(ReplicaId(2), v),
+            vec![(ReplicaId(1), TxnId(1))]
+        );
+    }
+
+    #[test]
+    fn n1_is_the_degenerate_single_certifier() {
+        let mut sharded = ShardedCertifier::new(replicas(3), 1);
+        let mut oracle = Certifier::new(replicas(3));
+        for i in 1..=20u64 {
+            let table = (i % 5) as u32;
+            let r = req(i, (i % 3) as u32, i.saturating_sub(3), ws(&[(table, 1)]));
+            assert_eq!(
+                sharded.certify(r.clone()).unwrap(),
+                oracle.certify(r).unwrap()
+            );
+        }
+        assert_eq!(sharded.version(), oracle.version());
+        assert_eq!(sharded.stats(), oracle.stats());
+        assert_eq!(sharded.sharding_stats().cross_partition, 0);
+    }
+}

@@ -242,6 +242,22 @@ pub trait CommitLog: Send {
     /// Reads back every record, in append order (crash recovery).
     fn replay(&mut self) -> Result<Vec<LogRecord>>;
 
+    /// Atomically replaces the log's entire contents with `records`,
+    /// durably. Used by sharded recovery to truncate records beyond the
+    /// dense commit prefix: a record dropped there was never announced, and
+    /// its stale bytes must not collide with a later reassignment of the
+    /// same commit version.
+    fn rewrite(&mut self, records: &[LogRecord]) -> Result<()>;
+
+    /// Whether appends block on real I/O (a file-backed log forces to
+    /// disk; an in-memory log is a memcpy). The sharded certifier overlaps
+    /// per-shard group-commit flushes with one thread per shard only when
+    /// the flush actually blocks — for cheap logs the threads would cost
+    /// more than they hide.
+    fn blocking_flush(&self) -> bool {
+        false
+    }
+
     /// Number of records appended over this log's lifetime.
     fn len(&self) -> usize;
 
@@ -275,6 +291,11 @@ impl CommitLog for MemoryLog {
 
     fn replay(&mut self) -> Result<Vec<LogRecord>> {
         Ok(self.records.clone())
+    }
+
+    fn rewrite(&mut self, records: &[LogRecord]) -> Result<()> {
+        self.records = records.to_vec();
+        Ok(())
     }
 
     fn len(&self) -> usize {
@@ -367,6 +388,36 @@ impl CommitLog for FileLog {
             }
         }
         Ok(records)
+    }
+
+    /// Crash-safe truncation: the replacement contents are written to a
+    /// sibling temp file, forced to disk, and renamed over the log, so a
+    /// crash at any point leaves either the old or the new contents — never
+    /// a mix.
+    fn rewrite(&mut self, records: &[LogRecord]) -> Result<()> {
+        let tmp = self.path.with_extension("rewrite.tmp");
+        let mut buf = Vec::with_capacity(64 * records.len());
+        for record in records {
+            write_record(&mut buf, record);
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen the append handle on the new inode.
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&self.path)?;
+        self.count = records.len();
+        Ok(())
+    }
+
+    fn blocking_flush(&self) -> bool {
+        true
     }
 
     fn len(&self) -> usize {
@@ -570,6 +621,41 @@ mod tests {
             assert!(replayed.len() < originals.len() || cut == bytes.len());
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewrite_truncates_durably_and_stays_appendable() {
+        let dir = std::env::temp_dir().join(format!("bargain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rewrite.wal");
+        let _ = std::fs::remove_file(&path);
+        let records: Vec<LogRecord> = (1..=4).map(sample).collect();
+        {
+            let mut log = FileLog::open(&path).unwrap();
+            log.append_batch(&records).unwrap();
+            // Keep only the first two records (a lossy sharded recovery).
+            log.rewrite(&records[..2]).unwrap();
+            assert_eq!(log.len(), 2);
+            // The append handle follows the rewritten file.
+            log.append(&sample(3)).unwrap();
+        }
+        let mut log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 3);
+        let replayed = log.replay().unwrap();
+        assert_eq!(replayed, vec![sample(1), sample(2), sample(3)]);
+        // No temp file left behind.
+        assert!(!path.with_extension("rewrite.tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn memory_rewrite_replaces_contents() {
+        let mut log = MemoryLog::new();
+        log.append(&sample(1)).unwrap();
+        log.append(&sample(2)).unwrap();
+        log.rewrite(&[sample(1)]).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.replay().unwrap(), vec![sample(1)]);
     }
 
     #[test]

@@ -49,7 +49,7 @@ use crate::codec::Message;
 use crate::conn::{ConnectPolicy, Connection};
 use bargain_cluster::{CertifierDelivery, CertifierLink, CertifierRequest};
 use bargain_common::{Error, ReplicaId, Result, Version};
-use bargain_core::{Certifier, CertifyRequest, LogRecord};
+use bargain_core::{CertifyRequest, LogRecord, ShardedCertifier};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -70,10 +70,17 @@ pub struct CertifierServerConfig {
     pub eager: bool,
     /// When set, the commit WAL lives in `certifier.wal` inside this
     /// directory and is replayed on start — durability lives with this
-    /// process, exactly as in the in-process deployment.
+    /// process, exactly as in the in-process deployment. With `shards > 1`
+    /// each shard logs to its own `shard-i/certifier.wal` subdirectory.
     pub wal_dir: Option<PathBuf>,
     /// How often an idle connection checks the stop flag.
     pub poll_interval: Duration,
+    /// Number of certifier shards hosted by this process (the table space
+    /// is partitioned across them; 1 — the default — is the single
+    /// certifier). The wire protocol is unchanged: the server routes each
+    /// `Certify` to the involved shards internally, so clusters and links
+    /// need no configuration to talk to a sharded service.
+    pub shards: usize,
 }
 
 impl Default for CertifierServerConfig {
@@ -83,6 +90,7 @@ impl Default for CertifierServerConfig {
             eager: false,
             wal_dir: None,
             poll_interval: Duration::from_millis(100),
+            shards: 1,
         }
     }
 }
@@ -100,13 +108,28 @@ pub struct CertifierServer {
 impl CertifierServer {
     /// Binds `addr` (port 0 for OS-assigned) and starts serving.
     pub fn start(addr: &str, config: CertifierServerConfig) -> Result<CertifierServer> {
+        assert!(config.shards >= 1, "need at least one certifier shard");
         let mut certifier = match &config.wal_dir {
             Some(dir) => {
-                std::fs::create_dir_all(dir).map_err(Error::from)?;
-                let log = bargain_core::FileLog::open(&dir.join("certifier.wal"))?;
-                Certifier::with_log(replica_ids(config.replicas), Box::new(log))
+                let mut logs: Vec<Box<dyn bargain_core::CommitLog>> =
+                    Vec::with_capacity(config.shards);
+                for i in 0..config.shards {
+                    // The single-shard configuration keeps the legacy flat
+                    // `certifier.wal`, so existing deployments restart
+                    // unchanged; each shard of an N>1 service owns its own
+                    // WAL directory.
+                    let path = if config.shards == 1 {
+                        dir.join("certifier.wal")
+                    } else {
+                        dir.join(format!("shard-{i}")).join("certifier.wal")
+                    };
+                    std::fs::create_dir_all(path.parent().expect("wal path has a directory"))
+                        .map_err(Error::from)?;
+                    logs.push(Box::new(bargain_core::FileLog::open(&path)?));
+                }
+                ShardedCertifier::with_logs(replica_ids(config.replicas), logs)
             }
-            None => Certifier::new(replica_ids(config.replicas)),
+            None => ShardedCertifier::new(replica_ids(config.replicas), config.shards),
         };
         certifier.set_eager(config.eager);
         certifier.recover()?;
@@ -162,7 +185,7 @@ fn replica_ids(n: usize) -> Vec<ReplicaId> {
 }
 
 fn serve(
-    mut certifier: Certifier,
+    mut certifier: ShardedCertifier,
     listener: &TcpListener,
     stop: &AtomicBool,
     poll_interval: Duration,
@@ -229,7 +252,7 @@ fn poll_stream(stream: &TcpStream, interval: Duration) -> StreamState {
 /// Handles one request frame; returns `false` when the connection (or the
 /// whole service) should wind down.
 fn handle_certifier_message(
-    certifier: &mut Certifier,
+    certifier: &mut ShardedCertifier,
     conn: &mut Connection,
     msg: Message,
     stop: &AtomicBool,

@@ -555,6 +555,317 @@ fn certifier_link_chaos_is_exactly_once() {
     }
 }
 
+/// A sharded certifier service (4 shards, per-shard WALs) crash-restarted
+/// with a *cross-partition* keyed transaction: the writeset spans two
+/// shards, so its log record is forced at both and its idempotency key is
+/// owned by the first. A replay against the recovered service must answer
+/// with the original commit version — never half-apply or re-apply — and
+/// a transaction left in doubt at crash time must resolve exactly once.
+#[test]
+fn sharded_certifier_restart_replays_cross_partition_keys() {
+    let dir = std::env::temp_dir().join(format!(
+        "bargain-chaos-shards-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cert_config = CertifierServerConfig {
+        replicas: 2,
+        wal_dir: Some(dir.clone()),
+        shards: 4,
+        ..CertifierServerConfig::default()
+    };
+    let certifier = CertifierServer::start("127.0.0.1:0", cert_config.clone()).unwrap();
+    let cert_addr = certifier.local_addr().to_string();
+
+    let link = RemoteCertifierLink::connect_with_config(
+        &cert_addr,
+        &chaos_policy(),
+        CertifierLinkConfig {
+            heartbeat_interval: Duration::from_millis(80),
+            heartbeat_timeout: Duration::from_millis(400),
+            reconnect_pause: Duration::from_millis(50),
+        },
+    )
+    .expect("link connects");
+    let cluster = Cluster::start_with_certifier_link(
+        ClusterConfig {
+            replicas: 2,
+            mode: ConsistencyMode::LazyCoarse,
+            ..ClusterConfig::default()
+        },
+        |_| Ok(()),
+        Box::new(link),
+    );
+    // Two tables on two different shards (table 0 -> shard 0, table 1 ->
+    // shard 1 of 4).
+    cluster
+        .execute_ddl("CREATE TABLE ledger0 (id INT PRIMARY KEY, val INT)")
+        .unwrap();
+    cluster
+        .execute_ddl("CREATE TABLE ledger1 (id INT PRIMARY KEY, val INT)")
+        .unwrap();
+    let (template, table_set) = cluster
+        .prepare_template(
+            "shardrestart.incr",
+            &[
+                "UPDATE ledger0 SET val = val + 1 WHERE id = ?",
+                "UPDATE ledger1 SET val = val + 1 WHERE id = ?",
+            ],
+        )
+        .unwrap();
+    let mut session = cluster.connect();
+    session
+        .run_sql(&[
+            (
+                "INSERT INTO ledger0 (id, val) VALUES (?, ?)",
+                vec![Value::Int(0), Value::Int(0)],
+            ),
+            (
+                "INSERT INTO ledger1 (id, val) VALUES (?, ?)",
+                vec![Value::Int(0), Value::Int(0)],
+            ),
+        ])
+        .unwrap();
+
+    let key = IdemKey {
+        client: 0xD0D0,
+        seq: 3,
+    };
+    let (outcome, _) = session
+        .run_prepared_keyed(
+            &template,
+            table_set.clone(),
+            vec![vec![Value::Int(0)], vec![Value::Int(0)]],
+            Some(key),
+        )
+        .expect("original cross-partition commit");
+    let original_version = outcome.commit_version.expect("committed at a version");
+    for shard in [0, 1] {
+        assert!(
+            dir.join(format!("shard-{shard}"))
+                .join("certifier.wal")
+                .exists(),
+            "the cross-partition record is forced at shard {shard}'s wal"
+        );
+    }
+
+    // Crash the whole service — from the cluster's perspective the keyed
+    // transaction's fate is now in doubt until the replay answers.
+    certifier.stop();
+    await_certifier_health(&cluster, false, "after sharded certifier stop");
+    let certifier = CertifierServer::start(&cert_addr, cert_config).expect("restart on same port");
+    await_certifier_health(&cluster, true, "after sharded certifier restart");
+
+    // Replay under the original key: the owner shard's recovered dedup
+    // index must answer with the original version.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let replayed = loop {
+        match session.run_prepared_keyed(
+            &template,
+            table_set.clone(),
+            vec![vec![Value::Int(0)], vec![Value::Int(0)]],
+            Some(key),
+        ) {
+            Ok((outcome, _)) => break outcome,
+            Err(Error::Unavailable(reason)) if reason.contains("retry-after") => {
+                assert!(Instant::now() < deadline, "replay never admitted");
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            Err(e) => panic!("replay failed: {e}"),
+        }
+    };
+    assert_eq!(
+        replayed.commit_version,
+        Some(original_version),
+        "the sharded replay must report the original cross-partition commit"
+    );
+    let (_, results) = session
+        .run_sql(&[
+            ("SELECT val FROM ledger0 WHERE id = ?", vec![Value::Int(0)]),
+            ("SELECT val FROM ledger1 WHERE id = ?", vec![Value::Int(0)]),
+        ])
+        .unwrap();
+    assert_eq!(results[0].rows().unwrap()[0][0], Value::Int(1));
+    assert_eq!(
+        results[1].rows().unwrap()[0][0],
+        Value::Int(1),
+        "neither half of the cross-partition increment may apply twice"
+    );
+
+    cluster.drain();
+    certifier.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Link chaos against a *sharded* certification service, with clients
+/// alternating single-partition and cross-partition keyed increments.
+/// Connection kills and partitions leave transactions in doubt mid-
+/// handshake; keyed retries must resolve every one exactly once on both
+/// sides of the partition map — counters equal acks, no more, no less.
+#[test]
+fn sharded_certifier_link_chaos_is_exactly_once() {
+    for seed in [31u64, 32, 33] {
+        const CLIENTS: i64 = 3;
+        const TXNS: u64 = 10;
+
+        let certifier = CertifierServer::start(
+            "127.0.0.1:0",
+            CertifierServerConfig {
+                replicas: 3,
+                shards: 4,
+                ..CertifierServerConfig::default()
+            },
+        )
+        .unwrap();
+        let proxy = ChaosProxy::start(
+            &certifier.local_addr().to_string(),
+            NetFaultPlan::random(seed, 1_200),
+        )
+        .unwrap();
+        let link = RemoteCertifierLink::connect_with_config(
+            &proxy.local_addr().to_string(),
+            &chaos_policy(),
+            CertifierLinkConfig {
+                heartbeat_interval: Duration::from_millis(80),
+                heartbeat_timeout: Duration::from_millis(400),
+                reconnect_pause: Duration::from_millis(50),
+            },
+        )
+        .expect("link through chaos proxy");
+        let cluster = Cluster::start_with_certifier_link(
+            ClusterConfig {
+                replicas: 3,
+                mode: ConsistencyMode::LazyCoarse,
+                ..ClusterConfig::default()
+            },
+            |_| Ok(()),
+            Box::new(link),
+        );
+        cluster
+            .execute_ddl("CREATE TABLE ledger0 (id INT PRIMARY KEY, val INT)")
+            .unwrap();
+        cluster
+            .execute_ddl("CREATE TABLE ledger1 (id INT PRIMARY KEY, val INT)")
+            .unwrap();
+        let (single, single_tables) = cluster
+            .prepare_template(
+                "shardchaos.single",
+                &["UPDATE ledger0 SET val = val + 1 WHERE id = ?"],
+            )
+            .unwrap();
+        let (cross, cross_tables) = cluster
+            .prepare_template(
+                "shardchaos.cross",
+                &[
+                    "UPDATE ledger0 SET val = val + 1 WHERE id = ?",
+                    "UPDATE ledger1 SET val = val + 1 WHERE id = ?",
+                ],
+            )
+            .unwrap();
+        {
+            let mut admin = cluster.connect();
+            for id in 0..CLIENTS {
+                admin
+                    .run_sql(&[
+                        (
+                            "INSERT INTO ledger0 (id, val) VALUES (?, ?)",
+                            vec![Value::Int(id), Value::Int(0)],
+                        ),
+                        (
+                            "INSERT INTO ledger1 (id, val) VALUES (?, ?)",
+                            vec![Value::Int(id), Value::Int(0)],
+                        ),
+                    ])
+                    .unwrap();
+            }
+        }
+
+        let mut handles = Vec::new();
+        for k in 0..CLIENTS {
+            let mut session = cluster.connect();
+            let single = Arc::clone(&single);
+            let cross = Arc::clone(&cross);
+            let single_tables = single_tables.clone();
+            let cross_tables = cross_tables.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut acked_cross = 0i64;
+                for seq in 1..=TXNS {
+                    std::thread::sleep(Duration::from_millis(60));
+                    let is_cross = seq % 2 == 0;
+                    let key = IdemKey {
+                        client: 0xD0D0_0000 + k as u64,
+                        seq,
+                    };
+                    let (template, tables, params) = if is_cross {
+                        (
+                            &cross,
+                            cross_tables.clone(),
+                            vec![vec![Value::Int(k)], vec![Value::Int(k)]],
+                        )
+                    } else {
+                        (&single, single_tables.clone(), vec![vec![Value::Int(k)]])
+                    };
+                    let deadline = Instant::now() + Duration::from_secs(15);
+                    loop {
+                        match session.run_prepared_keyed(
+                            template,
+                            tables.clone(),
+                            params.clone(),
+                            Some(key),
+                        ) {
+                            Ok((outcome, _)) => {
+                                assert!(outcome.committed);
+                                if is_cross {
+                                    acked_cross += 1;
+                                }
+                                break;
+                            }
+                            Err(Error::Unavailable(reason)) if reason.contains("retry-after") => {
+                                assert!(
+                                    Instant::now() < deadline,
+                                    "client {k} seq {seq}: outage never healed"
+                                );
+                                std::thread::sleep(Duration::from_millis(30));
+                            }
+                            Err(e) => panic!("client {k} seq {seq}: unexpected error: {e}"),
+                        }
+                    }
+                }
+                (TXNS as i64, acked_cross)
+            }));
+        }
+        let acked: Vec<(i64, i64)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        await_certifier_health(&cluster, true, "after sharded link chaos");
+
+        let mut reader = cluster.connect();
+        for k in 0..CLIENTS {
+            let (total, cross_n) = acked[k as usize];
+            let (_, results) = reader
+                .run_sql(&[
+                    ("SELECT val FROM ledger0 WHERE id = ?", vec![Value::Int(k)]),
+                    ("SELECT val FROM ledger1 WHERE id = ?", vec![Value::Int(k)]),
+                ])
+                .unwrap();
+            assert_eq!(
+                results[0].rows().unwrap()[0][0],
+                Value::Int(total),
+                "seed {seed}: client {k} ledger0 must equal every acked increment"
+            );
+            assert_eq!(
+                results[1].rows().unwrap()[0][0],
+                Value::Int(cross_n),
+                "seed {seed}: client {k} ledger1 must equal its acked cross-partition \
+                 increments — no half-applied or double-applied cross-shard txn"
+            );
+        }
+
+        cluster.drain();
+        proxy.stop();
+        certifier.stop();
+    }
+}
+
 /// Overload shedding: with the admission bound at one in-flight
 /// transaction and four hammering clients, the server must shed (with the
 /// retry-after marker the client retry loop honors) and still lose or
