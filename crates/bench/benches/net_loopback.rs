@@ -3,13 +3,20 @@
 //! loopback TCP socket cost per transaction, and how much of that is codec
 //! versus transport?
 //!
-//! Three families:
+//! Four families:
 //!
 //! - `codec_*` — pure encode/decode cost of representative frames (a
 //!   `Run` request and a rows-bearing `TxnReply`), no sockets involved.
 //! - `txn_read_*` / `txn_update_*` — one micro-benchmark transaction end
 //!   to end, in-process `Session` vs. `RemoteSession` over loopback TCP
 //!   against the identical cluster configuration.
+//! - `txn_update_tcp_pipelined_d*` — a 16-transaction batch through
+//!   `RemoteSession::run_pipelined` at window depths 1/4/16: how much of
+//!   the per-transaction round-trip wait does request pipelining recover?
+//!   (Divide the batch time by 16 for the per-txn figure.)
+//! - `soak_256_conns_ping` — 256 concurrent loopback connections held open
+//!   against the reactor (impossible-to-cheap with a thread per
+//!   connection), each answering a heartbeat per iteration.
 //!
 //! Run with `cargo bench -p bargain-bench --bench net_loopback`.
 
@@ -44,7 +51,7 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| {
             let mut wire = Vec::with_capacity(64);
             write_run(&mut wire, &run);
-            let (kind, payload) = read_frame(&mut wire.as_slice()).unwrap();
+            let (kind, _id, payload) = read_frame(&mut wire.as_slice()).unwrap();
             black_box(Message::decode(kind, &payload).unwrap())
         })
     });
@@ -69,15 +76,15 @@ fn bench_codec(c: &mut Criterion) {
     };
     c.bench_function("net/codec_txnreply_round_trip", |b| {
         b.iter(|| {
-            let wire = encode_frame(reply.kind(), &reply.encode()).unwrap();
-            let (kind, payload) = read_frame(&mut wire.as_slice()).unwrap();
+            let wire = encode_frame(reply.kind(), 1, &reply.encode()).unwrap();
+            let (kind, _id, payload) = read_frame(&mut wire.as_slice()).unwrap();
             black_box(Message::decode(kind, &payload).unwrap())
         })
     });
 }
 
 fn write_run(wire: &mut Vec<u8>, run: &Message) {
-    wire.extend_from_slice(&encode_frame(run.kind(), &run.encode()).unwrap());
+    wire.extend_from_slice(&encode_frame(run.kind(), 1, &run.encode()).unwrap());
 }
 
 /// One transaction end to end through the in-process channel transport.
@@ -148,5 +155,69 @@ fn bench_tcp(c: &mut Criterion) {
     server.stop();
 }
 
-criterion_group!(benches, bench_codec, bench_inprocess, bench_tcp);
+/// A 16-transaction update batch through the pipelined client at window
+/// depths 1, 4, and 16. Depth 1 is the sequential baseline (one round trip
+/// per transaction); deeper windows overlap the round trips while the
+/// server executes the connection's requests serially.
+fn bench_tcp_pipelined(c: &mut Criterion) {
+    const BATCH: usize = 16;
+    let server = NetServer::start("127.0.0.1:0", micro_cluster()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut session = RemoteSession::connect(&addr).unwrap();
+    let update = session
+        .prepare("bench.update", &["UPDATE bench0 SET val = ? WHERE pk = ?"])
+        .unwrap();
+
+    let mut key = 0i64;
+    for depth in [1usize, 4, 16] {
+        c.bench_function(&format!("net/txn_update_tcp_pipelined_d{depth}"), |b| {
+            b.iter(|| {
+                let calls: Vec<_> = (0..BATCH as i64)
+                    .map(|i| {
+                        let k = (key + i) % 100 + 1;
+                        (update, vec![vec![Value::Int(k), Value::Int(k)]])
+                    })
+                    .collect();
+                key = (key + BATCH as i64) % 100;
+                let results = session.run_pipelined(&calls, depth);
+                for r in &results {
+                    assert!(r.is_ok(), "pipelined txn failed: {r:?}");
+                }
+                black_box(results)
+            })
+        });
+    }
+    drop(session);
+    server.stop();
+}
+
+/// 256 concurrent loopback connections held open against one reactor.
+/// Setup exercises the accept path at scale; each iteration round-trips a
+/// heartbeat on every connection (echo across the whole connection set).
+fn bench_many_connections(c: &mut Criterion) {
+    const CONNS: usize = 256;
+    let server = NetServer::start("127.0.0.1:0", micro_cluster()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut sessions: Vec<RemoteSession> = (0..CONNS)
+        .map(|_| RemoteSession::connect(&addr).expect("soak connection"))
+        .collect();
+    c.bench_function("net/soak_256_conns_ping", |b| {
+        b.iter(|| {
+            for s in &mut sessions {
+                s.ping().expect("soak ping");
+            }
+        })
+    });
+    drop(sessions);
+    server.stop();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_inprocess,
+    bench_tcp,
+    bench_tcp_pipelined,
+    bench_many_connections
+);
 criterion_main!(benches);

@@ -36,8 +36,81 @@
 use crate::messages::{CertifyDecision, CertifyRequest, Refresh};
 use crate::wal::{CommitLog, LogRecord, MemoryLog};
 use bargain_common::{IdemKey, ReplicaId, Result, TableId, TxnId, Value, Version, WriteSet};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
+
+/// How many recent certified sequence numbers the exactly-once machinery
+/// remembers per client nonce. A client may have at most this many keyed
+/// transactions in flight (pipelining window) and still be guaranteed that
+/// a replay of any of them after a crash is answered with the original
+/// outcome instead of being rejected as stale.
+pub const DEDUP_WINDOW: usize = 64;
+
+/// What the dedup window knows about one presented idempotency key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DedupVerdict {
+    /// The seq was certified before: answer with the original outcome.
+    Duplicate {
+        /// The original transaction id.
+        txn: TxnId,
+        /// The original commit version.
+        commit_version: Version,
+    },
+    /// Never certified (and newer than everything evicted): certify fresh.
+    /// This covers both genuinely new seqs and retries of *aborted*
+    /// originals, which leave no entry — re-certifying them is correct
+    /// because they had no effect.
+    Fresh,
+    /// The seq is at or below the window's eviction floor: exactly-once
+    /// can no longer be proven, so the request must be rejected.
+    OutOfWindow {
+        /// Entries through this seq have been evicted.
+        evicted_through: u64,
+    },
+}
+
+/// Per-client exactly-once state: the newest [`DEDUP_WINDOW`] certified
+/// seqs with their original outcomes, plus the floor below which entries
+/// were evicted. The pre-pipelining design kept only the single newest
+/// seq — correct for a sequential client (window of one in-flight keyed
+/// transaction) but wrong for a pipelined one, whose crash-replay
+/// legitimately re-presents seqs older than the newest certified.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClientWindow {
+    /// seq → (original txn, commit version), at most [`DEDUP_WINDOW`].
+    entries: BTreeMap<u64, (TxnId, Version)>,
+    /// The highest seq evicted from `entries`, if any.
+    evicted: Option<u64>,
+}
+
+impl ClientWindow {
+    pub(crate) fn lookup(&self, seq: u64) -> DedupVerdict {
+        if let Some(&(txn, commit_version)) = self.entries.get(&seq) {
+            return DedupVerdict::Duplicate {
+                txn,
+                commit_version,
+            };
+        }
+        match self.evicted {
+            Some(evicted_through) if seq <= evicted_through => {
+                DedupVerdict::OutOfWindow { evicted_through }
+            }
+            _ => DedupVerdict::Fresh,
+        }
+    }
+
+    /// Records a freshly certified seq, evicting the oldest entry past the
+    /// window bound. Deterministic in insertion order, so log replay
+    /// rebuilds the identical window.
+    pub(crate) fn record(&mut self, seq: u64, txn: TxnId, commit_version: Version) {
+        self.entries.insert(seq, (txn, commit_version));
+        while self.entries.len() > DEDUP_WINDOW {
+            let (&oldest, _) = self.entries.iter().next().expect("non-empty window");
+            self.entries.remove(&oldest);
+            self.evicted = Some(self.evicted.map_or(oldest, |e| e.max(oldest)));
+        }
+    }
+}
 
 /// Counters the certifier maintains.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -93,12 +166,12 @@ pub struct Certifier {
     /// [`Certifier::recover`].
     row_index: HashMap<TableId, HashMap<Value, Version>>,
     log: Box<dyn CommitLog>,
-    /// Exactly-once retry map: per client nonce, the newest certified
-    /// `(seq, txn, commit_version)`. One entry per client ever seen (a
-    /// client retries only its current sequence number, so older entries
-    /// are dead weight and are overwritten). Rebuilt from the log by
+    /// Exactly-once retry windows: per client nonce, the newest
+    /// [`DEDUP_WINDOW`] certified seqs with their original outcomes (a
+    /// pipelined client can replay any of its in-window in-doubt
+    /// transactions, not just the newest). Rebuilt from the log by
     /// [`Certifier::recover`], so deduplication survives restarts.
-    dedup: HashMap<u64, (u64, TxnId, Version)>,
+    dedup: HashMap<u64, ClientWindow>,
     /// Eager-mode accounting: commit version → replicas applied so far.
     eager_pending: HashMap<Version, EagerState>,
     eager_enabled: bool,
@@ -226,27 +299,37 @@ impl Certifier {
         // catches every ordering of original and retry: whichever arrives
         // second sees the first's entry. Aborted originals leave no entry
         // (their retry certifies fresh, which is correct — they had no
-        // effect).
+        // effect). A pipelined client may replay *any* of its last
+        // [`DEDUP_WINDOW`] keyed transactions after a reconnect, not just
+        // the newest; only keys evicted from the window are rejected.
         if let Some(key) = req.idem {
-            if let Some(&(seq, txn, commit_version)) = self.dedup.get(&key.client) {
-                if seq == key.seq {
-                    self.stats.duplicates += 1;
-                    return Ok((
-                        CertifyDecision::Duplicate {
-                            txn: req.txn,
-                            original: txn,
-                            commit_version,
-                        },
-                        Vec::new(),
-                    ));
-                }
-                if seq > key.seq {
-                    // A correct client only ever retries its *current*
-                    // sequence number; seeing an older one means the key is
-                    // being replayed out of protocol.
-                    return Err(bargain_common::Error::Protocol(format!(
-                        "certify: stale idempotency key {key} (client already certified seq {seq})"
-                    )));
+            if let Some(win) = self.dedup.get(&key.client) {
+                match win.lookup(key.seq) {
+                    DedupVerdict::Duplicate {
+                        txn,
+                        commit_version,
+                    } => {
+                        self.stats.duplicates += 1;
+                        return Ok((
+                            CertifyDecision::Duplicate {
+                                txn: req.txn,
+                                original: txn,
+                                commit_version,
+                            },
+                            Vec::new(),
+                        ));
+                    }
+                    DedupVerdict::OutOfWindow { evicted_through } => {
+                        // A conformant client keeps at most DEDUP_WINDOW
+                        // keyed transactions in flight; a seq below the
+                        // eviction floor is being replayed out of protocol
+                        // and exactly-once can no longer be proven for it.
+                        return Err(bargain_common::Error::Protocol(format!(
+                            "certify: stale idempotency key {key} (dedup window evicted \
+                             through seq {evicted_through})"
+                        )));
+                    }
+                    DedupVerdict::Fresh => {}
                 }
             }
         }
@@ -283,7 +366,9 @@ impl Certifier {
         self.v_commit = commit_version;
         if let Some(key) = req.idem {
             self.dedup
-                .insert(key.client, (key.seq, req.txn, commit_version));
+                .entry(key.client)
+                .or_default()
+                .record(key.seq, req.txn, commit_version);
         }
         for entry in writeset.entries() {
             self.row_index
@@ -456,11 +541,15 @@ impl Certifier {
                     .or_default()
                     .insert(row.key.clone(), rec.commit_version);
             }
-            // Replayed in commit order, so per client the newest certified
-            // sequence number wins — exactly the pre-crash dedup state.
+            // Replayed in commit order, so each client's window evicts in
+            // the same order it did live — exactly the pre-crash dedup
+            // state.
             if let Some(key) = rec.idem {
-                self.dedup
-                    .insert(key.client, (key.seq, rec.txn, rec.commit_version));
+                self.dedup.entry(key.client).or_default().record(
+                    key.seq,
+                    rec.txn,
+                    rec.commit_version,
+                );
             }
             self.history.push_back(HistoryEntry {
                 txn: rec.txn,
@@ -966,16 +1055,49 @@ mod tests {
     }
 
     #[test]
-    fn newer_seq_replaces_dedup_entry_and_stale_keys_are_rejected() {
+    fn any_in_window_seq_dedups_not_just_the_newest() {
         let mut c = Certifier::new(replicas(2));
         c.certify(keyed(req(1, 0, 0, ws(0, 1)), 5, 0)).unwrap();
         c.certify(keyed(req(2, 0, 1, ws(0, 2)), 5, 1)).unwrap();
         // Retrying the current seq dedups...
         let (d, _) = c.certify(keyed(req(3, 1, 2, ws(0, 2)), 5, 1)).unwrap();
         assert!(matches!(d, CertifyDecision::Duplicate { .. }));
-        // ...but replaying a seq the client already moved past is a
-        // protocol violation.
-        assert!(c.certify(keyed(req(4, 1, 2, ws(0, 1)), 5, 0)).is_err());
+        // ...and so does an *older* in-window seq — a pipelined client
+        // replaying its whole in-doubt window after a reconnect presents
+        // exactly this: seq 0 after seq 1 was already certified.
+        let (d, _) = c.certify(keyed(req(4, 1, 2, ws(0, 1)), 5, 0)).unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Duplicate {
+                txn: TxnId(4),
+                original: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
+    }
+
+    #[test]
+    fn seqs_evicted_from_the_dedup_window_are_rejected() {
+        let mut c = Certifier::new(replicas(2));
+        // DEDUP_WINDOW + 1 keyed commits on distinct rows: seq 0 falls off
+        // the window.
+        for i in 0..=(DEDUP_WINDOW as u64) {
+            c.certify(keyed(req(i + 1, 0, i, ws(0, i as i64)), 9, i))
+                .unwrap();
+        }
+        // The newest window's worth still dedups (oldest surviving entry).
+        let (d, _) = c
+            .certify(keyed(req(200, 1, DEDUP_WINDOW as u64, ws(0, 1)), 9, 1))
+            .unwrap();
+        assert!(matches!(d, CertifyDecision::Duplicate { .. }));
+        // Seq 0 was evicted: exactly-once is unprovable, replay rejected.
+        let err = c
+            .certify(keyed(req(201, 1, DEDUP_WINDOW as u64, ws(0, 0)), 9, 0))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("stale idempotency key"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

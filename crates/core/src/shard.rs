@@ -59,7 +59,7 @@
 //! certifier's global map even when a client's consecutive transactions
 //! touch different partitions.
 
-use crate::certifier::CertifierStats;
+use crate::certifier::{CertifierStats, ClientWindow, DedupVerdict};
 use crate::messages::{CertifyDecision, CertifyRequest, Refresh};
 use crate::wal::{CommitLog, LogRecord, MemoryLog};
 use bargain_common::{Error, ReplicaId, Result, TableId, TxnId, Value, Version, WriteSet};
@@ -142,7 +142,7 @@ struct Shard {
     row_index: HashMap<TableId, HashMap<Value, Version>>,
     history: VecDeque<LogRecord>,
     log: Box<dyn CommitLog>,
-    dedup: HashMap<u64, (u64, TxnId, Version)>,
+    dedup: HashMap<u64, ClientWindow>,
     /// Commits buffered since the last group-commit drain.
     pending: Vec<LogRecord>,
 }
@@ -383,11 +383,14 @@ impl ShardedCertifier {
                 req.snapshot, self.history_floor
             )));
         }
-        // Exactly-once: consult every shard, newest sequence number wins —
-        // observationally the single certifier's per-client map.
+        // Exactly-once: consult every shard — a hit at any shard wins —
+        // observationally the single certifier's per-client window.
         if let Some(key) = req.idem {
-            if let Some((seq, txn, commit_version)) = self.dedup_lookup(key.client) {
-                if seq == key.seq {
+            match self.dedup_lookup(key.client, key.seq) {
+                DedupVerdict::Duplicate {
+                    txn,
+                    commit_version,
+                } => {
                     self.stats.duplicates += 1;
                     return Ok((
                         CertifyDecision::Duplicate {
@@ -398,11 +401,13 @@ impl ShardedCertifier {
                         Vec::new(),
                     ));
                 }
-                if seq > key.seq {
+                DedupVerdict::OutOfWindow { evicted_through } => {
                     return Err(Error::Protocol(format!(
-                        "certify: stale idempotency key {key} (client already certified seq {seq})"
+                        "certify: stale idempotency key {key} (dedup window evicted \
+                         through seq {evicted_through})"
                     )));
                 }
+                DedupVerdict::Fresh => {}
             }
         }
         // Phase 1 — certify-prepare at every involved shard, in ascending
@@ -461,7 +466,9 @@ impl ShardedCertifier {
             // The dedup entry lives at the lowest involved shard.
             self.shards[involved[0]]
                 .dedup
-                .insert(key.client, (key.seq, req.txn, commit_version));
+                .entry(key.client)
+                .or_default()
+                .record(key.seq, req.txn, commit_version);
         }
         if self.eager_enabled {
             self.eager_pending.insert(
@@ -493,12 +500,30 @@ impl ShardedCertifier {
         ))
     }
 
-    /// Newest dedup entry for `client` across all shards.
-    fn dedup_lookup(&self, client: u64) -> Option<(u64, TxnId, Version)> {
-        self.shards
-            .iter()
-            .filter_map(|s| s.dedup.get(&client).copied())
-            .max_by_key(|&(seq, _, _)| seq)
+    /// The dedup verdict for `(client, seq)` across all shards: an exact
+    /// hit at any shard answers with the original outcome; otherwise the
+    /// highest eviction floor decides whether the seq is provably fresh
+    /// or fell out of every window. Per-shard windows evict somewhat
+    /// earlier than one global window would (a client's entries spread
+    /// over its transactions' owner shards), which errs on the safe side:
+    /// a replay is rejected, never silently re-applied.
+    fn dedup_lookup(&self, client: u64, seq: u64) -> DedupVerdict {
+        let mut floor: Option<u64> = None;
+        for shard in &self.shards {
+            if let Some(win) = shard.dedup.get(&client) {
+                match win.lookup(seq) {
+                    d @ DedupVerdict::Duplicate { .. } => return d,
+                    DedupVerdict::OutOfWindow { evicted_through } => {
+                        floor = Some(floor.map_or(evicted_through, |f| f.max(evicted_through)));
+                    }
+                    DedupVerdict::Fresh => {}
+                }
+            }
+        }
+        match floor {
+            Some(evicted_through) => DedupVerdict::OutOfWindow { evicted_through },
+            None => DedupVerdict::Fresh,
+        }
     }
 
     /// Drains every shard's group-commit buffer. When more than one dirty
@@ -705,7 +730,9 @@ impl ShardedCertifier {
             if let Some(key) = rec.idem {
                 self.shards[involved[0]]
                     .dedup
-                    .insert(key.client, (key.seq, rec.txn, rec.commit_version));
+                    .entry(key.client)
+                    .or_default()
+                    .record(key.seq, rec.txn, rec.commit_version);
             }
             if self.eager_enabled {
                 self.eager_pending.insert(
@@ -936,7 +963,7 @@ mod tests {
     }
 
     #[test]
-    fn stale_idem_key_is_rejected_across_shard_sets() {
+    fn in_window_seqs_dedup_across_shard_sets() {
         let mut sharded = ShardedCertifier::new(replicas(2), 4);
         // seq 0 commits on shard 1, seq 1 on shard 2: the client's entries
         // live at different shards.
@@ -951,12 +978,21 @@ mod tests {
             .certify(keyed(req(3, 1, 2, ws(&[(2, 1)])), 5, 1))
             .unwrap();
         assert!(matches!(d, CertifyDecision::Duplicate { .. }));
-        // ...and the out-of-protocol replay of seq 0 is rejected even
-        // though its entry lives at a different shard: the lookup takes the
-        // newest sequence number across all shards.
-        assert!(sharded
+        // ...and so does the older in-window seq 0, answered from shard 1
+        // with *its* original outcome — a pipelined client's crash replay
+        // walks its whole in-doubt window, touching whatever shards its
+        // transactions touched.
+        let (d, _) = sharded
             .certify(keyed(req(4, 1, 2, ws(&[(1, 1)])), 5, 0))
-            .is_err());
+            .unwrap();
+        assert_eq!(
+            d,
+            CertifyDecision::Duplicate {
+                txn: TxnId(4),
+                original: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //!   when its request stream is idle, and a certifier that stops answering
 //!   within the heartbeat deadline is declared down.
 //!
+//! The link is *pipelined by construction*: the writer streams certify
+//! traffic without waiting for round trips, and the split reader matches
+//! deliveries by the protocol's own ordering (refreshes before their
+//! decision). Direct request/reply exchanges — history fetches, pings, the
+//! stop ack — additionally carry the v2 frame `request_id` tag, echoed by
+//! the server, so they interleave safely with the push stream.
+//!
 //! # Fault tolerance
 //!
 //! The cluster side splits its socket: a writer (the `CertifierLink::serve`
@@ -208,11 +215,11 @@ fn serve(
                 StreamState::Closed => break,
                 StreamState::Readable => {}
             }
-            let msg = match conn.recv() {
-                Ok(msg) => msg,
+            let (request_id, msg) = match conn.recv_tagged() {
+                Ok(tagged) => tagged,
                 Err(_) => break,
             };
-            if !handle_certifier_message(&mut certifier, &mut conn, msg, stop) {
+            if !handle_certifier_message(&mut certifier, &mut conn, request_id, msg, stop) {
                 break;
             }
         }
@@ -250,28 +257,33 @@ fn poll_stream(stream: &TcpStream, interval: Duration) -> StreamState {
 }
 
 /// Handles one request frame; returns `false` when the connection (or the
-/// whole service) should wind down.
+/// whole service) should wind down. Direct replies (pong, history, errors,
+/// the stop ack) echo the request's id; deliveries the protocol *pushes*
+/// (refreshes, decisions, global commits — they answer no single request)
+/// go out untagged via [`Connection::send`].
 fn handle_certifier_message(
     certifier: &mut ShardedCertifier,
     conn: &mut Connection,
+    request_id: u64,
     msg: Message,
     stop: &AtomicBool,
 ) -> bool {
     match msg {
-        Message::Ping => conn.send(&Message::Pong).is_ok(),
+        Message::Ping => conn.send_with_id(request_id, &Message::Pong).is_ok(),
         Message::FetchHistory { after } => {
             let records = match certifier.certified_since(after) {
                 Ok(records) => records,
-                Err(e) => return conn.send(&Message::Err(e)).is_ok(),
+                Err(e) => return conn.send_with_id(request_id, &Message::Err(e)).is_ok(),
             };
-            conn.send(&Message::History { records }).is_ok()
+            conn.send_with_id(request_id, &Message::History { records })
+                .is_ok()
         }
         Message::Certify(req) => {
             let origin = req.replica;
             let batch: Vec<CertifyRequest> = vec![req];
             let results = match certifier.certify_batch(batch) {
                 Ok(r) => r,
-                Err(e) => return conn.send(&Message::Err(e)).is_ok(),
+                Err(e) => return conn.send_with_id(request_id, &Message::Err(e)).is_ok(),
             };
             for (decision, refreshes) in results {
                 for (target, refresh) in
@@ -305,14 +317,17 @@ fn handle_certifier_message(
         }
         Message::StopServer => {
             stop.store(true, Ordering::SeqCst);
-            let _ = conn.send(&Message::Ack);
+            let _ = conn.send_with_id(request_id, &Message::Ack);
             false
         }
         other => {
-            let _ = conn.send(&Message::Err(Error::Protocol(format!(
-                "unexpected message kind {} on a certifier connection",
-                other.kind()
-            ))));
+            let _ = conn.send_with_id(
+                request_id,
+                &Message::Err(Error::Protocol(format!(
+                    "unexpected message kind {} on a certifier connection",
+                    other.kind()
+                ))),
+            );
             false
         }
     }

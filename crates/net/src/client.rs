@@ -26,6 +26,18 @@
 //! carries the `retry-after` marker) is also retried here, after a
 //! backoff: the server is explicitly saying "try again later".
 //!
+//! # Pipelining
+//!
+//! [`RemoteSession::run_pipelined`] keeps up to `depth` logical
+//! transactions in flight on the one connection (protocol v2 tags every
+//! frame with a `request_id`; replies are matched by id, so they may
+//! complete out of order on the wire while this API returns them in input
+//! order). The server executes one connection's requests serially in
+//! arrival order — pipelining removes the per-request round-trip wait, not
+//! the session's ordering — and every in-flight transaction carries its
+//! own idempotency key, so the exactly-once reconnect/replay guarantee is
+//! the same as for [`RemoteSession::run`].
+//!
 //! Template ids returned by [`RemoteSession::prepare`] are *virtual*:
 //! indices into the session's template list, remapped to server-assigned
 //! ids on every (re)connect. Handles stay valid across server restarts.
@@ -34,7 +46,7 @@ use crate::codec::Message;
 use crate::conn::{ConnectPolicy, Connection};
 use bargain_cluster::{ClusterStats, TxnResult};
 use bargain_common::{ClientId, ConsistencyMode, Error, IdemKey, Result, TemplateId, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 /// Is this error worth re-issuing the same logical transaction for?
@@ -282,6 +294,142 @@ impl RemoteSession {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Runs a batch of logical transactions with up to `depth` of them in
+    /// flight on this connection at once (pipelined mode; `depth == 1`
+    /// degenerates to sequential [`RemoteSession::run`] behavior). Results
+    /// come back in input order, one per call, each with the same error
+    /// surface as `run`.
+    ///
+    /// Exactly-once holds per item: every call carries its own idempotency
+    /// key, and a transport failure puts *all* in-flight items in doubt —
+    /// the session reconnects and replays each unresolved item under its
+    /// original key, so the certifier deduplicates anything that already
+    /// committed. Shed items (`retry-after`) are retried after a backoff.
+    /// Retries are bounded by the connect policy's `max_attempts` per item.
+    pub fn run_pipelined(
+        &mut self,
+        calls: &[(TemplateId, Vec<Vec<Value>>)],
+        depth: usize,
+    ) -> Vec<Result<TxnResult>> {
+        let depth = depth.max(1);
+        let max_attempts = self.policy.max_attempts.max(1);
+        let keys: Vec<IdemKey> = calls
+            .iter()
+            .map(|_| {
+                let key = IdemKey {
+                    client: self.nonce,
+                    seq: self.next_seq,
+                };
+                self.next_seq += 1;
+                key
+            })
+            .collect();
+        let mut results: Vec<Option<Result<TxnResult>>> = Vec::new();
+        results.resize_with(calls.len(), || None);
+        let mut attempts: Vec<u32> = vec![0; calls.len()];
+        let mut pending: VecDeque<usize> = (0..calls.len()).collect();
+        // request_id -> batch index, for the window currently on the wire.
+        let mut inflight: HashMap<u64, usize> = HashMap::new();
+        // Consecutive transport recoveries (reset on any progress): bounds
+        // the backoff for reconnect storms.
+        let mut recoveries: u32 = 0;
+
+        while results.iter().any(Option::is_none) {
+            // Fill the window.
+            let mut send_failed = false;
+            while inflight.len() < depth && !send_failed {
+                let Some(i) = pending.pop_front() else { break };
+                let Some(server_id) = self.server_ids.get(calls[i].0 .0 as usize).copied() else {
+                    results[i] = Some(Err(Error::Protocol(format!(
+                        "unknown template {}; prepare it first",
+                        calls[i].0
+                    ))));
+                    continue;
+                };
+                attempts[i] += 1;
+                let id = self.conn.next_request_id();
+                let msg = Message::Run {
+                    template: server_id,
+                    params: calls[i].1.clone(),
+                    idem: Some(keys[i]),
+                };
+                if self.conn.send_with_id(id, &msg).is_ok() {
+                    inflight.insert(id, i);
+                } else {
+                    // The write side died: the item may still have reached
+                    // the server — treat it like every other in-flight
+                    // in-doubt item.
+                    inflight.insert(id, i);
+                    send_failed = true;
+                }
+            }
+            if inflight.is_empty() {
+                // Everything left was resolved synchronously (e.g. unknown
+                // templates).
+                continue;
+            }
+
+            let transport_err = if send_failed {
+                Some(Error::ConnectionClosed("write failed mid-batch".into()))
+            } else {
+                match self.conn.recv_tagged() {
+                    Ok((id, msg)) => {
+                        let Some(i) = inflight.remove(&id) else {
+                            continue; // push or abandoned id: not ours
+                        };
+                        recoveries = 0;
+                        match msg {
+                            Message::TxnReply {
+                                outcome,
+                                results: r,
+                            } => {
+                                results[i] = Some(Ok((outcome, r)));
+                            }
+                            Message::Err(e) if is_retry_after(&e) && attempts[i] < max_attempts => {
+                                std::thread::sleep(self.retry_backoff(attempts[i]));
+                                pending.push_back(i);
+                            }
+                            Message::Err(e) => results[i] = Some(Err(e)),
+                            other => {
+                                results[i] = Some(Err(Error::Protocol(format!(
+                                    "expected TxnReply, got message kind {}",
+                                    other.kind()
+                                ))));
+                            }
+                        }
+                        None
+                    }
+                    Err(e) if is_indoubt_transport(&e) => Some(e),
+                    Err(e) => Some(e),
+                }
+            };
+
+            if let Some(e) = transport_err {
+                // Every in-flight item is now in doubt: requeue those with
+                // attempt budget left (their keys make the replay safe),
+                // fail the rest, then reconnect.
+                recoveries += 1;
+                let mut indices: Vec<usize> = inflight.drain().map(|(_, i)| i).collect();
+                indices.sort_unstable(); // keep replay in input order
+                for i in indices.into_iter().rev() {
+                    if attempts[i] < max_attempts {
+                        pending.push_front(i);
+                    } else {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                }
+                if results.iter().any(Option::is_none) {
+                    std::thread::sleep(self.retry_backoff(recoveries));
+                    let _ = self.reconnect();
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("all items resolved"))
+            .collect()
     }
 
     /// Runs one ad-hoc transaction given as `(sql, params)` statements,

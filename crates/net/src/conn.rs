@@ -2,7 +2,7 @@
 //! retry-with-backoff connect policy.
 
 use crate::codec::Message;
-use crate::frame::{encode_frame, parse_header, verify_payload, HEADER_LEN};
+use crate::frame::{encode_frame, parse_header, verify_payload, HEADER_LEN, PUSH_ID};
 use bargain_common::{Error, Result};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -97,6 +97,10 @@ pub(crate) fn classify_io(e: &io::Error, what: &str, peer: &str) -> Error {
 pub struct Connection {
     stream: TcpStream,
     peer: String,
+    /// The last request id this side issued; [`Connection::call`] and
+    /// [`Connection::next_request_id`] hand out `last_id + 1, ...` so ids
+    /// are unique per connection and never collide with [`PUSH_ID`].
+    next_id: u64,
 }
 
 impl Connection {
@@ -115,7 +119,11 @@ impl Connection {
         let peer = stream
             .peer_addr()
             .map_or_else(|_| "unknown".to_owned(), |a| a.to_string());
-        Ok(Connection { stream, peer })
+        Ok(Connection {
+            stream,
+            peer,
+            next_id: 0,
+        })
     }
 
     /// Connects to `addr` with bounded retry and jittered exponential
@@ -177,36 +185,68 @@ impl Connection {
         &self.peer
     }
 
-    /// Sends one message as one frame (a single `write_all`).
+    /// Hands out the next request id for pipelined sends on this
+    /// connection (strictly increasing, never [`PUSH_ID`]).
+    pub fn next_request_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Sends one message as one frame (a single `write_all`) tagged with
+    /// [`PUSH_ID`] — for pushes and fire-and-forget sends whose reply (if
+    /// any) is not matched by id.
     pub fn send(&mut self, msg: &Message) -> Result<()> {
-        let buf = encode_frame(msg.kind(), &msg.encode())?;
+        self.send_with_id(PUSH_ID, msg)
+    }
+
+    /// Sends one message as one frame tagged with `request_id`.
+    pub fn send_with_id(&mut self, request_id: u64, msg: &Message) -> Result<()> {
+        let buf = encode_frame(msg.kind(), request_id, &msg.encode())?;
         self.stream
             .write_all(&buf)
             .map_err(|e| classify_io(&e, "write", &self.peer))
     }
 
-    /// Receives one message, blocking up to the read deadline.
+    /// Receives one message, blocking up to the read deadline, discarding
+    /// its request id (push streams and single-in-flight callers).
     pub fn recv(&mut self) -> Result<Message> {
+        self.recv_tagged().map(|(_, msg)| msg)
+    }
+
+    /// Receives one message with its request id, blocking up to the read
+    /// deadline.
+    pub fn recv_tagged(&mut self) -> Result<(u64, Message)> {
         let mut header = [0u8; HEADER_LEN];
         self.stream
             .read_exact(&mut header)
             .map_err(|e| classify_io(&e, "read frame header", &self.peer))?;
-        let (kind, len, crc) = parse_header(&header)?;
-        let mut payload = vec![0u8; len as usize];
+        let h = parse_header(&header)?;
+        let mut payload = vec![0u8; h.len as usize];
         self.stream
             .read_exact(&mut payload)
             .map_err(|e| classify_io(&e, "read frame payload", &self.peer))?;
-        verify_payload(kind, crc, &payload)?;
-        Message::decode(kind, &payload)
+        verify_payload(h.kind, h.crc, &payload)?;
+        Ok((h.request_id, Message::decode(h.kind, &payload)?))
     }
 
-    /// Sends `msg` and waits for the reply, translating a [`Message::Err`]
-    /// reply into the error it carries.
+    /// Sends `msg` tagged with a fresh request id and waits for the reply
+    /// carrying the same id (skipping any pushes that arrive in between),
+    /// translating a [`Message::Err`] reply into the error it carries.
     pub fn call(&mut self, msg: &Message) -> Result<Message> {
-        self.send(msg)?;
-        match self.recv()? {
-            Message::Err(e) => Err(e),
-            reply => Ok(reply),
+        let id = self.next_request_id();
+        self.send_with_id(id, msg)?;
+        loop {
+            let (reply_id, reply) = self.recv_tagged()?;
+            if reply_id != id {
+                // A server push (or a stale reply from a request this
+                // caller abandoned) interleaved with our call; sequential
+                // callers have no queue to deliver it to, so skip it.
+                continue;
+            }
+            return match reply {
+                Message::Err(e) => Err(e),
+                reply => Ok(reply),
+            };
         }
     }
 }

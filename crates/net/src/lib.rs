@@ -9,14 +9,20 @@
 //! Three layers:
 //!
 //! - [`frame`] + [`codec`] — a length-prefixed, CRC-32-checksummed binary
-//!   framing with a versioned header, and hand-rolled encodings for every
-//!   protocol message. The writeset/record encodings are byte-identical to
-//!   the certifier's WAL (`bargain_core::wal`): one codec, disk and wire.
-//! - [`server`] + [`certifier`] — threaded TCP servers. [`server::NetServer`]
-//!   hosts a full cluster node behind the session protocol;
-//!   [`certifier::CertifierServer`] hosts just the certification/durability
-//!   component so it can live in its own process, reached from a cluster via
-//!   [`certifier::RemoteCertifierLink`].
+//!   framing with a versioned header and a per-frame `request_id` tag
+//!   (protocol v2: a connection can pipeline many in-flight requests, with
+//!   replies matched by id), and hand-rolled encodings for every protocol
+//!   message. The writeset/record encodings are byte-identical to the
+//!   certifier's WAL (`bargain_core::wal`): one codec, disk and wire.
+//!   [`frame::FrameDecoder`] is the incremental decode path for
+//!   non-blocking sockets: partial frames resume across readiness events.
+//! - [`server`] + [`certifier`] — TCP servers. [`server::NetServer`]
+//!   hosts a full cluster node behind the session protocol on a
+//!   readiness-driven reactor (one event-loop thread over a hand-rolled
+//!   epoll poller, see `reactor`, plus a small worker pool running the
+//!   transactions); [`certifier::CertifierServer`] hosts just the
+//!   certification/durability component so it can live in its own process,
+//!   reached from a cluster via [`certifier::RemoteCertifierLink`].
 //! - [`client`] — [`client::RemoteSession`], a drop-in client driver with
 //!   the same surface as `bargain_cluster::Session`, plus the bounded
 //!   retry/backoff [`conn::ConnectPolicy`]. Retries in-doubt transactions
@@ -52,6 +58,7 @@ pub mod client;
 pub mod codec;
 pub mod conn;
 pub mod frame;
+pub(crate) mod reactor;
 pub mod server;
 
 pub use certifier::{

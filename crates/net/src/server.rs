@@ -1,12 +1,40 @@
 //! The frontend server: hosts a [`Cluster`] behind a TCP listener and
 //! serves the session protocol to remote clients.
 //!
-//! One OS thread per connection (matching the paper's closed-loop client
-//! model: a connection issues one transaction at a time, so a thread per
-//! connection is a thread per active client). Connections are framed and
-//! checksummed (see [`crate::frame`]); a connection that dies mid-frame
-//! only takes its own session down — the cluster keeps serving everyone
-//! else.
+//! # Architecture: a readiness-driven reactor
+//!
+//! One **reactor thread** owns every socket: the listener, a wakeup pipe,
+//! and all client connections, registered non-blocking with a hand-rolled
+//! epoll poller (see [`crate::reactor`]). Per connection the reactor keeps
+//! a read-side incremental frame decoder ([`crate::frame::FrameDecoder`] —
+//! partial frames resume across readiness events) and a write-side queue
+//! of encoded reply frames flushed with vectored writes, so replies that
+//! complete close together leave in one syscall (the same batching idea as
+//! the WAL's group commit). A small **worker pool** executes
+//! Session/cluster requests off the reactor thread; the reactor never
+//! blocks on a socket or a transaction.
+//!
+//! # Pipelining
+//!
+//! Every frame carries a `request_id` (protocol v2), so one connection may
+//! have many requests in flight; replies echo the id and may complete out
+//! of order *across* connections. Within a connection, requests execute
+//! **serially in arrival order** (one worker job per connection at a
+//! time): pipelining removes the client's round-trip wait, not the
+//! per-session ordering — which is exactly what keeps a pipelined
+//! connection byte-equivalent to the same requests issued one at a time
+//! (the differential oracle in `proptest_pipeline` checks this).
+//! `Hello`/`Ping`/`StopServer` are answered inline on the reactor thread,
+//! so heartbeats keep flowing even while a connection's transactions are
+//! queued behind a worker.
+//!
+//! # Backpressure
+//!
+//! A connection's write queue is capped (`max_conn_write_buffer`). A peer
+//! that stops reading its replies fills the cap, and the reactor then
+//! stops reading from — and stops dispatching for — *that connection
+//! only*; every socket is non-blocking, so a stalled client can never
+//! head-of-line-block other connections or the reactor thread.
 //!
 //! # Overload shedding
 //!
@@ -19,24 +47,29 @@
 //!
 //! # Shutdown
 //!
-//! Shutdown is graceful with a bounded tail: a [`Message::StopServer`]
-//! frame (or [`NetServer::stop`]) stops the acceptor, lets every
-//! connection finish its in-flight transaction, then drains the cluster —
+//! Stop is wired through the event loop: [`NetServer::request_stop`] (or a
+//! client's [`Message::StopServer`]) sets the flag and writes the wakeup
+//! pipe, so the reactor notices immediately — not at the next idle-poll
+//! tick like the old thread-per-connection server. The reactor then closes
+//! the listener, stops reading, lets in-flight worker jobs finish and
+//! their replies flush, and force-closes whatever remains (half-open
+//! peers, unflushed laggards) at the `shutdown_grace` deadline. Afterwards
+//! [`NetServer::wait`] joins the workers and drains the cluster —
 //! [`Cluster::drain`] flushes the certifier (and its WAL) and joins all
-//! runtime threads. Because a half-open peer could leave a connection
-//! thread blocked mid-frame forever, [`NetServer::wait`] arms a watchdog:
-//! after `shutdown_grace` it force-closes every registered connection
-//! socket, so shutdown always completes.
+//! runtime threads.
 
 use crate::codec::Message;
-use crate::conn::Connection;
+use crate::frame::{encode_frame, FrameDecoder, PUSH_ID};
+use crate::reactor::{Interest, Poller, Waker, WakerHandle};
 use bargain_cluster::{Cluster, Session};
 use bargain_common::{Error, IdemKey, Result, TableSet, TemplateId};
 use bargain_sql::TransactionTemplate;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -45,11 +78,18 @@ use std::time::{Duration, Instant};
 /// Tuning knobs for the frontend server.
 #[derive(Debug, Clone)]
 pub struct NetServerConfig {
-    /// Per-connection read deadline for a frame once bytes start flowing.
+    /// How long a connection may sit **mid-frame** (header or payload
+    /// partially received) without delivering another byte before the
+    /// server closes it. `None` tolerates stalled senders forever.
     pub read_timeout: Option<Duration>,
-    /// Per-connection write deadline.
+    /// How long a connection's pending replies may make **no write
+    /// progress** (peer not draining its socket) before the server closes
+    /// it. `None` tolerates stalled readers forever (the write-buffer cap
+    /// still bounds memory).
     pub write_timeout: Option<Duration>,
-    /// How often an idle connection checks the server's stop flag.
+    /// The reactor's housekeeping tick: idle/stall sweeps run at this
+    /// cadence. Stop/drain does *not* wait for a tick — it rides the
+    /// wakeup pipe.
     pub poll_interval: Duration,
     /// Admission bound: transactions concurrently executing in the
     /// cluster. A [`Message::Run`] past the bound is shed with
@@ -60,9 +100,17 @@ pub struct NetServerConfig {
     /// reconnects transparently; see `RemoteSession`). `None` keeps idle
     /// connections forever.
     pub idle_timeout: Option<Duration>,
-    /// How long [`NetServer::wait`] lets connection threads wind down
-    /// before force-closing their sockets.
+    /// How long the drain lets in-flight work finish and replies flush
+    /// before force-closing the remaining connections.
     pub shutdown_grace: Duration,
+    /// Worker threads executing Session/cluster requests. Concurrency
+    /// across connections is `min(workers, connections)`; within one
+    /// connection requests always run serially.
+    pub workers: usize,
+    /// Per-connection cap on buffered reply bytes. Past the cap the
+    /// reactor stops reading from (and dispatching for) that connection
+    /// until the peer drains its socket.
+    pub max_conn_write_buffer: usize,
 }
 
 impl Default for NetServerConfig {
@@ -74,26 +122,45 @@ impl Default for NetServerConfig {
             max_inflight: None,
             idle_timeout: None,
             shutdown_grace: Duration::from_secs(5),
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8)),
+            max_conn_write_buffer: 1 << 20,
         }
     }
 }
-
-/// Connection-socket registry: lets the shutdown watchdog force-close
-/// sockets whose threads are stuck on a half-open peer. Kept in its own
-/// `Arc` (not behind [`Shared`]) so the watchdog never delays the
-/// `Arc::try_unwrap` that hands the cluster to [`Cluster::drain`].
-type StreamRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
 struct Shared {
     cluster: Cluster,
     stop: AtomicBool,
     config: NetServerConfig,
     addr: SocketAddr,
-    conns: Mutex<Vec<JoinHandle<()>>>,
-    streams: StreamRegistry,
-    next_conn_id: AtomicU64,
     inflight: AtomicU64,
     shed: AtomicU64,
+}
+
+/// The per-connection state the *workers* need: the cluster session and
+/// the prepared templates. Shuttled by value between the reactor and the
+/// pool inside [`Job`]/[`Completion`] — the per-connection busy flag
+/// guarantees at most one job holds it at a time, so no lock is needed.
+struct ConnExec {
+    session: Option<Session>,
+    templates: HashMap<TemplateId, (Arc<TransactionTemplate>, TableSet)>,
+}
+
+struct Job {
+    token: u64,
+    /// The connection's queued `(request_id, message)` pairs, executed in
+    /// order on one worker. Batching keeps the completion→waker→dispatch
+    /// handoff off the critical path between pipelined requests while
+    /// preserving per-connection serial execution.
+    msgs: Vec<(u64, Message)>,
+    exec: ConnExec,
+}
+
+struct Completion {
+    token: u64,
+    exec: ConnExec,
+    /// One encoded reply frame per request in the job, in order.
+    frames: Vec<Vec<u8>>,
 }
 
 /// A running frontend server. Dropping the handle does *not* stop the
@@ -101,7 +168,10 @@ struct Shared {
 /// client and call [`NetServer::wait`]).
 pub struct NetServer {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    jobs_tx: Mutex<Option<Sender<Job>>>,
+    waker: WakerHandle,
 }
 
 impl NetServer {
@@ -118,28 +188,59 @@ impl NetServer {
         config: NetServerConfig,
     ) -> Result<NetServer> {
         let listener = TcpListener::bind(addr).map_err(Error::from)?;
+        listener.set_nonblocking(true).map_err(Error::from)?;
         let addr = listener.local_addr().map_err(Error::from)?;
+        let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             cluster,
             stop: AtomicBool::new(false),
             config,
             addr,
-            conns: Mutex::new(Vec::new()),
-            streams: Arc::new(Mutex::new(HashMap::new())),
-            next_conn_id: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             shed: AtomicU64::new(0),
         });
-        let acceptor = {
+
+        let waker = Waker::new()?;
+        let wake_handle = waker.handle()?;
+        let (jobs_tx, jobs_rx) = unbounded::<Job>();
+        let (completions_tx, completions_rx) = unbounded::<Completion>();
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
             let shared = Arc::clone(&shared);
+            let jobs_rx = jobs_rx.clone();
+            let completions_tx = completions_tx.clone();
+            let wake = wake_handle.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("bargain-net-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &jobs_rx, &completions_tx, &wake))
+                .map_err(Error::from)?;
+            worker_handles.push(handle);
+        }
+        drop(jobs_rx);
+        drop(completions_tx);
+
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            let jobs_tx = jobs_tx.clone();
             std::thread::Builder::new()
-                .name("bargain-net-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))
+                .name("bargain-net-reactor".into())
+                .spawn(move || {
+                    if let Err(e) =
+                        Reactor::run(&shared, listener, waker, &jobs_tx, &completions_rx)
+                    {
+                        eprintln!("bargain-net reactor failed: {e}");
+                    }
+                })
                 .map_err(Error::from)?
         };
+
         Ok(NetServer {
             shared,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
+            workers: worker_handles,
+            jobs_tx: Mutex::new(Some(jobs_tx)),
+            waker: wake_handle,
         })
     }
 
@@ -155,57 +256,31 @@ impl NetServer {
         self.shared.shed.load(Ordering::SeqCst)
     }
 
-    /// Asks the server to stop without blocking: the acceptor wakes up and
-    /// exits, idle connections close at their next poll tick, busy ones
-    /// after their in-flight transaction.
+    /// Asks the server to stop without blocking: the stop flag is set and
+    /// the reactor is woken through the event loop's wakeup pipe, so drain
+    /// starts immediately rather than at the next poll tick.
     pub fn request_stop(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.shared.addr);
+        self.waker.wake();
     }
 
     /// Blocks until the server has stopped (via [`NetServer::request_stop`]
-    /// or a client's [`Message::StopServer`]), then joins every connection
-    /// thread and drains the cluster. A watchdog force-closes connection
-    /// sockets still open after `shutdown_grace`, so a half-open peer
-    /// cannot hang the shutdown.
+    /// or a client's [`Message::StopServer`]), then joins the reactor and
+    /// worker threads and drains the cluster. The reactor force-closes any
+    /// connection still open at the `shutdown_grace` deadline, so a
+    /// half-open peer cannot hang the shutdown.
     pub fn wait(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        let done = Arc::new(AtomicBool::new(false));
-        let watchdog = {
-            let streams = Arc::clone(&self.shared.streams);
-            let done = Arc::clone(&done);
-            let grace = self.shared.config.shutdown_grace;
-            std::thread::Builder::new()
-                .name("bargain-net-watchdog".into())
-                .spawn(move || {
-                    let step = Duration::from_millis(20);
-                    let deadline = Instant::now() + grace;
-                    while Instant::now() < deadline {
-                        if done.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        std::thread::sleep(step);
-                    }
-                    for stream in streams.lock().values() {
-                        let _ = stream.shutdown(Shutdown::Both);
-                    }
-                })
-        };
-        let conns: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.conns.lock());
-        for c in conns {
-            let _ = c.join();
-        }
-        done.store(true, Ordering::SeqCst);
-        if let Ok(watchdog) = watchdog {
-            let _ = watchdog.join();
+        // Closing the job channel is what terminates the workers.
+        drop(self.jobs_tx.lock().take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
         // The unwrap cannot fail in practice: every thread holding a clone
-        // has been joined (the watchdog holds only the stream registry).
-        // If it somehow does, the cluster's threads die with the process
-        // instead of draining.
+        // has been joined. If it somehow does, the cluster's threads die
+        // with the process instead of draining.
         if let Ok(shared) = Arc::try_unwrap(self.shared) {
             shared.cluster.drain();
         }
@@ -219,137 +294,567 @@ impl NetServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Per-readiness-event read budget: bounded so one firehose connection
+/// cannot monopolise the reactor; level-triggered epoll re-arms for the
+/// remainder.
+const READ_CHUNK: usize = 64 * 1024;
+const READS_PER_EVENT: usize = 4;
+/// Max `IoSlice`s per vectored flush (well under any IOV_MAX).
+const MAX_IOVECS: usize = 64;
+/// Upper bound on requests bundled into one worker job. Bounds reply
+/// latency for the head of a very deep pipeline and keeps a single
+/// connection from monopolizing a worker indefinitely.
+const MAX_JOB_BATCH: usize = 32;
+
+struct ConnState {
+    stream: TcpStream,
+    token: u64,
+    decoder: FrameDecoder,
+    /// Decoded requests awaiting their turn on the worker pool.
+    queue: VecDeque<(u64, Message)>,
+    /// Encoded reply frames not yet written, oldest first.
+    out: VecDeque<Vec<u8>>,
+    /// Bytes of `out.front()` already written.
+    out_offset: usize,
+    /// Total unwritten bytes across `out`.
+    out_bytes: usize,
+    /// One worker job at a time; `exec` is `None` exactly while busy.
+    busy: bool,
+    exec: Option<ConnExec>,
+    /// Peer closed its write side (or framing broke): read no more.
+    read_closed: bool,
+    /// Flush pending replies, then close.
+    closing: bool,
+    interest: Interest,
+    last_activity: Instant,
+    /// Last byte received (read-stall detection while mid-frame).
+    last_rx: Instant,
+    /// Last write progress (write-stall detection while replies pend).
+    last_tx_progress: Instant,
+}
+
+impl ConnState {
+    fn enqueue_reply(&mut self, request_id: u64, msg: &Message) {
+        match encode_frame(msg.kind(), request_id, &msg.encode()) {
+            Ok(frame) => {
+                self.out_bytes += frame.len();
+                self.out.push_back(frame);
+            }
+            Err(e) => {
+                // Only an over-size payload can land here; degrade to an
+                // error reply, which is small by construction.
+                if let Ok(frame) = encode_frame(
+                    Message::Err(e.clone()).kind(),
+                    request_id,
+                    &Message::Err(e).encode(),
+                ) {
+                    self.out_bytes += frame.len();
+                    self.out.push_back(frame);
+                }
+            }
         }
-        let Ok(stream) = stream else { continue };
-        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
-        if let Ok(clone) = stream.try_clone() {
-            shared.streams.lock().insert(conn_id, clone);
-        }
-        let handler = {
-            let shared = Arc::clone(shared);
-            std::thread::Builder::new()
-                .name("bargain-net-conn".into())
-                .spawn(move || {
-                    serve_conn(&shared, stream);
-                    shared.streams.lock().remove(&conn_id);
-                })
+    }
+}
+
+struct Reactor<'a> {
+    shared: &'a Arc<Shared>,
+    poller: Poller,
+    waker: Waker,
+    jobs_tx: &'a Sender<Job>,
+    completions_rx: &'a Receiver<Completion>,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, ConnState>,
+    next_token: u64,
+    /// Jobs dispatched to the pool whose completions have not come back
+    /// yet (counted even for connections that died in the meantime, so
+    /// drain can wait for every session to unwind).
+    outstanding_jobs: usize,
+    /// Set when the stop flag is first observed; the force-close deadline.
+    drain_deadline: Option<Instant>,
+}
+
+impl<'a> Reactor<'a> {
+    fn run(
+        shared: &'a Arc<Shared>,
+        listener: TcpListener,
+        waker: Waker,
+        jobs_tx: &'a Sender<Job>,
+        completions_rx: &'a Receiver<Completion>,
+    ) -> Result<()> {
+        let poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(waker.reader_fd(), TOKEN_WAKER, Interest::READ)?;
+        let mut reactor = Reactor {
+            shared,
+            poller,
+            waker,
+            jobs_tx,
+            completions_rx,
+            listener: Some(listener),
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            outstanding_jobs: 0,
+            drain_deadline: None,
         };
-        if let Ok(handle) = handler {
-            shared.conns.lock().push(handle);
-        }
+        reactor.event_loop()
     }
-}
 
-/// What an idle poll on a connection observed.
-enum Poll {
-    /// Bytes are waiting; read a frame.
-    Readable,
-    /// Nothing yet; check the stop flag and poll again.
-    Idle,
-    /// The peer closed the connection.
-    Closed,
-}
+    fn event_loop(&mut self) -> Result<()> {
+        let mut events = Vec::new();
+        let mut read_buf = vec![0u8; READ_CHUNK];
+        loop {
+            let timeout = if self.drain_deadline.is_some() {
+                // Draining: tick fast so quiescence is noticed promptly
+                // even if a completion's wake raced the previous drain.
+                Duration::from_millis(10)
+            } else {
+                self.shared.config.poll_interval
+            };
+            self.poller.wait(&mut events, Some(timeout))?;
 
-/// Waits up to `interval` for the connection to become readable, without
-/// consuming bytes. Lets idle connections notice the server's stop flag
-/// while blocking frame reads keep their full deadline once traffic
-/// arrives.
-fn poll_readable(stream: &TcpStream, interval: Duration, restore: Option<Duration>) -> Poll {
-    if stream.set_read_timeout(Some(interval)).is_err() {
-        return Poll::Closed;
-    }
-    let mut probe = [0u8; 1];
-    let polled = match stream.peek(&mut probe) {
-        Ok(0) => Poll::Closed,
-        Ok(_) => Poll::Readable,
-        Err(e)
-            if matches!(
-                e.kind(),
-                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-            ) =>
-        {
-            Poll::Idle
-        }
-        Err(_) => Poll::Closed,
-    };
-    if stream.set_read_timeout(restore).is_err() {
-        return Poll::Closed;
-    }
-    polled
-}
+            // Tokens whose connection needs a flush / dispatch / interest
+            // refresh this iteration.
+            let mut dirty: Vec<u64> = Vec::new();
 
-fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
-    let config = &shared.config;
-    let Ok(mut conn) = Connection::from_stream(stream, config.read_timeout, config.write_timeout)
-    else {
-        return;
-    };
-    // Per-connection state: the cluster session (opened on demand) and the
-    // templates this connection prepared, keyed by their cluster-wide id.
-    let mut session: Option<Session> = None;
-    let mut templates: HashMap<TemplateId, (Arc<TransactionTemplate>, TableSet)> = HashMap::new();
-    let mut last_activity = Instant::now();
-
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        match poll_readable(conn.stream(), config.poll_interval, config.read_timeout) {
-            Poll::Idle => {
-                if let Some(idle) = config.idle_timeout {
-                    if last_activity.elapsed() > idle {
-                        return;
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => {
+                        if ev.hangup && !ev.readable {
+                            self.close_conn(token);
+                            continue;
+                        }
+                        if ev.readable {
+                            self.read_ready(token, &mut read_buf);
+                        }
+                        if ev.hangup {
+                            // Consume what the peer sent before hanging
+                            // up (done above), then stop reading.
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                conn.read_closed = true;
+                            }
+                        }
+                        dirty.push(token);
                     }
                 }
+            }
+
+            // Worker completions: restore per-connection exec state and
+            // queue the reply frames. Replies for connections that died
+            // while their job ran just drop the session.
+            while let Ok(completion) = self.completions_rx.try_recv() {
+                self.outstanding_jobs = self.outstanding_jobs.saturating_sub(1);
+                if let Some(conn) = self.conns.get_mut(&completion.token) {
+                    conn.busy = false;
+                    conn.exec = Some(completion.exec);
+                    for frame in completion.frames {
+                        conn.out_bytes += frame.len();
+                        conn.out.push_back(frame);
+                    }
+                    dirty.push(completion.token);
+                }
+            }
+
+            let draining = self.check_stop();
+            if draining {
+                dirty.extend(self.conns.keys().copied());
+            }
+
+            // Dispatch, then flush: replies enqueued by several
+            // completions (or several inline handlers) in this iteration
+            // leave in one vectored write per connection.
+            dirty.sort_unstable();
+            dirty.dedup();
+            for token in dirty {
+                self.service_conn(token, draining);
+            }
+
+            self.sweep(draining);
+
+            if draining && self.drain_complete() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Accepts until the listener would block.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.stop.load(Ordering::SeqCst) {
+                        continue; // accepted only to close: we are draining
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let interest = Interest::READ;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, interest)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let now = Instant::now();
+                    self.conns.insert(
+                        token,
+                        ConnState {
+                            stream,
+                            token,
+                            decoder: FrameDecoder::new(),
+                            queue: VecDeque::new(),
+                            out: VecDeque::new(),
+                            out_offset: 0,
+                            out_bytes: 0,
+                            busy: false,
+                            exec: Some(ConnExec {
+                                session: None,
+                                templates: HashMap::new(),
+                            }),
+                            read_closed: false,
+                            closing: false,
+                            interest,
+                            last_activity: now,
+                            last_rx: now,
+                            last_tx_progress: now,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads whatever the socket has (bounded per event), feeds the
+    /// incremental decoder, and handles or queues each completed frame.
+    fn read_ready(&mut self, token: u64, buf: &mut [u8]) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.read_closed || conn.closing {
+            return;
+        }
+        let mut frames = Vec::new();
+        let mut budget = READS_PER_EVENT;
+        while budget > 0 {
+            budget -= 1;
+            match conn.stream.read(buf) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.last_rx = Instant::now();
+                    if let Err(e) = conn.decoder.feed(&buf[..n], &mut frames) {
+                        // Framing is lost: report once and close after the
+                        // error flushes (the id of the broken frame is
+                        // unknowable, so the report is a push).
+                        conn.enqueue_reply(PUSH_ID, &Message::Err(e));
+                        conn.read_closed = true;
+                        conn.closing = true;
+                        break;
+                    }
+                    if n < buf.len() {
+                        break; // drained the socket
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => budget += 1,
+                Err(_) => {
+                    conn.read_closed = true;
+                    break;
+                }
+            }
+        }
+        if !frames.is_empty() {
+            conn.last_activity = Instant::now();
+        }
+        let mut stop_requested = false;
+        for frame in frames {
+            if conn.closing {
+                break; // no new work after a fatal reply
+            }
+            let msg = match Message::decode(frame.kind, &frame.payload) {
+                Ok(msg) => msg,
+                Err(e) => {
+                    // A well-framed but undecodable payload: the peer's
+                    // codec disagrees with ours, so framing trust is gone.
+                    conn.enqueue_reply(frame.request_id, &Message::Err(e));
+                    conn.read_closed = true;
+                    conn.closing = true;
+                    break;
+                }
+            };
+            // Control messages are answered inline on the reactor thread:
+            // heartbeats and handshakes never queue behind transactions.
+            match msg {
+                Message::Hello => {
+                    let reply = Message::HelloAck {
+                        replicas: self.shared.cluster.replicas() as u32,
+                        mode: self.shared.cluster.mode(),
+                    };
+                    conn.enqueue_reply(frame.request_id, &reply);
+                }
+                Message::Ping => conn.enqueue_reply(frame.request_id, &Message::Pong),
+                Message::StopServer => {
+                    stop_requested = true;
+                    conn.enqueue_reply(frame.request_id, &Message::Ack);
+                    conn.closing = true;
+                    conn.read_closed = true;
+                }
+                msg => conn.queue.push_back((frame.request_id, msg)),
+            }
+        }
+        if stop_requested {
+            self.shared.stop.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Dispatches queued requests (one at a time per connection), flushes
+    /// pending replies, refreshes epoll interest, and reaps the connection
+    /// if it is finished.
+    fn service_conn(&mut self, token: u64, draining: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let cap = self.shared.config.max_conn_write_buffer;
+
+        // Flush before dispatching, so write progress releases
+        // backpressure within the same iteration.
+        let alive = flush_out(conn);
+        if !alive {
+            self.close_conn(token);
+            return;
+        }
+
+        // Dispatch queued requests unless a job is already out, the
+        // connection is going away, backpressure engaged, or the server is
+        // draining. The whole queue (bounded) goes out as ONE job: a
+        // pipelined burst pays the channel/waker handoff once, not once
+        // per request, while the worker still executes it serially in
+        // order — the equivalence invariant the differential proptest
+        // checks.
+        if !conn.busy
+            && !conn.closing
+            && !draining
+            && conn.out_bytes < cap
+            && !conn.queue.is_empty()
+        {
+            let take = conn.queue.len().min(MAX_JOB_BATCH);
+            let msgs: Vec<(u64, Message)> = conn.queue.drain(..take).collect();
+            let exec = conn.exec.take().expect("exec present while not busy");
+            conn.busy = true;
+            let job = Job { token, msgs, exec };
+            if self.jobs_tx.send(job).is_ok() {
+                self.outstanding_jobs += 1;
+            } else {
+                // Worker pool is gone (shutdown): the connection can
+                // do no more work.
+                conn.busy = false;
+                conn.closing = true;
+            }
+        }
+
+        // A connection is done when it will never produce output again.
+        let finished = conn.out.is_empty()
+            && !conn.busy
+            && (conn.closing || (conn.read_closed && conn.queue.is_empty()));
+        if finished {
+            self.close_conn(token);
+            return;
+        }
+
+        let want = Interest {
+            readable: !conn.read_closed && !conn.closing && !draining && conn.out_bytes < cap,
+            writable: !conn.out.is_empty(),
+        };
+        if want != conn.interest
+            && self
+                .poller
+                .reregister(conn.stream.as_raw_fd(), token, want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    /// Observes the stop flag; on the first observation closes the
+    /// listener and arms the force-close deadline.
+    fn check_stop(&mut self) -> bool {
+        if !self.shared.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        if self.drain_deadline.is_none() {
+            self.drain_deadline = Some(Instant::now() + self.shared.config.shutdown_grace);
+            if let Some(listener) = self.listener.take() {
+                self.poller.deregister(listener.as_raw_fd());
+            }
+        }
+        true
+    }
+
+    /// True when every connection is gone (or the grace deadline forces
+    /// the issue) and no worker job is still holding session state.
+    fn drain_complete(&mut self) -> bool {
+        let deadline = self.drain_deadline.expect("draining");
+        if Instant::now() >= deadline {
+            // Grace expired: force-close everything still open. In-flight
+            // worker jobs finish on the pool and their completions are
+            // discarded with the channel.
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                self.close_conn(token);
+            }
+            return true;
+        }
+        // Done once every socket is closed and every dispatched job's
+        // completion has come back, so sessions unwind through the normal
+        // path rather than being dropped inside the channel.
+        self.conns.is_empty() && self.outstanding_jobs == 0
+    }
+
+    /// Periodic housekeeping: idle reaping and stall detection.
+    fn sweep(&mut self, draining: bool) {
+        let now = Instant::now();
+        let config = &self.shared.config;
+        let mut doomed: Vec<u64> = Vec::new();
+        for conn in self.conns.values() {
+            if draining {
+                // During drain, quiescent connections are reaped by
+                // `service_conn`; stalled ones by the grace deadline.
                 continue;
             }
-            Poll::Closed => return,
-            Poll::Readable => {}
-        }
-        let msg = match conn.recv() {
-            Ok(msg) => msg,
-            Err(Error::ConnectionClosed(_)) => return,
-            Err(e) => {
-                // Codec errors (bad magic, checksum mismatch) mean stream
-                // framing is lost: report once and drop the connection.
-                let _ = conn.send(&Message::Err(e));
-                return;
-            }
-        };
-        last_activity = Instant::now();
-        let reply = handle_message(shared, msg, &mut session, &mut templates);
-        let stop_after = matches!(reply, Some(Message::Ack) if shared.stop.load(Ordering::SeqCst));
-        if let Some(reply) = reply {
-            if conn.send(&reply).is_err() {
-                return;
+            let idle_expired = config.idle_timeout.is_some_and(|idle| {
+                now.duration_since(conn.last_activity) > idle
+                    && !conn.busy
+                    && conn.queue.is_empty()
+                    && conn.out.is_empty()
+            });
+            let read_stalled = config
+                .read_timeout
+                .is_some_and(|t| conn.decoder.mid_frame() && now.duration_since(conn.last_rx) > t);
+            let write_stalled = config.write_timeout.is_some_and(|t| {
+                !conn.out.is_empty() && now.duration_since(conn.last_tx_progress) > t
+            });
+            if idle_expired || read_stalled || write_stalled {
+                doomed.push(conn.token);
             }
         }
-        if stop_after {
-            return;
+        for token in doomed {
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.deregister(conn.stream.as_raw_fd());
+            // Dropping ConnState drops the socket and (if present) the
+            // session; a busy connection's session comes back with the
+            // completion and is dropped there.
         }
     }
 }
 
-fn handle_message(
+/// Flushes as much pending output as the socket accepts, vectoring up to
+/// [`MAX_IOVECS`] queued frames per syscall. Returns `false` if the
+/// connection died.
+fn flush_out(conn: &mut ConnState) -> bool {
+    while !conn.out.is_empty() {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(conn.out.len().min(MAX_IOVECS));
+        for (i, frame) in conn.out.iter().take(MAX_IOVECS).enumerate() {
+            let start = if i == 0 { conn.out_offset } else { 0 };
+            slices.push(IoSlice::new(&frame[start..]));
+        }
+        match conn.stream.write_vectored(&slices) {
+            Ok(0) => return false,
+            Ok(mut n) => {
+                conn.last_tx_progress = Instant::now();
+                conn.out_bytes -= n;
+                while n > 0 {
+                    let front_left = conn.out.front().map_or(0, Vec::len) - conn.out_offset;
+                    if n >= front_left {
+                        n -= front_left;
+                        conn.out.pop_front();
+                        conn.out_offset = 0;
+                    } else {
+                        conn.out_offset += n;
+                        n = 0;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+fn worker_loop(
     shared: &Arc<Shared>,
-    msg: Message,
-    session: &mut Option<Session>,
-    templates: &mut HashMap<TemplateId, (Arc<TransactionTemplate>, TableSet)>,
-) -> Option<Message> {
-    let reply = match msg {
+    jobs_rx: &Receiver<Job>,
+    completions_tx: &Sender<Completion>,
+    wake: &WakerHandle,
+) {
+    while let Ok(mut job) = jobs_rx.recv() {
+        let mut frames = Vec::with_capacity(job.msgs.len());
+        for (request_id, msg) in job.msgs.drain(..) {
+            let reply = handle_request(shared, msg, &mut job.exec);
+            let frame = encode_frame(reply.kind(), request_id, &reply.encode())
+                .or_else(|e| {
+                    // Over-size reply: degrade to the (small) error frame.
+                    encode_frame(
+                        Message::Err(e.clone()).kind(),
+                        request_id,
+                        &Message::Err(e).encode(),
+                    )
+                })
+                .unwrap_or_default();
+            frames.push(frame);
+        }
+        let sent = completions_tx.send(Completion {
+            token: job.token,
+            exec: job.exec,
+            frames,
+        });
+        if sent.is_err() {
+            return; // reactor gone: shutdown
+        }
+        wake.wake();
+    }
+}
+
+/// Executes one request against the cluster. `Hello`/`Ping`/`StopServer`
+/// are handled inline on the reactor and never reach the pool, but the
+/// match stays total so a future routing change cannot silently drop them.
+fn handle_request(shared: &Arc<Shared>, msg: Message, exec: &mut ConnExec) -> Message {
+    match msg {
         Message::Hello => Message::HelloAck {
             replicas: shared.cluster.replicas() as u32,
             mode: shared.cluster.mode(),
         },
         Message::Ping => Message::Pong,
+        Message::StopServer => {
+            shared.stop.store(true, Ordering::SeqCst);
+            Message::Ack
+        }
         Message::OpenSession => {
             let s = shared.cluster.connect();
             let client = s.client().0;
-            *session = Some(s);
+            exec.session = Some(s);
             Message::SessionOpened { client }
         }
         Message::Ddl { sql } => match shared.cluster.execute_ddl(&sql) {
@@ -361,7 +866,7 @@ fn handle_message(
             match shared.cluster.prepare_template(&name, &sql_refs) {
                 Ok((template, table_set)) => {
                     let id = template.id;
-                    templates.insert(id, (template, table_set));
+                    exec.templates.insert(id, (template, table_set));
                     Message::Prepared { template: id }
                 }
                 Err(e) => Message::Err(e),
@@ -371,7 +876,7 @@ fn handle_message(
             template,
             params,
             idem,
-        } => match run_txn(shared, session, templates, template, params, idem) {
+        } => match run_txn(shared, exec, template, params, idem) {
             Ok(reply) => reply,
             Err(e) => Message::Err(e),
         },
@@ -386,18 +891,11 @@ fn handle_message(
             },
             Err(e) => Message::Err(e),
         },
-        Message::StopServer => {
-            shared.stop.store(true, Ordering::SeqCst);
-            // Wake the blocking acceptor so it observes the flag.
-            let _ = TcpStream::connect(shared.addr);
-            Message::Ack
-        }
         other => Message::Err(Error::Protocol(format!(
             "unexpected message kind {} on a frontend connection",
             other.kind()
         ))),
-    };
-    Some(reply)
+    }
 }
 
 /// RAII admission token: holds one slot of the `max_inflight` bound.
@@ -430,16 +928,17 @@ fn admit(shared: &Shared) -> Result<Admission<'_>> {
 
 fn run_txn(
     shared: &Shared,
-    session: &mut Option<Session>,
-    templates: &HashMap<TemplateId, (Arc<TransactionTemplate>, TableSet)>,
+    exec: &mut ConnExec,
     template: TemplateId,
     params: Vec<Vec<bargain_common::Value>>,
     idem: Option<IdemKey>,
 ) -> Result<Message> {
-    let session = session
+    let session = exec
+        .session
         .as_mut()
         .ok_or_else(|| Error::Protocol("no session open; send OpenSession first".into()))?;
-    let (template, table_set) = templates
+    let (template, table_set) = exec
+        .templates
         .get(&template)
         .ok_or_else(|| Error::Protocol(format!("unknown template {template}; prepare it first")))?;
     let _slot = admit(shared)?;

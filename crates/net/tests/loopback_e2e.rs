@@ -158,7 +158,7 @@ fn killed_connection_mid_transaction_leaves_cluster_serving() {
             Message::HelloAck { .. }
         ));
         conn.call(&Message::OpenSession).unwrap();
-        let frame = encode_frame(Message::Stats.kind(), &Message::Stats.encode()).unwrap();
+        let frame = encode_frame(Message::Stats.kind(), 1, &Message::Stats.encode()).unwrap();
         let mut stream = conn.stream();
         stream.write_all(&frame[..frame.len() / 2]).unwrap();
         stream.flush().unwrap();

@@ -8,7 +8,7 @@ use bargain_common::{
     Value, Version, WriteOp, WriteSet,
 };
 use bargain_core::{CertifyDecision, CertifyRequest, LogRecord, Refresh, TxnOutcome};
-use bargain_net::frame::{read_frame, write_frame};
+use bargain_net::frame::{read_frame, write_frame, FrameDecoder};
 use bargain_net::Message;
 use bargain_sql::QueryResult;
 use proptest::prelude::*;
@@ -281,13 +281,15 @@ proptest! {
         prop_assert_eq!(msg, back);
     }
 
-    /// Every message survives a full frame round-trip (header + checksum).
+    /// Every message survives a full frame round-trip (header + checksum),
+    /// with its request-id tag intact.
     #[test]
-    fn frame_round_trips(msg in message_strategy()) {
+    fn frame_round_trips(msg in message_strategy(), id in any::<u64>()) {
         let mut wire = Vec::new();
-        write_frame(&mut wire, msg.kind(), &msg.encode()).expect("frame writes");
-        let (kind, payload) = read_frame(&mut wire.as_slice()).expect("frame reads");
+        write_frame(&mut wire, msg.kind(), id, &msg.encode()).expect("frame writes");
+        let (kind, got_id, payload) = read_frame(&mut wire.as_slice()).expect("frame reads");
         prop_assert_eq!(kind, msg.kind());
+        prop_assert_eq!(got_id, id);
         let back = Message::decode(kind, &payload).expect("payload decodes");
         prop_assert_eq!(msg, back);
     }
@@ -310,12 +312,12 @@ proptest! {
     #[test]
     fn corrupted_frames_error_or_detect(msg in message_strategy(), pos in any::<u32>(), bit in 0..8u32) {
         let mut wire = Vec::new();
-        write_frame(&mut wire, msg.kind(), &msg.encode()).expect("frame writes");
+        write_frame(&mut wire, msg.kind(), 7, &msg.encode()).expect("frame writes");
         let pos = (pos as usize) % wire.len();
         wire[pos] ^= 1 << bit;
         match read_frame(&mut wire.as_slice()) {
             Err(_) => {} // detected at the framing layer
-            Ok((kind, payload)) => {
+            Ok((kind, _id, payload)) => {
                 // The flip landed somewhere that still parses as a frame
                 // (e.g. the kind byte with a matching checksum is
                 // impossible — the CRC covers only the payload, so a kind
@@ -338,5 +340,103 @@ proptest! {
     #[test]
     fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
         let _ = read_frame(&mut bytes.as_slice());
+    }
+
+    /// The incremental decoder fed a frame stream in adversarial chunks —
+    /// any cut points, including inside the magic, the length field, the
+    /// crc, and the request id — yields exactly the frames the one-shot
+    /// path yields, in order, tags included.
+    #[test]
+    fn chunked_decode_matches_one_shot(
+        msgs in proptest::collection::vec(message_strategy(), 1..4),
+        cuts in proptest::collection::vec(any::<u16>(), 0..12),
+    ) {
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for (i, msg) in msgs.iter().enumerate() {
+            let id = i as u64 + 1;
+            write_frame(&mut wire, msg.kind(), id, &msg.encode()).expect("frame writes");
+            expected.push((msg.kind(), id, msg.encode()));
+        }
+        // Turn the random cut offsets into an ordered partition of the
+        // wire bytes.
+        let mut cuts: Vec<usize> = cuts.iter().map(|c| *c as usize % (wire.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut prev = 0;
+        for cut in cuts.into_iter().chain(std::iter::once(wire.len())) {
+            dec.feed(&wire[prev..cut], &mut out).expect("valid stream decodes");
+            prev = cut;
+        }
+        prop_assert!(!dec.mid_frame(), "stream ends on a frame boundary");
+        prop_assert_eq!(out.len(), expected.len());
+        for (frame, (kind, id, payload)) in out.iter().zip(&expected) {
+            prop_assert_eq!(frame.kind, *kind);
+            prop_assert_eq!(frame.request_id, *id);
+            prop_assert_eq!(&frame.payload, payload);
+        }
+    }
+
+    /// One byte at a time is the worst case: header split at every offset,
+    /// payload split at every offset. Decode results must be identical to
+    /// the one-shot path.
+    #[test]
+    fn byte_at_a_time_decode_matches_one_shot(msg in message_strategy(), id in any::<u64>()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, msg.kind(), id, &msg.encode()).expect("frame writes");
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in &wire {
+            dec.feed(std::slice::from_ref(b), &mut out).expect("valid bytes decode");
+        }
+        prop_assert_eq!(out.len(), 1);
+        prop_assert_eq!(out[0].kind, msg.kind());
+        prop_assert_eq!(out[0].request_id, id);
+        prop_assert_eq!(&out[0].payload, &msg.encode());
+    }
+
+    /// Error classification parity under chunking: corrupt one byte, feed
+    /// the result one byte at a time, and the incremental decoder must
+    /// fail with *exactly* the error the one-shot reader reports (same
+    /// variant, same message — kind and byte counts included). The only
+    /// divergence allowed is a corrupted length field promising bytes the
+    /// input does not hold: the one-shot path calls that truncation (I/O
+    /// error) while the incremental decoder parks mid-frame awaiting more.
+    #[test]
+    fn chunked_error_classification_matches_one_shot(
+        msg in message_strategy(),
+        pos in any::<u32>(),
+        bit in 0..8u32,
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, msg.kind(), 3, &msg.encode()).expect("frame writes");
+        let pos = (pos as usize) % wire.len();
+        wire[pos] ^= 1 << bit;
+        let one_shot = read_frame(&mut wire.as_slice());
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut incremental = Ok(());
+        for b in &wire {
+            incremental = dec.feed(std::slice::from_ref(b), &mut out);
+            if incremental.is_err() {
+                break;
+            }
+        }
+        match (one_shot, incremental) {
+            (Ok((kind, id, payload)), Ok(())) => {
+                prop_assert_eq!(out.len(), 1);
+                prop_assert_eq!(out[0].kind, kind);
+                prop_assert_eq!(out[0].request_id, id);
+                prop_assert_eq!(&out[0].payload, &payload);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (Err(bargain_common::Error::Io(_)), Ok(())) => {
+                prop_assert!(dec.mid_frame());
+                prop_assert!(out.is_empty());
+            }
+            (a, b) => prop_assert!(false, "one-shot {a:?} vs incremental {b:?}"),
+        }
     }
 }

@@ -1,0 +1,299 @@
+//! Differential proof of request pipelining: a random interleaving of N
+//! tagged in-flight requests over one connection must produce, for every
+//! request index, a reply **byte-identical** to the sequential
+//! one-at-a-time oracle run against a fresh identical cluster — including
+//! error replies (unknown template) and idempotency-dedup replies
+//! (a duplicate `IdemKey` answered with the original commit version).
+//!
+//! Replies may arrive out of order on the wire; each is matched to its
+//! request by the frame's `request_id` tag. Determinism of the comparison
+//! rests on the reactor's per-connection serial execution: requests from
+//! one connection execute in send order no matter how deep the window, so
+//! a single-connection schedule against a replicas=1 cluster is a
+//! deterministic function of the schedule.
+//!
+//! The vendored proptest derives its RNG seed from the test name, so CI
+//! runs are reproducible without extra plumbing (`PROPTEST_SEED`
+//! overrides).
+
+use bargain_cluster::{Cluster, ClusterConfig};
+use bargain_common::{ConsistencyMode, IdemKey, TemplateId, Value};
+use bargain_net::{ConnectPolicy, Connection, Message, NetServer};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const ROWS: i64 = 4;
+/// Fixed client nonce: both runs must present the same logical client to
+/// the certifier's dedup map.
+const NONCE: u64 = 0xB0B;
+
+/// One step of a generated schedule, template ids not yet resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// `UPDATE ledger SET val = val + ? WHERE id = ?` under a fresh
+    /// `IdemKey { NONCE, seq }` where `seq` is this step's index.
+    Update { row: i64, delta: i64 },
+    /// Re-issue of an earlier `Update`'s exact message — same params, same
+    /// `IdemKey` — as a client retrying an in-doubt transaction would.
+    /// The cluster must answer with the original outcome, not apply twice.
+    Duplicate { of: usize },
+    /// `SELECT val FROM ledger WHERE id = ?`, no idempotency key.
+    Read { row: i64 },
+    /// A `Run` against a template id that was never prepared: the error
+    /// reply must be identical in both runs too.
+    UnknownTemplate,
+}
+
+/// Starts a fresh replicas=1 cluster with an identical seeding sequence
+/// (identical session/txn id histories) and serves it over loopback.
+fn ledger_server() -> (NetServer, String) {
+    let cluster = Cluster::start(ClusterConfig {
+        replicas: 1,
+        mode: ConsistencyMode::LazyCoarse,
+        ..ClusterConfig::default()
+    });
+    cluster
+        .execute_ddl("CREATE TABLE ledger (id INT PRIMARY KEY, val INT)")
+        .expect("ledger DDL");
+    {
+        let mut admin = cluster.connect();
+        for id in 0..ROWS {
+            admin
+                .run_sql(&[(
+                    "INSERT INTO ledger (id, val) VALUES (?, ?)",
+                    vec![Value::Int(id), Value::Int(0)],
+                )])
+                .expect("seed ledger row");
+        }
+    }
+    let server = NetServer::start("127.0.0.1:0", cluster).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn pipeline_policy() -> ConnectPolicy {
+    ConnectPolicy {
+        read_timeout: Some(Duration::from_secs(10)),
+        write_timeout: Some(Duration::from_secs(10)),
+        ..ConnectPolicy::default()
+    }
+}
+
+/// Handshakes a raw connection and prepares the update/read templates,
+/// returning their server-assigned ids.
+fn handshake(addr: &str) -> (Connection, TemplateId, TemplateId) {
+    let mut conn = Connection::connect(addr, &pipeline_policy()).expect("connect");
+    match conn.call(&Message::Hello).expect("hello") {
+        Message::HelloAck { .. } => {}
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    match conn.call(&Message::OpenSession).expect("open session") {
+        Message::SessionOpened { .. } => {}
+        other => panic!("expected SessionOpened, got {other:?}"),
+    }
+    let update = match conn
+        .call(&Message::Prepare {
+            name: "pipe.update".into(),
+            sqls: vec!["UPDATE ledger SET val = val + ? WHERE id = ?".into()],
+        })
+        .expect("prepare update")
+    {
+        Message::Prepared { template } => template,
+        other => panic!("expected Prepared, got {other:?}"),
+    };
+    let read = match conn
+        .call(&Message::Prepare {
+            name: "pipe.read".into(),
+            sqls: vec!["SELECT val FROM ledger WHERE id = ?".into()],
+        })
+        .expect("prepare read")
+    {
+        Message::Prepared { template } => template,
+        other => panic!("expected Prepared, got {other:?}"),
+    };
+    (conn, update, read)
+}
+
+/// Resolves a schedule of [`Step`]s into concrete `Run` messages against
+/// one server's template ids. `Duplicate { of }` clones the referenced
+/// update's message verbatim (same key, same params).
+fn build_messages(steps: &[Step], update: TemplateId, read: TemplateId) -> Vec<Message> {
+    let mut msgs: Vec<Message> = Vec::with_capacity(steps.len());
+    for (i, step) in steps.iter().enumerate() {
+        let msg = match *step {
+            Step::Update { row, delta } => Message::Run {
+                template: update,
+                params: vec![vec![Value::Int(delta), Value::Int(row)]],
+                idem: Some(IdemKey {
+                    client: NONCE,
+                    seq: i as u64,
+                }),
+            },
+            Step::Duplicate { of } => msgs[of].clone(),
+            Step::Read { row } => Message::Run {
+                template: read,
+                params: vec![vec![Value::Int(row)]],
+                idem: None,
+            },
+            Step::UnknownTemplate => Message::Run {
+                template: TemplateId(u32::MAX),
+                params: vec![vec![Value::Int(0)]],
+                idem: None,
+            },
+        };
+        msgs.push(msg);
+    }
+    msgs
+}
+
+/// Drives `msgs` through one connection with up to `depth` requests in
+/// flight, the send/recv interleaving chosen by `greed`. Returns each
+/// request's reply as `(kind, payload bytes)`, indexed by request —
+/// replies are matched by `request_id`, whatever order they arrive in.
+///
+/// `depth == 1` degenerates to the strict send-one-recv-one sequential
+/// oracle regardless of `greed`.
+fn run_schedule(
+    conn: &mut Connection,
+    msgs: &[Message],
+    depth: usize,
+    greed: &[bool],
+) -> Vec<(u8, Vec<u8>)> {
+    let n = msgs.len();
+    let mut replies: Vec<Option<(u8, Vec<u8>)>> = vec![None; n];
+    let mut inflight: HashMap<u64, usize> = HashMap::new();
+    let mut next_send = 0usize;
+    let mut received = 0usize;
+    let mut g = 0usize;
+    while received < n {
+        let can_send = next_send < n && inflight.len() < depth;
+        let can_recv = !inflight.is_empty();
+        let prefer_send = greed.get(g).copied().unwrap_or(true);
+        g += 1;
+        if can_send && (prefer_send || !can_recv) {
+            let id = conn.next_request_id();
+            conn.send_with_id(id, &msgs[next_send])
+                .expect("pipelined send");
+            inflight.insert(id, next_send);
+            next_send += 1;
+        } else {
+            let (id, msg) = conn.recv_tagged().expect("pipelined recv");
+            let idx = inflight
+                .remove(&id)
+                .unwrap_or_else(|| panic!("reply id {id} matches no in-flight request"));
+            replies[idx] = Some((msg.kind(), msg.encode()));
+            received += 1;
+        }
+    }
+    replies
+        .into_iter()
+        .map(|r| r.expect("every request answered"))
+        .collect()
+}
+
+/// Runs the same schedule pipelined and sequentially (against two fresh
+/// identical clusters) and asserts per-index byte equality.
+fn assert_differential(steps: &[Step], depth: usize, greed: &[bool]) {
+    // Sequential oracle.
+    let (oracle_server, oracle_addr) = ledger_server();
+    let (mut oracle_conn, upd, rd) = handshake(&oracle_addr);
+    let oracle_msgs = build_messages(steps, upd, rd);
+    let expected = run_schedule(&mut oracle_conn, &oracle_msgs, 1, &[]);
+    drop(oracle_conn);
+    oracle_server.stop();
+
+    // Pipelined run.
+    let (server, addr) = ledger_server();
+    let (mut conn, upd, rd) = handshake(&addr);
+    let msgs = build_messages(steps, upd, rd);
+    let got = run_schedule(&mut conn, &msgs, depth, greed);
+    drop(conn);
+    server.stop();
+
+    assert_eq!(expected.len(), got.len());
+    for (i, (want, have)) in expected.iter().zip(got.iter()).enumerate() {
+        assert_eq!(
+            want, have,
+            "request {i} ({:?}): pipelined reply diverges from sequential oracle",
+            steps[i]
+        );
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..ROWS, 1..5i64).prop_map(|(row, delta)| Step::Update { row, delta }),
+        // Resolved to an earlier update index (or itself degraded to a
+        // fresh update) in `normalize`.
+        (0usize..64).prop_map(|of| Step::Duplicate { of }),
+        (0..ROWS).prop_map(|row| Step::Read { row }),
+        Just(Step::UnknownTemplate),
+    ]
+}
+
+/// Rewrites each `Duplicate { of }` to reference an *earlier* `Update`
+/// step; where none exists it becomes a plain update (a duplicate needs
+/// an original).
+fn normalize(mut steps: Vec<Step>) -> Vec<Step> {
+    for i in 0..steps.len() {
+        if let Step::Duplicate { of } = steps[i] {
+            let originals: Vec<usize> = (0..i)
+                .filter(|&j| matches!(steps[j], Step::Update { .. }))
+                .collect();
+            steps[i] = if originals.is_empty() {
+                Step::Update { row: 0, delta: 1 }
+            } else {
+                Step::Duplicate {
+                    of: originals[of % originals.len()],
+                }
+            };
+        }
+    }
+    steps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole equivalence property: random schedules of updates,
+    /// duplicate retries, reads, and unknown-template errors, at random
+    /// window depths and send/recv interleavings, answer byte-identically
+    /// to the one-at-a-time oracle.
+    #[test]
+    fn pipelined_replies_match_sequential_oracle(
+        raw_steps in proptest::collection::vec(step_strategy(), 4..12),
+        depth in 2..8usize,
+        greed in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let steps = normalize(raw_steps);
+        assert_differential(&steps, depth, &greed);
+    }
+}
+
+/// A fixed, known-interesting schedule for quick smoke runs (CI's
+/// reactor-smoke job): every step kind, full window, duplicate of an
+/// already-answered and of a possibly-still-in-flight update.
+#[test]
+fn pipelined_differential_fixed_schedule() {
+    let steps = vec![
+        Step::Update { row: 0, delta: 3 },
+        Step::Read { row: 0 },
+        Step::Update { row: 1, delta: 2 },
+        Step::Duplicate { of: 0 },
+        Step::UnknownTemplate,
+        Step::Duplicate { of: 2 },
+        Step::Update { row: 0, delta: 1 },
+        Step::Read { row: 1 },
+        Step::Duplicate { of: 6 },
+        Step::Read { row: 0 },
+    ];
+    // All ten requests in flight at once, max send greed.
+    assert_differential(&steps, 10, &[true; 24]);
+    // And a ragged interleaving.
+    let greed = [
+        true, true, false, true, false, false, true, true, true, false, true, false, true, false,
+        false, true, false, true, true, false, true, false, false, true,
+    ];
+    assert_differential(&steps, 3, &greed);
+}

@@ -4,10 +4,19 @@
 //! sockets — the paper's middleware deployment, where clients and the
 //! replicated system do not share an address space.
 //!
+//! Server-side, all the shoppers' connections are multiplexed through one
+//! epoll reactor thread plus a small worker pool (DESIGN.md §13) — not a
+//! thread per connection — and every frame carries a request id, so a
+//! client could keep several transactions in flight on one connection
+//! (`RemoteSession::run_pipelined`); the shoppers here stay sequential
+//! because each models one human clicking through pages.
+//!
 //! The example re-execs itself with `--serve` as the server child, waits
 //! for its `LISTENING <addr>` handshake line, shops against it over TCP,
 //! audits the books remotely, and stops the server gracefully with the
-//! wire protocol's `StopServer` message.
+//! wire protocol's `StopServer` message (which rides the reactor's wakeup
+//! pipe: drain latency is bounded by the shutdown grace, not a poll
+//! cadence).
 //!
 //! Run with: `cargo run --release --example netstore`
 

@@ -26,7 +26,8 @@ use bargain::common::{
 use bargain::core::ConsistencyChecker;
 use bargain::net::{
     CertifierLinkConfig, CertifierServer, CertifierServerConfig, ChaosProxy, ConnectPolicy,
-    NetFaultPlan, NetServer, NetServerConfig, RemoteCertifierLink, RemoteSession,
+    Connection, Message, NetFaultPlan, NetServer, NetServerConfig, RemoteCertifierLink,
+    RemoteSession,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -970,14 +971,14 @@ fn drain_races_connect_storm_and_half_open_peer() {
     let addr = server.local_addr().to_string();
 
     // Half-open peer: a valid header promising a payload that never
-    // arrives. The connection thread blocks in the frame read; only the
-    // watchdog can unblock it.
+    // arrives. The reactor's incremental decoder parks mid-frame; only the
+    // drain deadline (or the mid-frame stall sweep) can reclaim it.
     let mut half_open = std::net::TcpStream::connect(&addr).unwrap();
     {
         use std::io::Write;
         let msg = bargain::net::Message::Stats;
         let frame =
-            bargain::net::frame::encode_frame(msg.kind(), &msg.encode()).expect("encode frame");
+            bargain::net::frame::encode_frame(msg.kind(), 1, &msg.encode()).expect("encode frame");
         half_open.write_all(&frame[..frame.len() - 2]).unwrap();
         half_open.flush().unwrap();
         // Kept open: no EOF for the server to notice.
@@ -1011,10 +1012,16 @@ fn drain_races_connect_storm_and_half_open_peer() {
     std::thread::sleep(Duration::from_millis(100));
     let stopped_at = Instant::now();
     server.stop();
+    // The waker pipe makes stop latency independent of the poll interval:
+    // the reactor observes the flag immediately, closes the listener, and
+    // force-closes the half-open peer at the 300ms drain deadline. The
+    // budget below is grace + worker/cluster teardown slack — far tighter
+    // than the old thread-per-connection bound, which had to wait out idle
+    // poll cadences on every blocked connection.
     assert!(
-        stopped_at.elapsed() < Duration::from_secs(10),
-        "stop must be bounded by poll interval + shutdown grace, not hang on \
-         half-open peers or the connect storm"
+        stopped_at.elapsed() < Duration::from_secs(3),
+        "stop must be bounded by the shutdown grace (waker-interrupted \
+         reactor), not hang on half-open peers or the connect storm"
     );
     stop_storm.store(true, Ordering::SeqCst);
     storm.join().unwrap();
@@ -1043,4 +1050,160 @@ fn ping_coexists_with_transactions_on_one_connection() {
     session.ping().expect("pong after transactions");
     assert_eq!(read_counter(&mut session, 0), 5);
     server.stop();
+}
+
+/// Backpressure isolation: a slow reader that pipelines a burst of
+/// fat-reply requests and then never reads a byte must not
+/// head-of-line-block other connections or the reactor thread. The
+/// reactor caps the stalled connection's reply queue
+/// (`max_conn_write_buffer`) and parks it — stops reading from and
+/// dispatching for that connection only — while everyone else keeps
+/// committing at full speed.
+#[test]
+fn slow_reader_cannot_head_of_line_block_other_connections() {
+    // ~12.8 MiB of replies against a 64 KiB server-side cap: the slow
+    // connection is guaranteed to park long before the burst is served.
+    const STALLED_REQUESTS: usize = 400;
+    const HEALTHY_CLIENTS: i64 = 2;
+    const HEALTHY_TXNS: i64 = 50;
+
+    let cluster = Cluster::start(ClusterConfig {
+        replicas: 2,
+        mode: ConsistencyMode::LazyCoarse,
+        ..ClusterConfig::default()
+    });
+    cluster.execute_ddl(LEDGER_DDL).unwrap();
+    cluster
+        .execute_ddl("CREATE TABLE blob (id INT PRIMARY KEY, data TEXT)")
+        .unwrap();
+    {
+        let mut admin = cluster.connect();
+        for id in 0..HEALTHY_CLIENTS {
+            admin
+                .run_sql(&[(
+                    "INSERT INTO ledger (id, val) VALUES (?, ?)",
+                    vec![Value::Int(id), Value::Int(0)],
+                )])
+                .expect("seed ledger row");
+        }
+        admin
+            .run_sql(&[(
+                "INSERT INTO blob (id, data) VALUES (?, ?)",
+                vec![Value::Int(0), Value::Text("x".repeat(32 * 1024))],
+            )])
+            .expect("seed blob row");
+    }
+    let server = NetServer::start_with_config(
+        "127.0.0.1:0",
+        cluster,
+        NetServerConfig {
+            poll_interval: Duration::from_millis(20),
+            // Tight reply-queue cap: the stalled connection parks after a
+            // couple of 32 KiB replies instead of buffering the whole
+            // burst in server memory.
+            max_conn_write_buffer: 64 * 1024,
+            // Long stall budget: this test is about backpressure, not the
+            // write-stall sweep reaping the connection mid-test.
+            write_timeout: Some(Duration::from_secs(60)),
+            shutdown_grace: Duration::from_millis(300),
+            ..NetServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    // The slow reader: handshake, prepare a fat-reply template, pipeline
+    // the burst of tagged requests, then go silent without reading a
+    // single reply byte.
+    let policy = chaos_policy();
+    let mut slow = Connection::connect(addr.as_str(), &policy).unwrap();
+    match slow.call(&Message::Hello).unwrap() {
+        Message::HelloAck { .. } => {}
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    match slow.call(&Message::OpenSession).unwrap() {
+        Message::SessionOpened { .. } => {}
+        other => panic!("expected SessionOpened, got {other:?}"),
+    }
+    let fat = match slow
+        .call(&Message::Prepare {
+            name: "slow.fat_read".into(),
+            sqls: vec!["SELECT data FROM blob WHERE id = ?".into()],
+        })
+        .unwrap()
+    {
+        Message::Prepared { template } => template,
+        other => panic!("expected Prepared, got {other:?}"),
+    };
+    for _ in 0..STALLED_REQUESTS {
+        let id = slow.next_request_id();
+        slow.send_with_id(
+            id,
+            &Message::Run {
+                template: fat,
+                params: vec![vec![Value::Int(0)]],
+                idem: None,
+            },
+        )
+        .expect("pipelined burst send");
+    }
+    // From here on the slow reader neither reads nor writes.
+
+    // Healthy clients on their own connections must make normal progress
+    // while the slow reader sits parked against the write-buffer cap.
+    let healthy_start = Instant::now();
+    let mut handles = Vec::new();
+    for k in 0..HEALTHY_CLIENTS {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut session = RemoteSession::connect(&addr).unwrap();
+            let incr = session
+                .prepare(
+                    "slow.incr",
+                    &["UPDATE ledger SET val = val + 1 WHERE id = ?"],
+                )
+                .unwrap();
+            for _ in 0..HEALTHY_TXNS {
+                let (outcome, _) = session.run(incr, vec![vec![Value::Int(k)]]).unwrap();
+                assert!(outcome.committed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        healthy_start.elapsed() < Duration::from_secs(20),
+        "healthy clients must not be head-of-line-blocked by a parked slow reader"
+    );
+
+    // The reactor thread itself is still responsive: a fresh connection's
+    // heartbeat answers promptly (Ping is handled inline on the reactor,
+    // so a wedged loop could not fake this).
+    let mut prober = RemoteSession::connect(&addr).unwrap();
+    let probe_at = Instant::now();
+    prober
+        .ping()
+        .expect("heartbeat while slow reader is parked");
+    assert!(
+        probe_at.elapsed() < Duration::from_secs(1),
+        "reactor heartbeat must stay prompt with a parked connection"
+    );
+    for k in 0..HEALTHY_CLIENTS {
+        assert_eq!(
+            read_counter(&mut prober, k),
+            HEALTHY_TXNS,
+            "every healthy increment lands despite the stalled neighbour"
+        );
+    }
+
+    // Drain force-closes the parked connection (undrained replies and
+    // all) at the grace deadline instead of waiting for it to read.
+    let stopped_at = Instant::now();
+    server.stop();
+    assert!(
+        stopped_at.elapsed() < Duration::from_secs(3),
+        "stop must not wait on a slow reader's unflushed replies"
+    );
+    drop(slow);
 }
