@@ -20,8 +20,9 @@ use bargain_common::{
     ConsistencyMode, Error, ReplicaId, Result, TableSet, TemplateId, TxnId, Version,
 };
 use bargain_core::{
-    CertifyDecision, CertifyRequest, FinishAction, LoadBalancer, LogRecord, Proxy, ProxyEvent,
-    Refresh, RoutedTxn, ShardedCertifier, StartDecision, StatementOutcome, TxnOutcome, TxnRequest,
+    AnyCertifier, CertifyDecision, CertifyRequest, FinishAction, LoadBalancer, LogRecord,
+    PendingBatch, Proxy, ProxyEvent, Refresh, RoutedTxn, StartDecision, StatementOutcome,
+    TxnOutcome, TxnRequest,
 };
 use bargain_sql::{execute_ddl, parse, QueryResult, Statement, TransactionTemplate};
 use bargain_storage::Engine;
@@ -56,6 +57,20 @@ pub struct ClusterConfig {
     /// keeps the legacy `certifier.wal` so existing durable clusters
     /// restart unchanged.
     pub shards: usize,
+    /// Run certification in the parallel execution mode
+    /// ([`bargain_core::ParallelShardedCertifier`]): each shard on its own
+    /// worker thread with a per-shard WAL flusher, decisions sequenced in
+    /// the identical total commit order as the sequential certifier, and
+    /// a batch's group-commit fsyncs overlapped with the next batch's
+    /// conflict checks. Meaningful at `shards > 1` on multi-core hosts;
+    /// semantically identical either way.
+    pub parallel_certifier: bool,
+    /// In parallel mode, a cap on how many shard WAL flushes may block in
+    /// the OS at once (`0` = one per shard, i.e. uncapped). On a single
+    /// disk, N concurrent fsyncs are slower than a few serialized ones —
+    /// the honest negative measured in BENCH_shards.json — so durable
+    /// single-disk deployments should set this to 1 or 2.
+    pub wal_flush_concurrency: usize,
 }
 
 impl Default for ClusterConfig {
@@ -65,6 +80,8 @@ impl Default for ClusterConfig {
             mode: ConsistencyMode::LazyFine,
             wal_dir: None,
             shards: 1,
+            parallel_certifier: false,
+            wal_flush_concurrency: 0,
         }
     }
 }
@@ -303,7 +320,7 @@ impl Cluster {
         // The certified writesets fast-forward every replica engine from
         // its checkpoint (the `setup` state) to the durable version.
         enum Backend {
-            Local(Box<ShardedCertifier>),
+            Local(Box<AnyCertifier>),
             Remote(Box<dyn CertifierLink>),
         }
         assert!(config.shards >= 1, "need at least one certifier shard");
@@ -327,9 +344,18 @@ impl Cluster {
                                         as Box<dyn bargain_core::CommitLog>
                                 })
                                 .collect();
-                        ShardedCertifier::with_logs(replica_ids.clone(), logs)
+                        AnyCertifier::with_logs(
+                            replica_ids.clone(),
+                            logs,
+                            config.parallel_certifier,
+                            config.wal_flush_concurrency,
+                        )
                     }
-                    None => ShardedCertifier::new(replica_ids.clone(), config.shards),
+                    None => AnyCertifier::new(
+                        replica_ids.clone(),
+                        config.shards,
+                        config.parallel_certifier,
+                    ),
                 };
                 certifier.set_eager(config.mode == ConsistencyMode::Eager);
                 let recovered = certifier.recover().expect("certifier log replays");
@@ -783,26 +809,29 @@ fn shard_wal_paths(dir: &std::path::Path, shards: usize) -> Vec<std::path::PathB
 }
 
 fn certifier_main(
-    mut certifier: ShardedCertifier,
+    mut certifier: AnyCertifier,
     rx: Receiver<CertifierRequest>,
     replicas: Vec<Sender<ToReplica>>,
 ) {
     // Group commit: every certify request sitting in the channel when the
     // thread comes around is certified as one batch, drained to the shard
-    // WALs with a single fsync per dirty shard (the per-shard flushes run
-    // in parallel inside `certify_batch`). Under load the batch grows with
+    // WALs with one fsync per dirty shard. Under load the batch grows with
     // the arrival rate (the classic group commit adaptivity); an idle
     // certifier still serves single requests with single-append latency.
-    let flush_batch = |certifier: &mut ShardedCertifier,
-                       batch: &mut Vec<CertifyRequest>,
-                       replicas: &Vec<Sender<ToReplica>>| {
-        if batch.is_empty() {
+    //
+    // The thread runs a 2-deep certify→flush pipeline: a batch's decisions
+    // are announced only once durable (`PendingBatch::wait`), but in the
+    // parallel execution mode the wait is deferred until after the *next*
+    // batch has been submitted, so batch k's group-commit fsyncs overlap
+    // batch k+1's conflict probes. At most one batch is ever pending, and
+    // decisions are announced strictly in submission (= commit) order.
+    let announce = |certifier: &AnyCertifier,
+                    replicas: &Vec<Sender<ToReplica>>,
+                    pending: &mut Option<(Vec<ReplicaId>, PendingBatch)>| {
+        let Some((origins, batch)) = pending.take() else {
             return;
-        }
-        let origins: Vec<ReplicaId> = batch.iter().map(|r| r.replica).collect();
-        let results = certifier
-            .certify_batch(std::mem::take(batch))
-            .expect("certify accepts");
+        };
+        let results = batch.wait().expect("certify accepts");
         for (origin, (decision, refreshes)) in origins.into_iter().zip(results) {
             for (target, refresh) in certifier.refresh_targets(origin).into_iter().zip(refreshes) {
                 let _ = replicas[target.index()].send(ToReplica::Refresh(refresh));
@@ -810,8 +839,41 @@ fn certifier_main(
             let _ = replicas[origin.index()].send(ToReplica::Decision(decision));
         }
     };
+    // Submit the accumulated batch, then announce the *previous* pending
+    // batch (its flush has been overlapping this submission) and leave the
+    // new one pending.
+    let submit = |certifier: &mut AnyCertifier,
+                  replicas: &Vec<Sender<ToReplica>>,
+                  batch: &mut Vec<CertifyRequest>,
+                  pending: &mut Option<(Vec<ReplicaId>, PendingBatch)>| {
+        if batch.is_empty() {
+            return;
+        }
+        let origins: Vec<ReplicaId> = batch.iter().map(|r| r.replica).collect();
+        let next = certifier.certify_batch_async(std::mem::take(batch));
+        announce(certifier, replicas, pending);
+        *pending = Some((origins, next));
+    };
 
-    'outer: while let Ok(first) = rx.recv() {
+    let mut pending: Option<(Vec<ReplicaId>, PendingBatch)> = None;
+    'outer: loop {
+        // With a batch in flight, don't block: if the channel is idle the
+        // pipeline drains immediately (nobody else will complete it), and
+        // only then does the thread park in `recv`.
+        let first = if pending.is_some() {
+            match rx.try_recv() {
+                Ok(msg) => msg,
+                Err(_) => {
+                    announce(&certifier, &replicas, &mut pending);
+                    continue;
+                }
+            }
+        } else {
+            match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            }
+        };
         // Drain whatever else is already queued behind the first message.
         let mut messages = vec![first];
         while let Ok(msg) = rx.try_recv() {
@@ -823,8 +885,10 @@ fn certifier_main(
                 CertifierRequest::Certify(req) => batch.push(req),
                 CertifierRequest::Applied { replica, version } => {
                     // Applied reports may depend on decisions queued before
-                    // them: flush first to preserve channel order.
-                    flush_batch(&mut certifier, &mut batch, &replicas);
+                    // them: complete the pipeline first to preserve channel
+                    // order.
+                    submit(&mut certifier, &replicas, &mut batch, &mut pending);
+                    announce(&certifier, &replicas, &mut pending);
                     if let Some((origin, txn)) = certifier.on_commit_applied(replica, version) {
                         let _ = replicas[origin.index()].send(ToReplica::GlobalCommit(txn));
                     }
@@ -833,13 +897,15 @@ fn certifier_main(
                 // sweep acknowledgement has nothing to fence.
                 CertifierRequest::SweepAck { .. } => {}
                 CertifierRequest::Shutdown => {
-                    flush_batch(&mut certifier, &mut batch, &replicas);
+                    submit(&mut certifier, &replicas, &mut batch, &mut pending);
+                    announce(&certifier, &replicas, &mut pending);
                     break 'outer;
                 }
             }
         }
-        flush_batch(&mut certifier, &mut batch, &replicas);
+        submit(&mut certifier, &replicas, &mut batch, &mut pending);
     }
+    announce(&certifier, &replicas, &mut pending);
 }
 
 fn lb_main(

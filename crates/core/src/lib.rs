@@ -47,5 +47,8 @@ pub use messages::{
     CertifyDecision, CertifyRequest, Refresh, RoutedTxn, StartDecision, TxnOutcome, TxnRequest,
 };
 pub use proxy::{FinishAction, Proxy, ProxyEvent, ProxyStats, StatementOutcome};
-pub use shard::{PartitionMap, ShardedCertifier, ShardingStats};
+pub use shard::{
+    AnyCertifier, ParallelShardedCertifier, PartitionMap, PendingBatch, ShardedCertifier,
+    ShardingStats,
+};
 pub use wal::{CommitLog, FileLog, LogRecord, MemoryLog};

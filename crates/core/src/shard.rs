@@ -58,13 +58,27 @@
 //! the sharded dedup state is observationally identical to the single
 //! certifier's global map even when a client's consecutive transactions
 //! touch different partitions.
+//!
+//! # Parallel execution mode
+//!
+//! [`ShardedCertifier`] partitions the *state* but still certifies every
+//! batch on the caller's thread. [`ParallelShardedCertifier`] is the same
+//! protocol run by a fleet of long-lived shard worker threads (one per
+//! shard, owning that shard's row index and history) and per-shard WAL
+//! flusher threads, behind a sequencer stage that keeps the decision
+//! stream **bit-identical** to the sequential certifier. See the type's
+//! docs for the phase structure and the ordering argument;
+//! `tests/proptest_sharded.rs` holds the two modes equal under random
+//! certify/replay/prune/recover schedules.
 
 use crate::certifier::{CertifierStats, ClientWindow, DedupVerdict};
 use crate::messages::{CertifyDecision, CertifyRequest, Refresh};
 use crate::wal::{CommitLog, LogRecord, MemoryLog};
-use bargain_common::{Error, ReplicaId, Result, TableId, TxnId, Value, Version, WriteSet};
+use bargain_common::{Error, IdemKey, ReplicaId, Result, TableId, TxnId, Value, Version, WriteSet};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// The static table → shard assignment. Involved-shard lists are always
 /// returned in ascending partition id: that order is the global lock order
@@ -791,6 +805,1273 @@ impl ShardedCertifier {
     }
 }
 
+// ----------------------------------------------------------------------
+// Parallel execution mode
+// ----------------------------------------------------------------------
+
+/// Parallel mode addresses shards by bit position in a `u64` mask.
+const MAX_PARALLEL_SHARDS: usize = 64;
+
+/// A certify request pre-split for the worker fleet: the writeset is
+/// `Arc`-shared (workers, flushers, histories, and refreshes all alias the
+/// same allocation) and the involved shards are a bitmask (bit `s` set =
+/// shard `s` owns at least one written row; an empty writeset is anchored
+/// at shard 0, matching [`PartitionMap::shards_of`]).
+struct PreparedReq {
+    txn: TxnId,
+    replica: ReplicaId,
+    snapshot: Version,
+    idem: Option<IdemKey>,
+    writeset: Arc<WriteSet>,
+    mask: u64,
+}
+
+/// What a shard worker learned about one request during the probe phase.
+/// Reported sparsely: requests with neither a pre-batch conflict nor
+/// in-batch predecessors at this shard are omitted from the reply.
+struct ReqProbe {
+    /// Index of the request within the batch.
+    idx: u32,
+    /// Newest pre-batch committed writer above the request's snapshot
+    /// among the rows this shard owns (exactly [`Shard::prepare`]'s
+    /// answer over the pre-batch state).
+    pre: Option<Version>,
+    /// Earlier requests of the same batch (batch indices) that wrote a row
+    /// this request also writes at this shard. Whether a predecessor
+    /// actually conflicts depends on the sequencer's decisions — an
+    /// aborted or deduplicated predecessor writes nothing — so the worker
+    /// reports *candidates* and the sequencer resolves them against the
+    /// decisions it has already made.
+    priors: Vec<u32>,
+}
+
+type ProbeReply = (usize, Vec<ReqProbe>);
+type CommitList = Arc<Vec<(u32, Version)>>;
+
+enum WorkerCmd {
+    /// Conflict-probe a batch against this shard's pre-batch state.
+    Probe {
+        batch: Arc<Vec<PreparedReq>>,
+        reply: mpsc::Sender<ProbeReply>,
+    },
+    /// Install the sequencer's commits (index + history). Fire-and-forget:
+    /// the per-worker channel is FIFO, so a later `Probe` always observes
+    /// the applied state.
+    Apply {
+        batch: Arc<Vec<PreparedReq>>,
+        commits: CommitList,
+    },
+    /// Drop retained history at or below the floor.
+    Prune {
+        floor: Version,
+    },
+    /// Crash recovery: replace all state with the merged durable prefix.
+    Reinstall {
+        records: Arc<Vec<LogRecord>>,
+        ack: mpsc::Sender<()>,
+    },
+    /// Serve the retained history above `after` (ring path of
+    /// `certified_since`).
+    HistorySince {
+        after: Version,
+        reply: mpsc::Sender<(usize, Vec<LogRecord>)>,
+    },
+    Shutdown,
+}
+
+enum FlushCmd {
+    /// Group-commit the batch's records owned by this shard and
+    /// acknowledge durability.
+    Flush {
+        batch: Arc<Vec<PreparedReq>>,
+        commits: CommitList,
+        ack: mpsc::Sender<Result<()>>,
+    },
+    /// Replay the shard log (recovery / deep `certified_since`). Doubles
+    /// as a barrier: queued flushes drain first (FIFO).
+    Replay {
+        reply: mpsc::Sender<(usize, Result<Vec<LogRecord>>)>,
+    },
+    /// Atomically truncate the log to exactly `records` (dense-prefix
+    /// recovery dropped a never-announced tail).
+    Rewrite {
+        records: Vec<LogRecord>,
+        ack: mpsc::Sender<Result<()>>,
+    },
+    Shutdown,
+}
+
+/// Caps how many WAL flushes run concurrently — the honest negative in
+/// BENCH_shards.json: on a single disk, N concurrent fsyncs are slower
+/// than a few, so the flusher fleet takes a permit before each blocking
+/// flush. Logs whose flush does not block (memory logs) skip the gate.
+struct FlushGate {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl FlushGate {
+    fn new(permits: usize) -> Self {
+        FlushGate {
+            permits: Mutex::new(permits.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut p = self.permits.lock().expect("flush gate lock");
+        while *p == 0 {
+            p = self.cv.wait(p).expect("flush gate wait");
+        }
+        *p -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().expect("flush gate lock") += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// The state a shard worker thread owns: this shard's slice of the row-
+/// version index and the retained history — the same per-shard state as
+/// [`Shard`], minus the log (owned by the shard's flusher thread) and the
+/// dedup window (mirrored at the sequencer, which decides dedup verdicts
+/// in commit order).
+struct WorkerState {
+    me: usize,
+    partition: PartitionMap,
+    row_index: HashMap<TableId, HashMap<Value, Version>>,
+    history: VecDeque<LogRecord>,
+}
+
+impl WorkerState {
+    fn probe(&self, batch: &[PreparedReq]) -> Vec<ReqProbe> {
+        let bit = 1u64 << self.me;
+        // Rows written by earlier requests of this batch at this shard →
+        // the batch indices that wrote them, in batch order.
+        let mut in_batch: HashMap<(TableId, &Value), Vec<u32>> = HashMap::new();
+        let mut out = Vec::new();
+        for (i, req) in batch.iter().enumerate() {
+            if req.mask & bit == 0 {
+                continue;
+            }
+            let i = i as u32;
+            let mut pre: Option<Version> = None;
+            let mut priors: Vec<u32> = Vec::new();
+            for entry in req.writeset.entries() {
+                if self.partition.shard_of_table(entry.table) != self.me {
+                    continue;
+                }
+                if let Some(&last) = self
+                    .row_index
+                    .get(&entry.table)
+                    .and_then(|rows| rows.get(&entry.key))
+                {
+                    if last > req.snapshot && pre.is_none_or(|n| last > n) {
+                        pre = Some(last);
+                    }
+                }
+                if let Some(writers) = in_batch.get(&(entry.table, &entry.key)) {
+                    for &w in writers {
+                        if !priors.contains(&w) {
+                            priors.push(w);
+                        }
+                    }
+                }
+            }
+            if pre.is_some() || !priors.is_empty() {
+                out.push(ReqProbe {
+                    idx: i,
+                    pre,
+                    priors,
+                });
+            }
+            for entry in req.writeset.entries() {
+                if self.partition.shard_of_table(entry.table) == self.me {
+                    in_batch
+                        .entry((entry.table, &entry.key))
+                        .or_default()
+                        .push(i);
+                }
+            }
+        }
+        out
+    }
+
+    /// Mirrors [`Shard::apply`] for every commit this shard is involved in.
+    fn apply_commits(&mut self, batch: &[PreparedReq], commits: &[(u32, Version)]) {
+        let bit = 1u64 << self.me;
+        for &(i, version) in commits {
+            let req = &batch[i as usize];
+            if req.mask & bit == 0 {
+                continue;
+            }
+            for row in req.writeset.entries() {
+                if self.partition.shard_of_table(row.table) != self.me {
+                    continue;
+                }
+                self.row_index
+                    .entry(row.table)
+                    .or_default()
+                    .insert(row.key.clone(), version);
+            }
+            self.history.push_back(LogRecord {
+                commit_version: version,
+                txn: req.txn,
+                origin: req.replica,
+                idem: req.idem,
+                writeset: Arc::clone(&req.writeset),
+            });
+        }
+    }
+
+    /// Mirrors [`Shard::prune_below`].
+    fn prune_below(&mut self, floor: Version) {
+        let mut pruned_any = false;
+        while let Some(front) = self.history.front() {
+            if front.commit_version > floor {
+                break;
+            }
+            let entry = self.history.pop_front().expect("front checked");
+            for row in entry.writeset.entries() {
+                if self.partition.shard_of_table(row.table) != self.me {
+                    continue;
+                }
+                if let Some(rows) = self.row_index.get_mut(&row.table) {
+                    if rows.get(&row.key) == Some(&entry.commit_version) {
+                        rows.remove(&row.key);
+                    }
+                }
+            }
+            pruned_any = true;
+        }
+        if pruned_any {
+            self.row_index.retain(|_, rows| !rows.is_empty());
+        }
+    }
+
+    fn reinstall(&mut self, records: &[LogRecord]) {
+        self.row_index.clear();
+        self.history.clear();
+        for rec in records {
+            let involved = if rec.writeset.is_empty() {
+                self.me == 0
+            } else {
+                rec.writeset
+                    .entries()
+                    .iter()
+                    .any(|e| self.partition.shard_of_table(e.table) == self.me)
+            };
+            if !involved {
+                continue;
+            }
+            for row in rec.writeset.entries() {
+                if self.partition.shard_of_table(row.table) != self.me {
+                    continue;
+                }
+                self.row_index
+                    .entry(row.table)
+                    .or_default()
+                    .insert(row.key.clone(), rec.commit_version);
+            }
+            self.history.push_back(rec.clone());
+        }
+    }
+
+    fn history_since(&self, after: Version) -> Vec<LogRecord> {
+        let mut out = Vec::new();
+        for rec in self.history.iter().rev() {
+            if rec.commit_version <= after {
+                break;
+            }
+            out.push(rec.clone());
+        }
+        out
+    }
+}
+
+fn worker_main(mut state: WorkerState, rx: mpsc::Receiver<WorkerCmd>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            WorkerCmd::Probe { batch, reply } => {
+                let _ = reply.send((state.me, state.probe(&batch)));
+            }
+            WorkerCmd::Apply { batch, commits } => state.apply_commits(&batch, &commits),
+            WorkerCmd::Prune { floor } => state.prune_below(floor),
+            WorkerCmd::Reinstall { records, ack } => {
+                state.reinstall(&records);
+                let _ = ack.send(());
+            }
+            WorkerCmd::HistorySince { after, reply } => {
+                let _ = reply.send((state.me, state.history_since(after)));
+            }
+            WorkerCmd::Shutdown => break,
+        }
+    }
+}
+
+fn flusher_main(
+    me: usize,
+    mut log: Box<dyn CommitLog>,
+    gate: Arc<FlushGate>,
+    rx: mpsc::Receiver<FlushCmd>,
+) {
+    let bit = 1u64 << me;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            FlushCmd::Flush {
+                batch,
+                commits,
+                ack,
+            } => {
+                let records: Vec<LogRecord> = commits
+                    .iter()
+                    .filter(|&&(i, _)| batch[i as usize].mask & bit != 0)
+                    .map(|&(i, version)| {
+                        let req = &batch[i as usize];
+                        LogRecord {
+                            commit_version: version,
+                            txn: req.txn,
+                            origin: req.replica,
+                            idem: req.idem,
+                            writeset: Arc::clone(&req.writeset),
+                        }
+                    })
+                    .collect();
+                let res = if records.is_empty() {
+                    Ok(())
+                } else if log.blocking_flush() {
+                    gate.acquire();
+                    let r = log.append_batch(&records);
+                    gate.release();
+                    r
+                } else {
+                    log.append_batch(&records)
+                };
+                let _ = ack.send(res);
+            }
+            FlushCmd::Replay { reply } => {
+                let _ = reply.send((me, log.replay()));
+            }
+            FlushCmd::Rewrite { records, ack } => {
+                let _ = ack.send(log.rewrite(&records));
+            }
+            FlushCmd::Shutdown => break,
+        }
+    }
+}
+
+struct WorkerHandle {
+    cmd: mpsc::Sender<WorkerCmd>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct FlusherHandle {
+    cmd: mpsc::Sender<FlushCmd>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// An in-flight certified batch: the decisions are final (the sequencer
+/// made them before returning), but the per-shard WAL group commits may
+/// still be running on the flusher threads. [`PendingBatch::wait`] blocks
+/// until every involved shard's flush has returned — only then may the
+/// decisions be announced. Holding one `PendingBatch` while submitting the
+/// next batch is the 2-deep certify→flush pipeline: batch `k`'s fsyncs
+/// overlap batch `k+1`'s conflict probes.
+#[must_use = "decisions may not be announced until wait() confirms durability"]
+pub struct PendingBatch {
+    results: Vec<(CertifyDecision, Vec<Refresh>)>,
+    error: Option<Error>,
+    acks: Option<(mpsc::Receiver<Result<()>>, usize)>,
+}
+
+impl PendingBatch {
+    /// An already-durable result (used by hosts that interleave sequential
+    /// and parallel certifiers behind one pipeline).
+    pub fn ready(results: Vec<(CertifyDecision, Vec<Refresh>)>) -> Self {
+        PendingBatch {
+            results,
+            error: None,
+            acks: None,
+        }
+    }
+
+    /// Blocks until every involved shard's group commit has returned, then
+    /// yields the decisions (or the first flush/validation error, flush
+    /// errors first — mirroring the sequential certifier, which drains its
+    /// buffers before surfacing a mid-batch validation error).
+    pub fn wait(self) -> Result<Vec<(CertifyDecision, Vec<Refresh>)>> {
+        if let Some((rx, n)) = self.acks {
+            for _ in 0..n {
+                rx.recv().map_err(|_| {
+                    Error::Protocol("parallel certifier: a WAL flusher died".into())
+                })??;
+            }
+        }
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.results),
+        }
+    }
+}
+
+/// The parallel execution mode of the partitioned certifier: the same
+/// protocol as [`ShardedCertifier`] (which remains the differential
+/// oracle), run by N long-lived shard worker threads and N per-shard WAL
+/// flusher threads behind a sequencer stage on the caller's thread.
+///
+/// A batch flows through four phases:
+///
+/// 1. **Split** (sequencer): writesets are `Arc`-wrapped and mapped to an
+///    involved-shard bitmask via the [`PartitionMap`].
+/// 2. **Probe** (parallel): every involved shard worker conflict-checks
+///    the whole batch against its own row index *as of the previous
+///    batch*, and reports, per request, the newest pre-batch conflict
+///    plus the in-batch predecessors that wrote one of the same rows.
+///    Single-partition transactions — the common case — are probed by
+///    exactly one worker each, so disjoint shards check concurrently; a
+///    cross-partition transaction is simply probed by every shard it
+///    touches (the ascending-shard two-phase handshake, expressed as
+///    messages: all prepare replies are collected before any decision).
+/// 3. **Sequence** (sequencer): requests are decided *in batch order* —
+///    validation, dedup window, then conflict resolution: a predecessor
+///    candidate counts only if the sequencer actually committed it, at
+///    its assigned version. Because every input to a decision (pre-batch
+///    conflicts from the probes, predecessor outcomes from this scan, the
+///    dedup mirror, `V_commit`) is resolved in the same order the
+///    sequential certifier resolves it, the decision stream and assigned
+///    versions are bit-identical.
+/// 4. **Apply + flush** (parallel): commits are installed by the involved
+///    workers (fire-and-forget — the per-worker FIFO guarantees a later
+///    probe sees them) and group-committed by the involved flushers,
+///    concurrent fsyncs capped by the flush gate. The returned
+///    [`PendingBatch`] is the durability barrier.
+pub struct ParallelShardedCertifier {
+    partition: PartitionMap,
+    replicas: Vec<ReplicaId>,
+    /// The sequencer's commit-version counter (same role as the
+    /// sequential certifier's).
+    v_commit: Version,
+    history_floor: Version,
+    /// Sequencer-side mirror of the per-shard dedup windows, indexed by
+    /// shard — entry-for-entry the state the sequential certifier keeps
+    /// inside each [`Shard`], kept here because dedup verdicts must be
+    /// decided in commit order.
+    dedup: Vec<HashMap<u64, ClientWindow>>,
+    eager_pending: HashMap<Version, EagerState>,
+    eager_enabled: bool,
+    stats: CertifierStats,
+    sharding: ShardingStats,
+    workers: Vec<WorkerHandle>,
+    flushers: Vec<FlusherHandle>,
+    probe_tx: mpsc::Sender<ProbeReply>,
+    probe_rx: mpsc::Receiver<ProbeReply>,
+}
+
+impl ParallelShardedCertifier {
+    /// A parallel sharded certifier with in-memory logs (tests, benches,
+    /// and hosts that model durability elsewhere).
+    #[must_use]
+    pub fn new(replicas: Vec<ReplicaId>, n_shards: usize) -> Self {
+        let logs = (0..n_shards)
+            .map(|_| Box::new(MemoryLog::new()) as Box<dyn CommitLog>)
+            .collect();
+        Self::with_logs(replicas, logs, 0)
+    }
+
+    /// A parallel sharded certifier over caller-provided durable logs, one
+    /// per shard. `flush_concurrency` caps how many blocking WAL flushes
+    /// run at once (`0` = one per shard, i.e. uncapped) — the lever for
+    /// the single-disk fsync contention documented in BENCH_shards.json.
+    #[must_use]
+    pub fn with_logs(
+        replicas: Vec<ReplicaId>,
+        logs: Vec<Box<dyn CommitLog>>,
+        flush_concurrency: usize,
+    ) -> Self {
+        assert!(!logs.is_empty(), "need at least one shard log");
+        assert!(
+            logs.len() <= MAX_PARALLEL_SHARDS,
+            "parallel mode supports at most {MAX_PARALLEL_SHARDS} shards"
+        );
+        let n = logs.len();
+        let partition = PartitionMap::new(n);
+        let mut workers = Vec::with_capacity(n);
+        for me in 0..n {
+            let (tx, rx) = mpsc::channel::<WorkerCmd>();
+            let state = WorkerState {
+                me,
+                partition: partition.clone(),
+                row_index: HashMap::new(),
+                history: VecDeque::new(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("bargain-certshard-{me}"))
+                .spawn(move || worker_main(state, rx))
+                .expect("spawn shard worker thread");
+            workers.push(WorkerHandle {
+                cmd: tx,
+                handle: Some(handle),
+            });
+        }
+        let cap = if flush_concurrency == 0 {
+            n
+        } else {
+            flush_concurrency
+        };
+        let gate = Arc::new(FlushGate::new(cap));
+        let mut flushers = Vec::with_capacity(n);
+        for (me, log) in logs.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<FlushCmd>();
+            let gate = Arc::clone(&gate);
+            let handle = std::thread::Builder::new()
+                .name(format!("bargain-certflush-{me}"))
+                .spawn(move || flusher_main(me, log, gate, rx))
+                .expect("spawn shard flusher thread");
+            flushers.push(FlusherHandle {
+                cmd: tx,
+                handle: Some(handle),
+            });
+        }
+        let (probe_tx, probe_rx) = mpsc::channel();
+        ParallelShardedCertifier {
+            partition,
+            replicas,
+            v_commit: Version::ZERO,
+            history_floor: Version::ZERO,
+            dedup: (0..n).map(|_| HashMap::new()).collect(),
+            eager_pending: HashMap::new(),
+            eager_enabled: false,
+            stats: CertifierStats::default(),
+            sharding: ShardingStats {
+                per_shard_records: vec![0; n],
+                ..ShardingStats::default()
+            },
+            workers,
+            flushers,
+            probe_tx,
+            probe_rx,
+        }
+    }
+
+    /// The table → shard assignment in force.
+    #[must_use]
+    pub fn partition(&self) -> &PartitionMap {
+        &self.partition
+    }
+
+    /// Number of certifier shards (= worker threads).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enables eager global-commit accounting.
+    pub fn set_eager(&mut self, enabled: bool) {
+        self.eager_enabled = enabled;
+    }
+
+    /// The latest certified version (the sequencer's `V_commit`).
+    #[must_use]
+    pub fn version(&self) -> Version {
+        self.v_commit
+    }
+
+    /// The single-certifier-compatible counters.
+    #[must_use]
+    pub fn stats(&self) -> CertifierStats {
+        self.stats
+    }
+
+    /// The sharding-specific counters.
+    #[must_use]
+    pub fn sharding_stats(&self) -> &ShardingStats {
+        &self.sharding
+    }
+
+    /// Number of distinct commit versions retained for conflict checking.
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        self.v_commit.gap_from(self.history_floor) as usize
+    }
+
+    /// Certifies one update transaction (a one-element
+    /// [`Self::certify_batch`]).
+    pub fn certify(&mut self, req: CertifyRequest) -> Result<(CertifyDecision, Vec<Refresh>)> {
+        let mut results = self.certify_batch(vec![req])?;
+        Ok(results.pop().expect("one request in, one result out"))
+    }
+
+    /// Certifies a batch and blocks until every involved shard's group
+    /// commit has flushed — the drop-in equivalent of
+    /// [`ShardedCertifier::certify_batch`]. Pipelining hosts use
+    /// [`Self::certify_batch_async`] instead.
+    pub fn certify_batch(
+        &mut self,
+        reqs: Vec<CertifyRequest>,
+    ) -> Result<Vec<(CertifyDecision, Vec<Refresh>)>> {
+        self.certify_batch_async(reqs).wait()
+    }
+
+    /// Certifies a batch without waiting for durability: decisions are
+    /// made (and all per-shard apply/flush work dispatched) before this
+    /// returns, but the WAL flushes complete in the background. The caller
+    /// must [`PendingBatch::wait`] before announcing any decision, and
+    /// must wait pending batches in submission order (decisions are
+    /// already in commit order; flush acks are per batch).
+    pub fn certify_batch_async(&mut self, reqs: Vec<CertifyRequest>) -> PendingBatch {
+        // Phase 1 — split: Arc-wrap writesets, compute involved-shard
+        // bitmasks.
+        let mut union_mask = 0u64;
+        let prepared: Vec<PreparedReq> = reqs
+            .into_iter()
+            .map(|req| {
+                let mut mask = 0u64;
+                if req.writeset.is_empty() {
+                    mask = 1; // anchored at shard 0, like shards_of
+                } else {
+                    for e in req.writeset.entries() {
+                        mask |= 1u64 << self.partition.shard_of_table(e.table);
+                    }
+                }
+                union_mask |= mask;
+                PreparedReq {
+                    txn: req.txn,
+                    replica: req.replica,
+                    snapshot: req.snapshot,
+                    idem: req.idem,
+                    writeset: Arc::new(req.writeset),
+                    mask,
+                }
+            })
+            .collect();
+        if prepared.is_empty() {
+            return PendingBatch::ready(Vec::new());
+        }
+        let batch = Arc::new(prepared);
+
+        // Phase 2 — probe: every involved shard conflict-checks the batch
+        // against its own state, concurrently.
+        let mut expected = 0usize;
+        for (s, w) in self.workers.iter().enumerate() {
+            if union_mask & (1u64 << s) != 0 {
+                w.cmd
+                    .send(WorkerCmd::Probe {
+                        batch: Arc::clone(&batch),
+                        reply: self.probe_tx.clone(),
+                    })
+                    .expect("shard worker alive");
+                expected += 1;
+            }
+        }
+        // (pre-batch conflict, in-batch predecessor candidates) per request
+        // index, merged across the involved shards.
+        let mut probes: HashMap<u32, (Option<Version>, Vec<u32>)> = HashMap::new();
+        for _ in 0..expected {
+            let (_, shard_probes) = self
+                .probe_rx
+                .recv()
+                .expect("shard worker alive during probe");
+            for p in shard_probes {
+                let e = probes.entry(p.idx).or_insert((None, Vec::new()));
+                if p.pre > e.0 {
+                    e.0 = p.pre;
+                }
+                e.1.extend(p.priors);
+            }
+        }
+
+        // Phase 3 — sequence: decide in batch order. Every input is
+        // resolved exactly as the sequential certifier resolves it, so
+        // decisions, versions, and stats are bit-identical.
+        let mut results = Vec::with_capacity(batch.len());
+        let mut error: Option<Error> = None;
+        let mut commits: Vec<(u32, Version)> = Vec::new();
+        let mut committed_at: Vec<Option<Version>> = vec![None; batch.len()];
+        let mut dirty_mask = 0u64;
+        for (i, req) in batch.iter().enumerate() {
+            if req.snapshot > self.v_commit {
+                error = Some(Error::Protocol(format!(
+                    "certify: snapshot {} is in the future of V_commit {}",
+                    req.snapshot, self.v_commit
+                )));
+                break;
+            }
+            if req.snapshot < self.history_floor {
+                error = Some(Error::Protocol(format!(
+                    "certify: snapshot {} is below the pruned history floor {}",
+                    req.snapshot, self.history_floor
+                )));
+                break;
+            }
+            if let Some(key) = req.idem {
+                match self.dedup_lookup(key.client, key.seq) {
+                    DedupVerdict::Duplicate {
+                        txn,
+                        commit_version,
+                    } => {
+                        self.stats.duplicates += 1;
+                        results.push((
+                            CertifyDecision::Duplicate {
+                                txn: req.txn,
+                                original: txn,
+                                commit_version,
+                            },
+                            Vec::new(),
+                        ));
+                        continue;
+                    }
+                    DedupVerdict::OutOfWindow { evicted_through } => {
+                        error = Some(Error::Protocol(format!(
+                            "certify: stale idempotency key {key} (dedup window evicted \
+                             through seq {evicted_through})"
+                        )));
+                        break;
+                    }
+                    DedupVerdict::Fresh => {}
+                }
+            }
+            if req.mask.count_ones() == 1 {
+                self.sharding.single_partition += 1;
+            } else {
+                self.sharding.cross_partition += 1;
+            }
+            // Resolve the probe report into the exact conflict the
+            // sequential certifier would compute: the newest of the
+            // pre-batch conflict and the *committed* in-batch predecessors
+            // above the snapshot.
+            let mut conflict: Option<Version> = None;
+            if let Some((pre, priors)) = probes.get(&(i as u32)) {
+                conflict = *pre;
+                for &j in priors {
+                    if let Some(v) = committed_at[j as usize] {
+                        if v > req.snapshot && conflict.is_none_or(|n| v > n) {
+                            conflict = Some(v);
+                        }
+                    }
+                }
+            }
+            if let Some(conflicting_version) = conflict {
+                self.stats.aborts += 1;
+                results.push((
+                    CertifyDecision::Abort {
+                        txn: req.txn,
+                        conflicting_version,
+                    },
+                    Vec::new(),
+                ));
+                continue;
+            }
+            let commit_version = self.v_commit.next();
+            self.v_commit = commit_version;
+            committed_at[i] = Some(commit_version);
+            commits.push((i as u32, commit_version));
+            dirty_mask |= req.mask;
+            let mut m = req.mask;
+            while m != 0 {
+                self.sharding.per_shard_records[m.trailing_zeros() as usize] += 1;
+                m &= m - 1;
+            }
+            if let Some(key) = req.idem {
+                // The dedup entry lives at the lowest involved shard.
+                self.dedup[req.mask.trailing_zeros() as usize]
+                    .entry(key.client)
+                    .or_default()
+                    .record(key.seq, req.txn, commit_version);
+            }
+            if self.eager_enabled {
+                self.eager_pending.insert(
+                    commit_version,
+                    EagerState {
+                        origin: req.replica,
+                        txn: req.txn,
+                        applied: Vec::new(),
+                    },
+                );
+            }
+            self.stats.commits += 1;
+            let n_targets = self.replicas.iter().filter(|&&r| r != req.replica).count();
+            self.stats.refreshes_sent += n_targets as u64;
+            let refreshes: Vec<Refresh> = (0..n_targets)
+                .map(|_| Refresh {
+                    origin: req.replica,
+                    txn: req.txn,
+                    commit_version,
+                    writeset: Arc::clone(&req.writeset),
+                })
+                .collect();
+            results.push((
+                CertifyDecision::Commit {
+                    txn: req.txn,
+                    commit_version,
+                },
+                refreshes,
+            ));
+        }
+
+        // Phase 4 — apply + flush, dispatched to the involved shards.
+        let mut acks = None;
+        if !commits.is_empty() {
+            let commits: CommitList = Arc::new(commits);
+            let (ack_tx, ack_rx) = mpsc::channel();
+            let mut n_acks = 0usize;
+            let mut m = dirty_mask;
+            while m != 0 {
+                let s = m.trailing_zeros() as usize;
+                self.workers[s]
+                    .cmd
+                    .send(WorkerCmd::Apply {
+                        batch: Arc::clone(&batch),
+                        commits: Arc::clone(&commits),
+                    })
+                    .expect("shard worker alive");
+                self.flushers[s]
+                    .cmd
+                    .send(FlushCmd::Flush {
+                        batch: Arc::clone(&batch),
+                        commits: Arc::clone(&commits),
+                        ack: ack_tx.clone(),
+                    })
+                    .expect("shard flusher alive");
+                n_acks += 1;
+                m &= m - 1;
+            }
+            acks = Some((ack_rx, n_acks));
+        }
+        PendingBatch {
+            results,
+            error,
+            acks,
+        }
+    }
+
+    /// The dedup verdict for `(client, seq)` across the per-shard windows
+    /// — identical logic to [`ShardedCertifier`]'s cross-shard lookup
+    /// (exact hit at any shard wins; otherwise the highest eviction floor
+    /// decides fresh vs out-of-window).
+    fn dedup_lookup(&self, client: u64, seq: u64) -> DedupVerdict {
+        let mut floor: Option<u64> = None;
+        for windows in &self.dedup {
+            if let Some(win) = windows.get(&client) {
+                match win.lookup(seq) {
+                    d @ DedupVerdict::Duplicate { .. } => return d,
+                    DedupVerdict::OutOfWindow { evicted_through } => {
+                        floor = Some(floor.map_or(evicted_through, |f| f.max(evicted_through)));
+                    }
+                    DedupVerdict::Fresh => {}
+                }
+            }
+        }
+        match floor {
+            Some(evicted_through) => DedupVerdict::OutOfWindow { evicted_through },
+            None => DedupVerdict::Fresh,
+        }
+    }
+
+    /// The replicas a refresh fan-out targets, in replica order.
+    #[must_use]
+    pub fn refresh_targets(&self, origin: ReplicaId) -> Vec<ReplicaId> {
+        self.replicas
+            .iter()
+            .copied()
+            .filter(|&r| r != origin)
+            .collect()
+    }
+
+    /// Eager mode: a replica reports it applied the commit at `version`.
+    pub fn on_commit_applied(
+        &mut self,
+        replica: ReplicaId,
+        version: Version,
+    ) -> Option<(ReplicaId, TxnId)> {
+        let n = self.replicas.len();
+        let state = self.eager_pending.get_mut(&version)?;
+        if !state.applied.contains(&replica) {
+            state.applied.push(replica);
+        }
+        if state.applied.len() >= n {
+            let state = self.eager_pending.remove(&version).expect("present");
+            Some((state.origin, state.txn))
+        } else {
+            None
+        }
+    }
+
+    /// Eager mode, post-crash re-synchronization (identical semantics to
+    /// the sequential certifiers).
+    pub fn on_replica_hello(
+        &mut self,
+        replica: ReplicaId,
+        v_local: Version,
+    ) -> Vec<(ReplicaId, TxnId)> {
+        if !self.eager_enabled {
+            return Vec::new();
+        }
+        let n = self.replicas.len();
+        let mut completed: Vec<Version> = Vec::new();
+        let mut versions: Vec<Version> = self
+            .eager_pending
+            .keys()
+            .copied()
+            .filter(|&v| v <= v_local)
+            .collect();
+        versions.sort_unstable();
+        for v in versions {
+            let state = self.eager_pending.get_mut(&v).expect("present");
+            if !state.applied.contains(&replica) {
+                state.applied.push(replica);
+            }
+            if state.applied.len() >= n {
+                completed.push(v);
+            }
+        }
+        completed
+            .into_iter()
+            .map(|v| {
+                let state = self.eager_pending.remove(&v).expect("present");
+                (state.origin, state.txn)
+            })
+            .collect()
+    }
+
+    /// Prunes conflict-check history at or below `floor` across all shard
+    /// workers. Fire-and-forget: the per-worker FIFO orders the prune
+    /// before any later probe.
+    pub fn prune(&mut self, floor: Version) {
+        let new_floor = floor.min(self.v_commit);
+        if new_floor <= self.history_floor {
+            return;
+        }
+        self.stats.pruned += new_floor.gap_from(self.history_floor);
+        self.history_floor = new_floor;
+        for w in &self.workers {
+            w.cmd
+                .send(WorkerCmd::Prune { floor: new_floor })
+                .expect("shard worker alive");
+        }
+    }
+
+    /// Rebuilds the state from the shard logs (crash recovery): the
+    /// flushers replay their logs (a barrier — queued flushes drain
+    /// first), the sequencer merges the records and keeps the longest
+    /// dense prefix, every worker reinstalls it, and logs holding records
+    /// beyond the prefix are physically truncated. Identical merge and
+    /// truncation rules to [`ShardedCertifier::recover`]. Returns the
+    /// number of records recovered.
+    pub fn recover(&mut self) -> Result<usize> {
+        let n = self.flushers.len();
+        let (tx, rx) = mpsc::channel();
+        for f in &self.flushers {
+            f.cmd
+                .send(FlushCmd::Replay { reply: tx.clone() })
+                .map_err(|_| Error::Protocol("parallel certifier: a WAL flusher died".into()))?;
+        }
+        drop(tx);
+        let mut replayed_len = vec![0usize; n];
+        let mut by_version: BTreeMap<Version, LogRecord> = BTreeMap::new();
+        for _ in 0..n {
+            let (s, res) = rx
+                .recv()
+                .map_err(|_| Error::Protocol("parallel certifier: a WAL flusher died".into()))?;
+            let records = res?;
+            replayed_len[s] = records.len();
+            for rec in records {
+                by_version.entry(rec.commit_version).or_insert(rec);
+            }
+        }
+        // The dense prefix from version 1.
+        let mut merged: Vec<LogRecord> = Vec::new();
+        let mut v = Version::ZERO;
+        while let Some(rec) = by_version.remove(&v.next()) {
+            v = v.next();
+            merged.push(rec);
+        }
+        let dropped = !by_version.is_empty();
+        // Reset the sequencer, reinstall at every worker.
+        self.v_commit = Version::ZERO;
+        self.history_floor = Version::ZERO;
+        self.eager_pending.clear();
+        for windows in &mut self.dedup {
+            windows.clear();
+        }
+        let records = Arc::new(merged);
+        let (ack_tx, ack_rx) = mpsc::channel();
+        for w in &self.workers {
+            w.cmd
+                .send(WorkerCmd::Reinstall {
+                    records: Arc::clone(&records),
+                    ack: ack_tx.clone(),
+                })
+                .expect("shard worker alive");
+        }
+        drop(ack_tx);
+        for _ in 0..self.workers.len() {
+            ack_rx
+                .recv()
+                .map_err(|_| Error::Protocol("parallel certifier: a shard worker died".into()))?;
+        }
+        for rec in records.iter() {
+            let involved = self.partition.shards_of(&rec.writeset);
+            if let Some(key) = rec.idem {
+                self.dedup[involved[0]]
+                    .entry(key.client)
+                    .or_default()
+                    .record(key.seq, rec.txn, rec.commit_version);
+            }
+            if self.eager_enabled {
+                self.eager_pending.insert(
+                    rec.commit_version,
+                    EagerState {
+                        origin: rec.origin,
+                        txn: rec.txn,
+                        applied: Vec::new(),
+                    },
+                );
+            }
+            self.v_commit = rec.commit_version;
+        }
+        if dropped {
+            // A shard whose kept records are fewer than it replayed holds
+            // a never-announced tail: truncate it.
+            let (rw_tx, rw_rx) = mpsc::channel();
+            let mut expected = 0usize;
+            for (s, f) in self.flushers.iter().enumerate() {
+                let keep: Vec<LogRecord> = records
+                    .iter()
+                    .filter(|rec| self.partition.shards_of(&rec.writeset).contains(&s))
+                    .cloned()
+                    .collect();
+                if keep.len() != replayed_len[s] {
+                    f.cmd
+                        .send(FlushCmd::Rewrite {
+                            records: keep,
+                            ack: rw_tx.clone(),
+                        })
+                        .expect("shard flusher alive");
+                    expected += 1;
+                }
+            }
+            drop(rw_tx);
+            for _ in 0..expected {
+                rw_rx.recv().map_err(|_| {
+                    Error::Protocol("parallel certifier: a WAL flusher died".into())
+                })??;
+            }
+        }
+        Ok(records.len())
+    }
+
+    /// Every durable commit with a version strictly above `after`, in
+    /// version order, merged across shards — the ring path asks the
+    /// workers for their retained histories, the deep path replays the
+    /// shard logs at the flushers.
+    pub fn certified_since(&mut self, after: Version) -> Result<Vec<LogRecord>> {
+        let mut by_version: BTreeMap<Version, LogRecord> = BTreeMap::new();
+        if after >= self.history_floor {
+            let (tx, rx) = mpsc::channel();
+            for w in &self.workers {
+                w.cmd
+                    .send(WorkerCmd::HistorySince {
+                        after,
+                        reply: tx.clone(),
+                    })
+                    .expect("shard worker alive");
+            }
+            drop(tx);
+            for _ in 0..self.workers.len() {
+                let (_, recs) = rx.recv().map_err(|_| {
+                    Error::Protocol("parallel certifier: a shard worker died".into())
+                })?;
+                for rec in recs {
+                    by_version.entry(rec.commit_version).or_insert(rec);
+                }
+            }
+        } else {
+            let (tx, rx) = mpsc::channel();
+            for f in &self.flushers {
+                f.cmd
+                    .send(FlushCmd::Replay { reply: tx.clone() })
+                    .map_err(|_| {
+                        Error::Protocol("parallel certifier: a WAL flusher died".into())
+                    })?;
+            }
+            drop(tx);
+            for _ in 0..self.flushers.len() {
+                let (_, res) = rx.recv().map_err(|_| {
+                    Error::Protocol("parallel certifier: a WAL flusher died".into())
+                })?;
+                for rec in res? {
+                    if rec.commit_version > after {
+                        by_version.entry(rec.commit_version).or_insert(rec);
+                    }
+                }
+            }
+        }
+        Ok(by_version.into_values().collect())
+    }
+}
+
+impl Drop for ParallelShardedCertifier {
+    /// Graceful teardown: queued apply/flush work drains first (the
+    /// channels are FIFO), then the fleet joins.
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.cmd.send(WorkerCmd::Shutdown);
+        }
+        for f in &self.flushers {
+            let _ = f.cmd.send(FlushCmd::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+        for f in &mut self.flushers {
+            if let Some(h) = f.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Either certifier execution mode behind one dispatch surface, so hosts
+/// (the cluster runtime's certifier thread, the network certifier server)
+/// drive sequential and parallel certification through the same pipeline
+/// code path.
+pub enum AnyCertifier {
+    /// The sequential sharded certifier (also the differential oracle).
+    Sequential(ShardedCertifier),
+    /// The parallel worker-fleet execution mode.
+    Parallel(ParallelShardedCertifier),
+}
+
+impl AnyCertifier {
+    /// Builds the requested execution mode with in-memory logs.
+    #[must_use]
+    pub fn new(replicas: Vec<ReplicaId>, n_shards: usize, parallel: bool) -> Self {
+        if parallel {
+            AnyCertifier::Parallel(ParallelShardedCertifier::new(replicas, n_shards))
+        } else {
+            AnyCertifier::Sequential(ShardedCertifier::new(replicas, n_shards))
+        }
+    }
+
+    /// Builds the requested execution mode over caller-provided logs.
+    /// `flush_concurrency` caps concurrent blocking WAL flushes in
+    /// parallel mode (`0` = uncapped); the sequential mode ignores it
+    /// (its flushes are scoped to the batch).
+    #[must_use]
+    pub fn with_logs(
+        replicas: Vec<ReplicaId>,
+        logs: Vec<Box<dyn CommitLog>>,
+        parallel: bool,
+        flush_concurrency: usize,
+    ) -> Self {
+        if parallel {
+            AnyCertifier::Parallel(ParallelShardedCertifier::with_logs(
+                replicas,
+                logs,
+                flush_concurrency,
+            ))
+        } else {
+            AnyCertifier::Sequential(ShardedCertifier::with_logs(replicas, logs))
+        }
+    }
+
+    /// Enables eager global-commit accounting.
+    pub fn set_eager(&mut self, enabled: bool) {
+        match self {
+            AnyCertifier::Sequential(c) => c.set_eager(enabled),
+            AnyCertifier::Parallel(c) => c.set_eager(enabled),
+        }
+    }
+
+    /// The latest certified version.
+    #[must_use]
+    pub fn version(&self) -> Version {
+        match self {
+            AnyCertifier::Sequential(c) => c.version(),
+            AnyCertifier::Parallel(c) => c.version(),
+        }
+    }
+
+    /// The single-certifier-compatible counters.
+    #[must_use]
+    pub fn stats(&self) -> CertifierStats {
+        match self {
+            AnyCertifier::Sequential(c) => c.stats(),
+            AnyCertifier::Parallel(c) => c.stats(),
+        }
+    }
+
+    /// Certifies a batch, blocking until durable.
+    pub fn certify_batch(
+        &mut self,
+        reqs: Vec<CertifyRequest>,
+    ) -> Result<Vec<(CertifyDecision, Vec<Refresh>)>> {
+        match self {
+            AnyCertifier::Sequential(c) => c.certify_batch(reqs),
+            AnyCertifier::Parallel(c) => c.certify_batch(reqs),
+        }
+    }
+
+    /// Certifies a batch without waiting for durability. The sequential
+    /// mode certifies and flushes inline, returning an already-complete
+    /// [`PendingBatch`]; the parallel mode overlaps its flushes with the
+    /// caller's next batch. Either way the caller announces only after
+    /// [`PendingBatch::wait`], in submission order.
+    pub fn certify_batch_async(&mut self, reqs: Vec<CertifyRequest>) -> PendingBatch {
+        match self {
+            AnyCertifier::Sequential(c) => match c.certify_batch(reqs) {
+                Ok(results) => PendingBatch::ready(results),
+                Err(e) => PendingBatch {
+                    results: Vec::new(),
+                    error: Some(e),
+                    acks: None,
+                },
+            },
+            AnyCertifier::Parallel(c) => c.certify_batch_async(reqs),
+        }
+    }
+
+    /// The replicas a refresh fan-out targets, in replica order.
+    #[must_use]
+    pub fn refresh_targets(&self, origin: ReplicaId) -> Vec<ReplicaId> {
+        match self {
+            AnyCertifier::Sequential(c) => c.refresh_targets(origin),
+            AnyCertifier::Parallel(c) => c.refresh_targets(origin),
+        }
+    }
+
+    /// Eager mode: a replica reports it applied the commit at `version`.
+    pub fn on_commit_applied(
+        &mut self,
+        replica: ReplicaId,
+        version: Version,
+    ) -> Option<(ReplicaId, TxnId)> {
+        match self {
+            AnyCertifier::Sequential(c) => c.on_commit_applied(replica, version),
+            AnyCertifier::Parallel(c) => c.on_commit_applied(replica, version),
+        }
+    }
+
+    /// Rebuilds the state from the shard logs (crash recovery).
+    pub fn recover(&mut self) -> Result<usize> {
+        match self {
+            AnyCertifier::Sequential(c) => c.recover(),
+            AnyCertifier::Parallel(c) => c.recover(),
+        }
+    }
+
+    /// Every durable commit strictly above `after`, in version order.
+    pub fn certified_since(&mut self, after: Version) -> Result<Vec<LogRecord>> {
+        match self {
+            AnyCertifier::Sequential(c) => c.certified_since(after),
+            AnyCertifier::Parallel(c) => c.certified_since(after),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1146,5 +2427,262 @@ mod tests {
         assert_eq!(sharded.version(), oracle.version());
         assert_eq!(sharded.stats(), oracle.stats());
         assert_eq!(sharded.sharding_stats().cross_partition, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel execution mode
+    // ------------------------------------------------------------------
+
+    /// Drives the same batches through the sequential oracle and the
+    /// parallel certifier and asserts decision-, refresh-, stats-, and
+    /// record-identicality after every batch.
+    fn assert_parallel_matches(n_shards: usize, batches: Vec<Vec<CertifyRequest>>) {
+        let mut oracle = ShardedCertifier::new(replicas(3), n_shards);
+        let mut par = ParallelShardedCertifier::new(replicas(3), n_shards);
+        for batch in batches {
+            let want = oracle.certify_batch(batch.clone());
+            let got = par.certify_batch(batch);
+            match (&want, &got) {
+                (Ok(w), Ok(g)) => assert_eq!(w, g),
+                (Err(w), Err(g)) => assert_eq!(w.to_string(), g.to_string()),
+                _ => panic!("oracle said {want:?}, parallel said {got:?}"),
+            }
+            assert_eq!(par.version(), oracle.version());
+            assert_eq!(par.stats(), oracle.stats());
+            assert_eq!(par.sharding_stats(), oracle.sharding_stats());
+            assert_eq!(par.history_len(), oracle.history_len());
+        }
+        assert_eq!(
+            par.certified_since(Version::ZERO).unwrap(),
+            oracle.certified_since(Version::ZERO).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_mixed_batches() {
+        assert_parallel_matches(
+            4,
+            vec![
+                vec![
+                    req(1, 0, 0, ws(&[(0, 1)])),
+                    req(2, 1, 0, ws(&[(1, 1)])),
+                    // In-batch conflict with txn 1's row.
+                    req(3, 2, 0, ws(&[(0, 1)])),
+                    // Cross-partition commit.
+                    req(4, 0, 0, ws(&[(2, 1), (3, 1)])),
+                    // Vacuous commit, anchored at shard 0.
+                    req(5, 1, 0, WriteSet::new()),
+                ],
+                vec![
+                    keyed(req(6, 0, 3, ws(&[(0, 9), (1, 9)])), 7, 0),
+                    // Exact keyed duplicate of txn 6.
+                    keyed(req(7, 1, 3, ws(&[(0, 9), (1, 9)])), 7, 0),
+                    // Pre-batch conflict with txn 1 (previous batch).
+                    req(8, 2, 0, ws(&[(0, 1)])),
+                ],
+            ],
+        );
+    }
+
+    #[test]
+    fn parallel_resolves_aborted_in_batch_priors() {
+        // txn 2 conflicts with txn 1 (same batch) and aborts; txn 3 shares
+        // a row only with *aborted* txn 2, so it must commit — the
+        // sequencer must resolve in-batch predecessor candidates against
+        // its own decisions, not against who merely wrote the row.
+        let mut par = ParallelShardedCertifier::new(replicas(2), 4);
+        let out = par
+            .certify_batch(vec![
+                req(1, 0, 0, ws(&[(0, 1)])),
+                req(2, 0, 0, ws(&[(0, 1), (0, 2)])),
+                req(3, 0, 0, ws(&[(0, 2)])),
+            ])
+            .unwrap();
+        assert_eq!(
+            out[0].0,
+            CertifyDecision::Commit {
+                txn: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
+        assert_eq!(
+            out[1].0,
+            CertifyDecision::Abort {
+                txn: TxnId(2),
+                conflicting_version: Version(1)
+            }
+        );
+        assert_eq!(
+            out[2].0,
+            CertifyDecision::Commit {
+                txn: TxnId(3),
+                commit_version: Version(2)
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_async_batches_pipeline_in_submission_order() {
+        let mut par = ParallelShardedCertifier::new(replicas(3), 4);
+        // Submit batch 2 while batch 1's flush is still pending: the
+        // second probe must observe the first batch's applied state.
+        let p1 = par.certify_batch_async(vec![req(1, 0, 0, ws(&[(0, 1)]))]);
+        let p2 = par.certify_batch_async(vec![
+            req(2, 1, 0, ws(&[(0, 1)])),
+            req(3, 1, 1, ws(&[(1, 4)])),
+        ]);
+        let r1 = p1.wait().unwrap();
+        let r2 = p2.wait().unwrap();
+        assert_eq!(
+            r1[0].0,
+            CertifyDecision::Commit {
+                txn: TxnId(1),
+                commit_version: Version(1)
+            }
+        );
+        assert_eq!(
+            r2[0].0,
+            CertifyDecision::Abort {
+                txn: TxnId(2),
+                conflicting_version: Version(1)
+            }
+        );
+        assert_eq!(
+            r2[1].0,
+            CertifyDecision::Commit {
+                txn: TxnId(3),
+                commit_version: Version(2)
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_mid_batch_error_flushes_prior_decisions() {
+        let mut par = ParallelShardedCertifier::new(replicas(2), 2);
+        let err = par
+            .certify_batch(vec![
+                req(1, 0, 0, ws(&[(0, 1)])),
+                req(2, 0, 99, ws(&[(1, 1)])),
+            ])
+            .unwrap_err();
+        assert!(err.to_string().contains("future of V_commit"), "{err}");
+        // The decision made before the error is durable: it survives a
+        // full state rebuild from the shard logs.
+        assert_eq!(par.recover().unwrap(), 1);
+        assert_eq!(par.version(), Version(1));
+    }
+
+    #[test]
+    fn parallel_recover_prune_and_replay_match_sequential() {
+        let mut oracle = ShardedCertifier::new(replicas(2), 4);
+        let mut par = ParallelShardedCertifier::new(replicas(2), 4);
+        let batch: Vec<CertifyRequest> = (1..=6)
+            .map(|i| keyed(req(i, 0, 0, ws(&[(i as u32 % 8, i as i64)])), 9, i))
+            .collect();
+        oracle.certify_batch(batch.clone()).unwrap();
+        par.certify_batch(batch).unwrap();
+        oracle.prune(Version(4));
+        par.prune(Version(4));
+        assert_eq!(par.history_len(), oracle.history_len());
+        // A snapshot below the pruned floor errs identically.
+        let e1 = oracle.certify(req(7, 0, 3, ws(&[(0, 99)]))).unwrap_err();
+        let e2 = par.certify(req(7, 0, 3, ws(&[(0, 99)]))).unwrap_err();
+        assert_eq!(e1.to_string(), e2.to_string());
+        // Recovery rebuilds from the shard logs; the dedup windows come
+        // back and a keyed replay is answered at its original version.
+        assert_eq!(par.recover().unwrap(), oracle.recover().unwrap());
+        assert_eq!(par.version(), oracle.version());
+        assert_eq!(
+            par.certified_since(Version::ZERO).unwrap(),
+            oracle.certified_since(Version::ZERO).unwrap()
+        );
+        let w = oracle
+            .certify(keyed(req(8, 1, 6, ws(&[(2, 2)])), 9, 2))
+            .unwrap();
+        let g = par
+            .certify(keyed(req(8, 1, 6, ws(&[(2, 2)])), 9, 2))
+            .unwrap();
+        assert_eq!(w, g);
+        assert_eq!(
+            w.0,
+            CertifyDecision::Duplicate {
+                txn: TxnId(8),
+                original: TxnId(2),
+                commit_version: Version(2)
+            }
+        );
+    }
+
+    #[test]
+    fn dedup_cross_shard_eviction_floor_at_boundary() {
+        use crate::certifier::DEDUP_WINDOW;
+        let n = DEDUP_WINDOW as u64;
+        // Client 42's entries spread over two owner shards with different
+        // eviction floors. Shard 0 (table 0) holds seqs 100.. with 11
+        // evictions (floor 110); shard 1 (table 1) holds seqs 0.. with 6
+        // evictions (floor 5).
+        let mut sharded = ShardedCertifier::new(replicas(1), 2);
+        let mut par = ParallelShardedCertifier::new(replicas(1), 2);
+        let mut t = 0u64;
+        let run = |table: u32, seqs: std::ops::Range<u64>, t: &mut u64| {
+            let reqs: Vec<CertifyRequest> = seqs
+                .map(|seq| {
+                    *t += 1;
+                    keyed(req(*t, 0, 0, ws(&[(table, *t as i64)])), 42, seq)
+                })
+                .collect();
+            (reqs.clone(), reqs)
+        };
+        // Low seqs first: once shard 0's floor reaches 110, any new seq at
+        // or below it would be rejected outright by the cross-shard floor.
+        let (a, b) = run(1, 0..n + 6, &mut t);
+        sharded.certify_batch(a).unwrap();
+        par.certify_batch(b).unwrap();
+        let (a, b) = run(0, 100..100 + n + 11, &mut t);
+        sharded.certify_batch(a).unwrap();
+        par.certify_batch(b).unwrap();
+
+        // Boundary: the floor seq itself is out-of-window; floor + 1 is
+        // the oldest surviving entry and still answers Duplicate.
+        assert_eq!(
+            sharded.dedup_lookup(42, 110),
+            DedupVerdict::OutOfWindow {
+                evicted_through: 110
+            }
+        );
+        assert!(matches!(
+            sharded.dedup_lookup(42, 111),
+            DedupVerdict::Duplicate { .. }
+        ));
+        // A miss below both floors reports the *highest* floor across
+        // shards (seq 3 was certified at shard 1 and evicted there at
+        // floor 5, but shard 0's floor 110 dominates).
+        assert_eq!(
+            sharded.dedup_lookup(42, 3),
+            DedupVerdict::OutOfWindow {
+                evicted_through: 110
+            }
+        );
+        // An exact hit at shard 1 wins even though the seq sits below
+        // shard 0's eviction floor.
+        assert!(matches!(
+            sharded.dedup_lookup(42, 6),
+            DedupVerdict::Duplicate { .. }
+        ));
+        // Above everything: provably fresh.
+        assert_eq!(sharded.dedup_lookup(42, 500), DedupVerdict::Fresh);
+        // The parallel sequencer's mirror gives identical verdicts.
+        for seq in [110, 111, 3, 6, 500, 0, 5, 105, 174] {
+            assert_eq!(
+                par.dedup_lookup(42, seq),
+                sharded.dedup_lookup(42, seq),
+                "verdicts diverged at seq {seq}"
+            );
+        }
+        // And the certify-path rejection carries the floor in its message.
+        let err = sharded
+            .certify(keyed(req(t + 1, 0, 0, ws(&[(0, -1)])), 42, 110))
+            .unwrap_err();
+        assert!(err.to_string().contains("evicted"), "{err}");
     }
 }

@@ -14,7 +14,9 @@
 //! and multi-table transactions exercise the cross-shard handshake heavily.
 
 use bargain_common::{IdemKey, ReplicaId, TableId, TxnId, Value, Version, WriteOp, WriteSet};
-use bargain_core::{Certifier, CertifyDecision, CertifyRequest, ShardedCertifier};
+use bargain_core::{
+    Certifier, CertifyDecision, CertifyRequest, ParallelShardedCertifier, ShardedCertifier,
+};
 use proptest::prelude::*;
 
 const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
@@ -196,6 +198,160 @@ proptest! {
             }
             // Serializable order equivalence: same records, same total
             // order, therefore the same serialization witness.
+            prop_assert!(got
+                .windows(2)
+                .all(|p| p[0].commit_version < p[1].commit_version));
+        }
+    }
+}
+
+/// Case count for the parallel differential property. The CI smoke job sets
+/// `PROPTEST_CASES` to a reduced count; local runs default to 32.
+fn parallel_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Certifies the buffered batch on both certifiers and asserts decisions,
+/// refresh fan-out, and every observable counter are bit-identical. The
+/// vendored proptest's `prop_assert*` panic directly, so a plain helper fn
+/// works inside the property.
+fn flush_and_compare(
+    oracle: &mut ShardedCertifier,
+    parallel: &mut ParallelShardedCertifier,
+    batch: &mut Vec<CertifyRequest>,
+    n: usize,
+) {
+    if !batch.is_empty() {
+        let reqs: Vec<CertifyRequest> = std::mem::take(batch);
+        let want = oracle.certify_batch(reqs.clone()).expect("valid schedule");
+        let got = parallel.certify_batch(reqs).expect("valid schedule");
+        assert_eq!(got.len(), want.len(), "batch length diverged (N={n})");
+        for (i, ((gd, gr), (wd, wr))) in got.iter().zip(&want).enumerate() {
+            assert_eq!(gd, wd, "decision {i} diverged from sequential (N={n})");
+            assert_eq!(gr.len(), wr.len(), "refresh fan-out diverged (N={n})");
+            for (g, w) in gr.iter().zip(wr) {
+                assert_eq!(g.origin, w.origin);
+                assert_eq!(g.txn, w.txn);
+                assert_eq!(g.commit_version, w.commit_version);
+                assert_eq!(&g.writeset, &w.writeset);
+            }
+        }
+    }
+    assert_eq!(parallel.version(), oracle.version(), "V_commit (N={n})");
+    assert_eq!(parallel.history_len(), oracle.history_len());
+    assert_eq!(parallel.stats(), oracle.stats());
+    assert_eq!(parallel.sharding_stats(), oracle.sharding_stats());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(parallel_cases()))]
+
+    /// The tentpole's differential property: `ParallelShardedCertifier`
+    /// (worker threads + sequencer) against the sequential
+    /// `ShardedCertifier` oracle at the same N, over random
+    /// certify/replay/prune/recover schedules. Requests are grouped into
+    /// small batches so in-batch read-write dependencies (resolved by the
+    /// probe/sequence handshake) and same-batch keyed retries are
+    /// exercised, not just singleton traffic.
+    #[test]
+    fn parallel_certifier_matches_sequential_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        cap in 1usize..6,
+    ) {
+        let replicas = vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)];
+        for &n in &SHARD_COUNTS {
+            let mut oracle = ShardedCertifier::new(replicas.clone(), n);
+            let mut parallel = ParallelShardedCertifier::new(replicas.clone(), n);
+
+            let mut txn = 0u64;
+            let mut next_seq = [0u64; CLIENTS as usize];
+            let mut last_keyed: Vec<Option<(IdemKey, WriteSet)>> =
+                vec![None; CLIENTS as usize];
+            let mut batch: Vec<CertifyRequest> = Vec::new();
+
+            for op in ops.clone() {
+                let floor = oracle.version().0 - oracle.history_len() as u64;
+                match op {
+                    Op::Certify { keys, lag, client } => {
+                        txn += 1;
+                        // Snapshot from the version *before* the pending
+                        // batch commits — later requests in a batch then
+                        // depend on earlier ones (the in-batch prior path).
+                        let snapshot =
+                            oracle.version().0.saturating_sub(u64::from(lag)).max(floor);
+                        let ws = ws_of(&keys);
+                        let idem = client.map(|c| {
+                            let key = IdemKey {
+                                client: 0xC0DE + c,
+                                seq: next_seq[c as usize],
+                            };
+                            next_seq[c as usize] += 1;
+                            last_keyed[c as usize] = Some((key, ws.clone()));
+                            key
+                        });
+                        batch.push(CertifyRequest {
+                            txn: TxnId(txn),
+                            replica: ReplicaId(txn as u32 % 3),
+                            snapshot: Version(snapshot),
+                            writeset: ws,
+                            idem,
+                        });
+                    }
+                    Op::Replay { client } => {
+                        if let Some((key, ws)) = &last_keyed[client as usize] {
+                            txn += 1;
+                            // May land in the same batch as the original —
+                            // the sequencer must dedup it in commit order.
+                            batch.push(CertifyRequest {
+                                txn: TxnId(txn),
+                                replica: ReplicaId(txn as u32 % 3),
+                                snapshot: oracle.version(),
+                                writeset: ws.clone(),
+                                idem: Some(*key),
+                            });
+                        }
+                    }
+                    Op::Prune { amount } => {
+                        flush_and_compare(&mut oracle, &mut parallel, &mut batch, n);
+                        let floor = oracle.version().0 - oracle.history_len() as u64;
+                        let target = oracle
+                            .version()
+                            .0
+                            .saturating_sub(16)
+                            .min(floor + u64::from(amount));
+                        oracle.prune(Version(target));
+                        parallel.prune(Version(target));
+                    }
+                    Op::Recover => {
+                        flush_and_compare(&mut oracle, &mut parallel, &mut batch, n);
+                        let want = oracle.recover().expect("oracle logs replay");
+                        let got = parallel.recover().expect("parallel logs replay");
+                        prop_assert_eq!(got, want, "recovered record count (N={})", n);
+                    }
+                }
+                if batch.len() >= cap {
+                    flush_and_compare(&mut oracle, &mut parallel, &mut batch, n);
+                }
+            }
+            flush_and_compare(&mut oracle, &mut parallel, &mut batch, n);
+
+            // Durable equivalence: the merged shard logs are record-for-record
+            // identical, in the same total order.
+            let want = oracle.certified_since(Version::ZERO).expect("oracle replays");
+            let got = parallel
+                .certified_since(Version::ZERO)
+                .expect("parallel replays");
+            prop_assert_eq!(got.len(), want.len(), "log length diverged (N={})", n);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.commit_version, w.commit_version);
+                prop_assert_eq!(g.txn, w.txn);
+                prop_assert_eq!(g.origin, w.origin);
+                prop_assert_eq!(g.idem, w.idem);
+                prop_assert_eq!(g.writeset.as_ref(), w.writeset.as_ref());
+            }
             prop_assert!(got
                 .windows(2)
                 .all(|p| p[0].commit_version < p[1].commit_version));

@@ -56,7 +56,7 @@ use crate::codec::Message;
 use crate::conn::{ConnectPolicy, Connection};
 use bargain_cluster::{CertifierDelivery, CertifierLink, CertifierRequest};
 use bargain_common::{Error, ReplicaId, Result, Version};
-use bargain_core::{CertifyRequest, LogRecord, ShardedCertifier};
+use bargain_core::{AnyCertifier, LogRecord, PendingBatch};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -88,6 +88,16 @@ pub struct CertifierServerConfig {
     /// `Certify` to the involved shards internally, so clusters and links
     /// need no configuration to talk to a sharded service.
     pub shards: usize,
+    /// Run certification in the parallel execution mode
+    /// ([`bargain_core::ParallelShardedCertifier`]): per-shard worker
+    /// threads behind a commit-version sequencer, with a batch's WAL
+    /// flushes overlapped against the next burst's conflict checks. The
+    /// wire protocol and the decision order are unchanged.
+    pub parallel_certifier: bool,
+    /// In parallel mode, a cap on concurrent blocking WAL flushes
+    /// (`0` = one per shard). Set to 1–2 when all shard WALs share one
+    /// disk (see the honest negative in BENCH_shards.json).
+    pub wal_flush_concurrency: usize,
 }
 
 impl Default for CertifierServerConfig {
@@ -98,6 +108,8 @@ impl Default for CertifierServerConfig {
             wal_dir: None,
             poll_interval: Duration::from_millis(100),
             shards: 1,
+            parallel_certifier: false,
+            wal_flush_concurrency: 0,
         }
     }
 }
@@ -134,9 +146,18 @@ impl CertifierServer {
                         .map_err(Error::from)?;
                     logs.push(Box::new(bargain_core::FileLog::open(&path)?));
                 }
-                ShardedCertifier::with_logs(replica_ids(config.replicas), logs)
+                AnyCertifier::with_logs(
+                    replica_ids(config.replicas),
+                    logs,
+                    config.parallel_certifier,
+                    config.wal_flush_concurrency,
+                )
             }
-            None => ShardedCertifier::new(replica_ids(config.replicas), config.shards),
+            None => AnyCertifier::new(
+                replica_ids(config.replicas),
+                config.shards,
+                config.parallel_certifier,
+            ),
         };
         certifier.set_eager(config.eager);
         certifier.recover()?;
@@ -191,8 +212,61 @@ fn replica_ids(n: usize) -> Vec<ReplicaId> {
     (0..n as u32).map(ReplicaId).collect()
 }
 
+/// The longest run of consecutive `Certify` frames certified as one batch
+/// (one group commit per dirty shard).
+const MAX_CERTIFY_BATCH: usize = 64;
+
+/// A certified batch whose WAL flushes may still be in flight: the
+/// decisions have been made (in total commit order) but may not be
+/// announced on the wire until [`PendingBatch::wait`] confirms durability.
+struct PendingEmit {
+    request_id: u64,
+    origins: Vec<ReplicaId>,
+    batch: PendingBatch,
+}
+
+/// Waits out a pending batch's durability and emits its refreshes and
+/// decisions (decision last per commit, as the link's resync floor
+/// requires). Returns `false` when the connection should close.
+fn emit_pending(
+    certifier: &AnyCertifier,
+    conn: &mut Connection,
+    pending: &mut Option<PendingEmit>,
+) -> bool {
+    let Some(p) = pending.take() else {
+        return true;
+    };
+    let results = match p.batch.wait() {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = conn.send_with_id(p.request_id, &Message::Err(e));
+            return false;
+        }
+    };
+    for (origin, (decision, refreshes)) in p.origins.into_iter().zip(results) {
+        for (target, refresh) in certifier.refresh_targets(origin).into_iter().zip(refreshes) {
+            if conn
+                .send(&Message::RefreshFor {
+                    to: target,
+                    refresh,
+                })
+                .is_err()
+            {
+                return false;
+            }
+        }
+        // The decision goes out last: the link treats a received decision
+        // as proof that every refresh of that commit (sent earlier on this
+        // stream) has arrived, and advances its resync floor accordingly.
+        if conn.send(&Message::Decision { origin, decision }).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
 fn serve(
-    mut certifier: ShardedCertifier,
+    mut certifier: AnyCertifier,
     listener: &TcpListener,
     stop: &AtomicBool,
     poll_interval: Duration,
@@ -206,12 +280,31 @@ fn serve(
             continue;
         };
         // One cluster connection at a time: the certifier is a singleton.
+        //
+        // Certify traffic runs a 2-deep certify→flush pipeline: a burst of
+        // consecutive `Certify` frames is certified as one batch and left
+        // *pending* while the loop reads the next burst, so the batch's
+        // per-shard WAL flushes (the dominant latency in a durable
+        // deployment) overlap the next batch's conflict checks. Decisions
+        // are emitted strictly in commit order, only after their batch's
+        // flushes complete, and always before any non-certify frame that
+        // arrived later is answered.
+        let mut pending: Option<PendingEmit> = None;
         loop {
             if stop.load(Ordering::SeqCst) {
+                emit_pending(&certifier, &mut conn, &mut pending);
                 return;
             }
             match poll_stream(conn.stream(), poll_interval) {
-                StreamState::Idle => continue,
+                StreamState::Idle => {
+                    // Nothing queued behind the pending batch: drain the
+                    // pipeline now rather than holding decisions hostage
+                    // to future traffic.
+                    if !emit_pending(&certifier, &mut conn, &mut pending) {
+                        break;
+                    }
+                    continue;
+                }
                 StreamState::Closed => break,
                 StreamState::Readable => {}
             }
@@ -219,10 +312,78 @@ fn serve(
                 Ok(tagged) => tagged,
                 Err(_) => break,
             };
-            if !handle_certifier_message(&mut certifier, &mut conn, request_id, msg, stop) {
-                break;
+            match msg {
+                Message::Certify(first) => {
+                    // Gather the rest of the burst: every frame already
+                    // readable, up to the batch cap or the first frame of
+                    // another kind (carried and handled after submission).
+                    let mut batch = vec![first];
+                    let mut carry: Option<(u64, Message)> = None;
+                    let mut dead = false;
+                    while batch.len() < MAX_CERTIFY_BATCH {
+                        match poll_stream(conn.stream(), Duration::from_millis(1)) {
+                            StreamState::Readable => match conn.recv_tagged() {
+                                Ok((_, Message::Certify(req))) => batch.push(req),
+                                Ok(tagged) => {
+                                    carry = Some(tagged);
+                                    break;
+                                }
+                                Err(_) => {
+                                    dead = true;
+                                    break;
+                                }
+                            },
+                            StreamState::Idle => break,
+                            StreamState::Closed => break,
+                        }
+                    }
+                    let origins: Vec<ReplicaId> = batch.iter().map(|r| r.replica).collect();
+                    let next = certifier.certify_batch_async(batch);
+                    // Previous batch first: decisions go out in commit
+                    // order. Its flushes ran while this burst was read.
+                    if !emit_pending(&certifier, &mut conn, &mut pending) {
+                        break;
+                    }
+                    pending = Some(PendingEmit {
+                        request_id,
+                        origins,
+                        batch: next,
+                    });
+                    if dead {
+                        break;
+                    }
+                    if let Some((carry_id, carry_msg)) = carry {
+                        if !emit_pending(&certifier, &mut conn, &mut pending)
+                            || !handle_certifier_message(
+                                &mut certifier,
+                                &mut conn,
+                                carry_id,
+                                carry_msg,
+                                stop,
+                            )
+                        {
+                            break;
+                        }
+                    }
+                }
+                other => {
+                    if !emit_pending(&certifier, &mut conn, &mut pending)
+                        || !handle_certifier_message(
+                            &mut certifier,
+                            &mut conn,
+                            request_id,
+                            other,
+                            stop,
+                        )
+                    {
+                        break;
+                    }
+                }
             }
         }
+        // The socket is gone (or errored): decisions still pending are
+        // durable but unannounced — the link's resync path replays them.
+        drop(pending);
     }
 }
 
@@ -256,13 +417,14 @@ fn poll_stream(stream: &TcpStream, interval: Duration) -> StreamState {
     polled
 }
 
-/// Handles one request frame; returns `false` when the connection (or the
+/// Handles one non-certify request frame (`Certify` runs through `serve`'s
+/// pipelined batch path); returns `false` when the connection (or the
 /// whole service) should wind down. Direct replies (pong, history, errors,
 /// the stop ack) echo the request's id; deliveries the protocol *pushes*
 /// (refreshes, decisions, global commits — they answer no single request)
 /// go out untagged via [`Connection::send`].
 fn handle_certifier_message(
-    certifier: &mut ShardedCertifier,
+    certifier: &mut AnyCertifier,
     conn: &mut Connection,
     request_id: u64,
     msg: Message,
@@ -277,37 +439,6 @@ fn handle_certifier_message(
             };
             conn.send_with_id(request_id, &Message::History { records })
                 .is_ok()
-        }
-        Message::Certify(req) => {
-            let origin = req.replica;
-            let batch: Vec<CertifyRequest> = vec![req];
-            let results = match certifier.certify_batch(batch) {
-                Ok(r) => r,
-                Err(e) => return conn.send_with_id(request_id, &Message::Err(e)).is_ok(),
-            };
-            for (decision, refreshes) in results {
-                for (target, refresh) in
-                    certifier.refresh_targets(origin).into_iter().zip(refreshes)
-                {
-                    if conn
-                        .send(&Message::RefreshFor {
-                            to: target,
-                            refresh,
-                        })
-                        .is_err()
-                    {
-                        return false;
-                    }
-                }
-                // The decision goes out last: the link treats a received
-                // decision as proof that every refresh of that commit (sent
-                // earlier on this stream) has arrived, and advances its
-                // resync floor accordingly.
-                if conn.send(&Message::Decision { origin, decision }).is_err() {
-                    return false;
-                }
-            }
-            true
         }
         Message::Applied { replica, version } => {
             if let Some((origin, txn)) = certifier.on_commit_applied(replica, version) {

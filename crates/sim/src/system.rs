@@ -69,6 +69,14 @@ pub struct SimConfig {
     /// `FaultKind::CertifierShardCrash` becomes injectable: one shard dies
     /// while traffic over the healthy shards keeps flowing.
     pub certifier_shards: usize,
+    /// Model the certifier in its parallel execution mode: the service
+    /// time of a certification batch divides its conflict-check work
+    /// across `certifier_shards` workers (plus a sequencer residue — see
+    /// `CostModel::parallel_certification_batch_cost`). Only the *timing*
+    /// changes: decisions, ordering, and the shard-crash fault semantics
+    /// are identical to the sequential certifier, exactly as in the real
+    /// `ParallelShardedCertifier`.
+    pub parallel_certifier: bool,
 }
 
 impl Default for SimConfig {
@@ -86,6 +94,7 @@ impl Default for SimConfig {
             early_certification: true,
             faults: FaultPlan::default(),
             certifier_shards: 1,
+            parallel_certifier: false,
         }
     }
 }
@@ -630,7 +639,7 @@ impl<'w> Sim<'w> {
                     self.cert_wait.push(req);
                     return;
                 }
-                let cost = self.cfg.costs.certification_batch_cost(1);
+                let cost = self.cert_batch_cost(1);
                 let epoch = self.cert_epoch;
                 if let Some((batch, d)) = self.cert_res.offer(vec![req], cost) {
                     self.queue
@@ -1243,11 +1252,24 @@ impl<'w> Sim<'w> {
             // service as the next group-committed batch: per-request
             // certification work, one shared WAL force.
             let next = std::mem::take(&mut self.cert_wait);
-            let cost = self.cfg.costs.certification_batch_cost(next.len());
+            let cost = self.cert_batch_cost(next.len());
             if let Some((batch, d)) = self.cert_res.offer(next, cost) {
                 self.queue
                     .schedule(d, Event::CertifierDone { batch, epoch });
             }
+        }
+    }
+
+    /// Service time of a certification batch under the configured
+    /// execution mode: sequential, or parallel with the conflict checks
+    /// divided across the shard workers.
+    fn cert_batch_cost(&self, n: usize) -> SimTime {
+        if self.cfg.parallel_certifier {
+            self.cfg
+                .costs
+                .parallel_certification_batch_cost(n, self.cfg.certifier_shards)
+        } else {
+            self.cfg.costs.certification_batch_cost(n)
         }
     }
 
