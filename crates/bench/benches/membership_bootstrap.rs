@@ -1,0 +1,162 @@
+//! Criterion benchmarks for replica elasticity: snapshot export/import cost
+//! as a function of state size, full live join → admit → decommission round
+//! trips on a running cluster, and the snapshot-ship vs certified-log-replay
+//! bootstrap crossover as the certified history deepens.
+//!
+//! Results are recorded in `BENCH_elasticity.json` at the repo root.
+
+use bargain_cluster::{Cluster, ClusterConfig, JoinOptions};
+use bargain_common::{ConsistencyMode, TableId, Value};
+use bargain_storage::{Column, ColumnType, Engine, TableSchema, DEFAULT_CHUNK_BYTES};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A bare engine with `rows` 100-byte-padded rows, for measuring the raw
+/// export/import path without any cluster plumbing.
+fn engine_with_rows(rows: i64) -> (Engine, TableId) {
+    let mut e = Engine::new();
+    let t = e
+        .create_table(
+            TableSchema::new(
+                "kv",
+                vec![
+                    Column::new("k", ColumnType::Int),
+                    Column::new("v", ColumnType::Int),
+                    Column::new("pad", ColumnType::Text),
+                ],
+                0,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let pad = "x".repeat(100);
+    e.load_rows(
+        t,
+        (1..=rows)
+            .map(|i| vec![Value::Int(i), Value::Int(0), Value::Text(pad.clone())])
+            .collect(),
+    )
+    .unwrap();
+    (e, t)
+}
+
+/// A running cluster with `rows` rows inserted through sessions, so every
+/// row is a certified commit (the certified log is `rows` deep).
+fn cluster_with_rows(rows: i64) -> Cluster {
+    let cluster = Cluster::start(ClusterConfig {
+        replicas: 3,
+        mode: ConsistencyMode::LazyFine,
+        ..ClusterConfig::default()
+    });
+    cluster
+        .execute_ddl("CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL)")
+        .unwrap();
+    let mut s = cluster.connect();
+    for k in 1..=rows {
+        s.run_sql(&[(
+            "INSERT INTO kv (k, v) VALUES (?, ?)",
+            vec![Value::Int(k), Value::Int(0)],
+        )])
+        .unwrap();
+    }
+    cluster
+}
+
+/// Raw snapshot export and import latency vs state size: the two halves of
+/// the donor/joiner bootstrap exchange, without network or thread plumbing.
+fn bench_snapshot_size(c: &mut Criterion) {
+    for rows in [1_000i64, 10_000] {
+        let (e, _) = engine_with_rows(rows);
+        let snap = e.export_snapshot(DEFAULT_CHUNK_BYTES);
+        c.bench_function(&format!("elasticity/export_snapshot_{rows}rows"), |b| {
+            b.iter(|| black_box(e.export_snapshot(DEFAULT_CHUNK_BYTES)))
+        });
+        c.bench_function(&format!("elasticity/import_snapshot_{rows}rows"), |b| {
+            b.iter(|| black_box(Engine::import_snapshot(&snap.manifest, &snap.chunks).unwrap()))
+        });
+    }
+}
+
+/// One full membership cycle on a live cluster: snapshot-ship a joiner from
+/// the least-loaded donor, catch it up, admit it at the lag bound, then
+/// drain and decommission it. This is the end-to-end "add a replica" cost
+/// an operator sees, as a function of snapshot size.
+fn bench_live_join_decommission(c: &mut Criterion) {
+    for rows in [100i64, 2_000] {
+        let cluster = cluster_with_rows(rows);
+        c.bench_function(
+            &format!("elasticity/join_admit_decommission_{rows}rows"),
+            |b| {
+                b.iter(|| {
+                    let rid = cluster.join_replica(&JoinOptions::default()).unwrap();
+                    cluster.decommission_replica(rid).unwrap();
+                    black_box(rid)
+                })
+            },
+        );
+        cluster.shutdown();
+    }
+}
+
+/// Snapshot-ship vs certified-log-replay crossover. Both variants bring a
+/// joiner to the cluster tip after `history` update commits:
+///
+/// - `bootstrap_snapshot_h{N}`: export a fresh snapshot at the tip and
+///   import it; the catch-up replay above the snapshot version is empty.
+///   Cost tracks *state size*, flat in history depth.
+/// - `bootstrap_replay_h{N}`: import a stale base snapshot taken before the
+///   history was generated (a joiner restoring an old backup), then replay
+///   every certified record above the base version. Cost tracks *history
+///   depth*.
+///
+/// Replay wins at shallow histories (the base import dominates either way);
+/// snapshot-ship wins once the history outgrows the state.
+fn bench_bootstrap_crossover(c: &mut Criterion) {
+    const ROWS: i64 = 500;
+    for history in [64i64, 2_000] {
+        let cluster = cluster_with_rows(ROWS);
+        // Stale base: the backup a replaying joiner starts from.
+        let base = cluster.export_snapshot(DEFAULT_CHUNK_BYTES).unwrap();
+        // Deepen the certified log past the base snapshot.
+        let mut s = cluster.connect();
+        for i in 0..history {
+            s.run_sql_with_retry(
+                &[(
+                    "UPDATE kv SET v = v + 1 WHERE k = ?",
+                    vec![Value::Int((i % ROWS) + 1)],
+                )],
+                100,
+            )
+            .unwrap();
+        }
+        c.bench_function(&format!("elasticity/bootstrap_snapshot_h{history}"), |b| {
+            b.iter(|| {
+                let snap = cluster.export_snapshot(DEFAULT_CHUNK_BYTES).unwrap();
+                let mut e = Engine::import_snapshot(&snap.manifest, &snap.chunks).unwrap();
+                for rec in cluster.certified_since(snap.manifest.version).unwrap() {
+                    e.apply_refresh(rec.writeset.as_ref(), rec.commit_version)
+                        .unwrap();
+                }
+                black_box(e.version())
+            })
+        });
+        c.bench_function(&format!("elasticity/bootstrap_replay_h{history}"), |b| {
+            b.iter(|| {
+                let mut e = Engine::import_snapshot(&base.manifest, &base.chunks).unwrap();
+                for rec in cluster.certified_since(base.manifest.version).unwrap() {
+                    e.apply_refresh(rec.writeset.as_ref(), rec.commit_version)
+                        .unwrap();
+                }
+                black_box(e.version())
+            })
+        });
+        cluster.shutdown();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_size,
+    bench_live_join_decommission,
+    bench_bootstrap_crossover
+);
+criterion_main!(benches);

@@ -42,5 +42,6 @@ mod session;
 
 pub use runtime::{
     CertifierDelivery, CertifierLink, CertifierRequest, Cluster, ClusterConfig, ClusterStats,
+    JoinOptions,
 };
 pub use session::{abort_error, Session, TxnResult};

@@ -25,13 +25,21 @@ use bargain_core::{
     TxnOutcome, TxnRequest,
 };
 use bargain_sql::{execute_ddl, parse, QueryResult, Statement, TransactionTemplate};
-use bargain_storage::Engine;
+use bargain_storage::{Engine, Snapshot};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The replica channel registry, shared by the load-balancer, certifier,
+/// and dispatch threads plus the [`Cluster`] handle. Indexed by
+/// `ReplicaId::index()`; slots are only ever appended (a decommissioned
+/// replica's sender stays in place, pointing at a hung-up channel), so an
+/// id assigned once stays valid for the cluster's lifetime.
+type ReplicaTxs = Arc<Mutex<Vec<Sender<ToReplica>>>>;
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -130,6 +138,38 @@ pub(crate) enum ToLb {
     /// The certifier link changed health: `false` sheds new update traffic
     /// at the load balancer, `true` resumes admission.
     CertifierHealth(bool),
+    /// Export a consistent snapshot from the least-loaded up replica (the
+    /// donor). The reply sender is handed to the donor thread; if no
+    /// replica is up it is dropped, which the requester observes as a
+    /// hung-up channel.
+    Snapshot {
+        chunk_bytes: usize,
+        reply: Sender<Snapshot>,
+    },
+    /// Register a joining replica with the load balancer, **marked down**
+    /// (known for accounting, not yet routable).
+    AddReplica {
+        replica: ReplicaId,
+        ack: Sender<()>,
+    },
+    /// Admit a caught-up joiner: mark it routable.
+    Admit {
+        replica: ReplicaId,
+        ack: Sender<()>,
+    },
+    /// Drain one replica for decommission: stop routing to it and reply
+    /// once its in-flight transactions have completed. Refused when the
+    /// replica is unknown, the whole cluster is draining, or it is the
+    /// last routable replica.
+    DrainReplica {
+        replica: ReplicaId,
+        reply: Sender<Result<()>>,
+    },
+    /// Forget a drained replica entirely and shut its thread down.
+    Detach {
+        replica: ReplicaId,
+        ack: Sender<()>,
+    },
     Shutdown,
 }
 
@@ -152,6 +192,20 @@ enum ToReplica {
     Ddl {
         stmt: Box<Statement>,
         ack: Sender<Result<()>>,
+    },
+    /// Export a consistent snapshot of this replica's engine (it is the
+    /// donor for a join). Runs on the replica thread, so the engine is
+    /// quiescent for the duration — the checkpoint is trivially consistent.
+    ExportSnapshot {
+        chunk_bytes: usize,
+        reply: Sender<Snapshot>,
+    },
+    /// Report the replica's current applied version (`V_local`); the join
+    /// protocol polls this against `V_system` for the lag-bound admission
+    /// check. Answered in channel order, i.e. after every refresh queued
+    /// before the probe has been applied.
+    Probe {
+        reply: Sender<Version>,
     },
     Shutdown,
 }
@@ -182,6 +236,41 @@ pub enum CertifierRequest {
         replica: ReplicaId,
         /// The failure epoch being acknowledged.
         epoch: u64,
+    },
+    /// A joining replica subscribes to the refresh fan-out. The certifier
+    /// adds it to the membership, credits it (eager mode) for every pending
+    /// commit at or below `after` — its snapshot already contains those —
+    /// and replies with the certified records strictly above `after`, so
+    /// subscribe-and-replay leaves no gap: anything newer than the reply
+    /// reaches the joiner through the fan-out it just joined, and overlap
+    /// is deduplicated by the proxy. Remote certifier links do not support
+    /// membership changes and reply `Err(Unavailable)`.
+    Join {
+        /// The joining replica.
+        replica: ReplicaId,
+        /// The joiner's snapshot version (`V`).
+        after: Version,
+        /// Receives the catch-up records (or the refusal).
+        reply: Sender<Result<Vec<LogRecord>>>,
+    },
+    /// A decommissioned replica leaves the refresh fan-out. Its credit is
+    /// dropped from pending eager entries (entries it alone was blocking
+    /// complete, and their global commits are delivered); the ack confirms
+    /// no further refresh will target it. Remote certifier links reply
+    /// `Err(Unavailable)`.
+    Leave {
+        /// The departing replica.
+        replica: ReplicaId,
+        /// Acknowledged once the membership change is effective.
+        ack: Sender<Result<()>>,
+    },
+    /// Fetch every certified record strictly above `after` (serves remote
+    /// bootstrap catch-up without touching membership).
+    History {
+        /// Fetch records strictly above this version.
+        after: Version,
+        /// Receives the records.
+        reply: Sender<Result<Vec<LogRecord>>>,
     },
     /// Flush pending work and stop serving.
     Shutdown,
@@ -255,17 +344,51 @@ pub trait CertifierLink: Send {
     );
 }
 
+/// Options governing a replica join ([`Cluster::join_replica`]).
+#[derive(Debug, Clone)]
+pub struct JoinOptions {
+    /// Admission rule: the joiner is marked routable once
+    /// `V_system - V_joiner <= lag_bound`. `0` demands exact catch-up
+    /// (may chase a moving target under heavy write traffic); the default
+    /// of 64 versions bounds the worst-case extra start-requirement wait a
+    /// freshly routed transaction can observe.
+    pub lag_bound: u64,
+    /// Snapshot chunk size shipped from the donor.
+    pub chunk_bytes: usize,
+    /// How long the admission poll may run before giving up. On timeout
+    /// the joiner stays attached and subscribed (it keeps catching up) but
+    /// unadmitted; a later [`Cluster::admit_replica`] can finish the job.
+    pub admit_timeout: Duration,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        JoinOptions {
+            lag_bound: 64,
+            chunk_bytes: bargain_storage::DEFAULT_CHUNK_BYTES,
+            admit_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
 /// Handle to a running in-process replicated database cluster.
 pub struct Cluster {
     lb_tx: Sender<ToLb>,
+    cert_tx: Sender<CertifierRequest>,
+    replica_txs: ReplicaTxs,
     /// A catalog-only engine mirroring the replicas' DDL, used to resolve
     /// table-sets for ad-hoc transactions.
     catalog_engine: Arc<Mutex<Engine>>,
     next_client: Arc<AtomicU64>,
     next_template: Arc<AtomicU32>,
-    replicas: usize,
+    /// Live replica count (joins increment, decommissions decrement);
+    /// drives the DDL ack fan-in.
+    replicas: AtomicUsize,
     mode: ConsistencyMode,
-    handles: Vec<JoinHandle<()>>,
+    /// Whether the certification service runs behind a remote link, whose
+    /// membership this process cannot change (joins/decommissions refuse).
+    remote_certifier: bool,
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Cluster {
@@ -400,13 +523,14 @@ impl Cluster {
 
         let (lb_tx, lb_rx) = unbounded::<ToLb>();
         let (cert_tx, cert_rx) = unbounded::<CertifierRequest>();
-        let mut replica_txs = Vec::new();
+        let mut initial_txs = Vec::new();
         let mut replica_rxs = Vec::new();
         for _ in 0..config.replicas {
             let (tx, rx) = unbounded::<ToReplica>();
-            replica_txs.push(tx);
+            initial_txs.push(tx);
             replica_rxs.push(rx);
         }
+        let replica_txs: ReplicaTxs = Arc::new(Mutex::new(initial_txs));
 
         let mut handles = Vec::new();
 
@@ -427,9 +551,10 @@ impl Cluster {
         // local thread, or a bridge to the remote service (one thread
         // forwarding requests over the link, one dispatching deliveries to
         // the replica threads).
+        let remote_certifier = matches!(backend, Backend::Remote(_));
         match backend {
             Backend::Local(certifier) => {
-                let replica_txs = replica_txs.clone();
+                let replica_txs = Arc::clone(&replica_txs);
                 handles.push(
                     std::thread::Builder::new()
                         .name("bargain-certifier".into())
@@ -445,28 +570,28 @@ impl Cluster {
                         .spawn(move || link.serve(cert_rx, del_tx))
                         .expect("spawn certifier link thread"),
                 );
-                let replica_txs = replica_txs.clone();
+                let replica_txs = Arc::clone(&replica_txs);
                 let lb_tx = lb_tx.clone();
                 handles.push(
                     std::thread::Builder::new()
                         .name("bargain-certdispatch".into())
                         .spawn(move || {
                             while let Ok(delivery) = del_rx.recv() {
+                                let txs = replica_txs.lock();
                                 match delivery {
                                     CertifierDelivery::Decision { origin, decision } => {
-                                        let _ = replica_txs[origin.index()]
-                                            .send(ToReplica::Decision(decision));
+                                        let _ =
+                                            txs[origin.index()].send(ToReplica::Decision(decision));
                                     }
                                     CertifierDelivery::Refresh { to, refresh } => {
-                                        let _ = replica_txs[to.index()]
-                                            .send(ToReplica::Refresh(refresh));
+                                        let _ = txs[to.index()].send(ToReplica::Refresh(refresh));
                                     }
                                     CertifierDelivery::GlobalCommit { origin, txn } => {
-                                        let _ = replica_txs[origin.index()]
-                                            .send(ToReplica::GlobalCommit(txn));
+                                        let _ =
+                                            txs[origin.index()].send(ToReplica::GlobalCommit(txn));
                                     }
                                     CertifierDelivery::Down { epoch } => {
-                                        for r in &replica_txs {
+                                        for r in txs.iter() {
                                             let _ = r.send(ToReplica::CertifierLost { epoch });
                                         }
                                         let _ = lb_tx.send(ToLb::CertifierHealth(false));
@@ -476,7 +601,7 @@ impl Cluster {
                                     }
                                     CertifierDelivery::Resync { records } => {
                                         for rec in records {
-                                            for r in &replica_txs {
+                                            for r in txs.iter() {
                                                 let _ = r.send(ToReplica::Refresh(Refresh {
                                                     origin: rec.origin,
                                                     txn: rec.txn,
@@ -499,6 +624,7 @@ impl Cluster {
             let n_tables = catalog_engine.catalog().len();
             let lb = LoadBalancer::new(config.mode, replica_ids, n_tables);
             let cert = cert_tx.clone();
+            let replica_txs = Arc::clone(&replica_txs);
             handles.push(
                 std::thread::Builder::new()
                     .name("bargain-lb".into())
@@ -509,12 +635,15 @@ impl Cluster {
 
         Cluster {
             lb_tx,
+            cert_tx,
+            replica_txs,
             catalog_engine: Arc::new(Mutex::new(catalog_engine)),
             next_client: Arc::new(AtomicU64::new(0)),
             next_template: Arc::new(AtomicU32::new(1 << 20)),
-            replicas: config.replicas,
+            replicas: AtomicUsize::new(config.replicas),
             mode: config.mode,
-            handles,
+            remote_certifier,
+            handles: Mutex::new(handles),
         }
     }
 
@@ -543,7 +672,7 @@ impl Cluster {
                 ack: ack_tx,
             })
             .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
-        for _ in 0..self.replicas {
+        for _ in 0..self.replicas.load(Ordering::Acquire) {
             ack_rx
                 .recv()
                 .map_err(|_| Error::Protocol("cluster is shut down".into()))??;
@@ -563,10 +692,10 @@ impl Cluster {
             .map_err(|_| Error::Protocol("cluster is shut down".into()))
     }
 
-    /// Number of replicas.
+    /// Number of live replicas (joins increment it, decommissions decrement).
     #[must_use]
     pub fn replicas(&self) -> usize {
-        self.replicas
+        self.replicas.load(Ordering::Acquire)
     }
 
     /// The cluster's consistency configuration.
@@ -599,6 +728,238 @@ impl Cluster {
         Ok((Arc::new(template), table_set))
     }
 
+    /// Exports a consistent snapshot from the least-loaded up replica (the
+    /// donor), suitable for bootstrapping a joiner — locally via
+    /// [`Cluster::join_replica`], or remotely by shipping the chunks over
+    /// the wire (`bargain-net`'s bootstrap path).
+    pub fn export_snapshot(&self, chunk_bytes: usize) -> Result<Snapshot> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.lb_tx
+            .send(ToLb::Snapshot {
+                chunk_bytes,
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        reply_rx.recv().map_err(|_| {
+            Error::Unavailable("snapshot refused: no replica available (retry-after)".into())
+        })
+    }
+
+    /// Fetches every certified commit record strictly above `after` from the
+    /// certification service (the catch-up feed a remote joiner replays on
+    /// top of its snapshot). Refused (`Err(Unavailable)`) behind a remote
+    /// certifier link.
+    pub fn certified_since(&self, after: Version) -> Result<Vec<LogRecord>> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.cert_tx
+            .send(CertifierRequest::History {
+                after,
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?
+    }
+
+    /// Adds a new replica to the running cluster: snapshot-ship bootstrap
+    /// from the least-loaded donor, live catch-up through the refresh
+    /// fan-out, and lag-bound admission.
+    ///
+    /// The sequence (no global pause at any step):
+    /// 1. a donor exports a consistent checkpoint at version `V`;
+    /// 2. the joiner imports it and its thread starts;
+    /// 3. the certifier adds the joiner to the refresh membership and
+    ///    replays the certified records above `V` (overlap with the live
+    ///    fan-out is deduplicated by the joiner's proxy);
+    /// 4. the load balancer learns the replica, still unroutable;
+    /// 5. once `V_system - V_joiner <= lag_bound` the joiner is marked up
+    ///    and starts taking transactions.
+    ///
+    /// Returns the new replica's id. Refused behind a remote certifier link
+    /// (membership belongs to the remote service).
+    pub fn join_replica(&self, opts: &JoinOptions) -> Result<ReplicaId> {
+        if self.remote_certifier {
+            return Err(Error::Unavailable(
+                "join refused: cluster membership belongs to the remote certification service"
+                    .into(),
+            ));
+        }
+        // 1. Snapshot from a donor.
+        let snapshot = self.export_snapshot(opts.chunk_bytes)?;
+        let snapshot_version = snapshot.manifest.version;
+        // 2. Import into a fresh engine and start the replica thread. The
+        //    id is allocated under the registry lock (id = slot index), and
+        //    the subscription below races with nothing: until the certifier
+        //    learns the id, no traffic targets the new slot.
+        let engine = Engine::import_snapshot(&snapshot.manifest, &snapshot.chunks)?;
+        let (replica, rx) = {
+            let mut txs = self.replica_txs.lock();
+            let replica = ReplicaId(txs.len() as u32);
+            let (tx, rx) = unbounded::<ToReplica>();
+            txs.push(tx);
+            (replica, rx)
+        };
+        let proxy = Proxy::new(replica, self.mode, engine);
+        let lb = self.lb_tx.clone();
+        let cert = self.cert_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("bargain-replica-{}", replica.index()))
+            .spawn(move || replica_main(proxy, rx, lb, cert))
+            .map_err(|e| Error::Protocol(format!("spawn joiner thread: {e}")))?;
+        self.handles.lock().push(handle);
+        self.replicas.fetch_add(1, Ordering::AcqRel);
+        // 3. Subscribe to the fan-out and replay the catch-up records. Any
+        //    commit certified after this point reaches the joiner as a live
+        //    refresh; anything at or below the reply is in the records (or
+        //    the snapshot) — the proxy deduplicates the overlap.
+        let (reply_tx, reply_rx) = unbounded();
+        self.cert_tx
+            .send(CertifierRequest::Join {
+                replica,
+                after: snapshot_version,
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        let records = reply_rx
+            .recv()
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))??;
+        {
+            let txs = self.replica_txs.lock();
+            for rec in records {
+                let _ = txs[replica.index()].send(ToReplica::Refresh(Refresh {
+                    origin: rec.origin,
+                    txn: rec.txn,
+                    commit_version: rec.commit_version,
+                    writeset: rec.writeset,
+                }));
+            }
+        }
+        // 4. The load balancer learns the replica (still down/unroutable).
+        let (ack_tx, ack_rx) = unbounded();
+        self.lb_tx
+            .send(ToLb::AddReplica {
+                replica,
+                ack: ack_tx,
+            })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        ack_rx
+            .recv()
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        // 5. Poll until the joiner is within the lag bound, then admit.
+        let deadline = Instant::now() + opts.admit_timeout;
+        loop {
+            let v_joiner = self.probe_replica(replica)?;
+            let v_system = self.stats()?.v_system;
+            if v_system.0.saturating_sub(v_joiner.0) <= opts.lag_bound {
+                break;
+            }
+            if Instant::now() >= deadline {
+                // The joiner stays attached and subscribed — it keeps
+                // catching up — but is not admitted.
+                return Err(Error::Unavailable(format!(
+                    "join admission timed out: joiner at v{} lags v{} beyond bound {} (retry-after)",
+                    v_joiner.0, v_system.0, opts.lag_bound
+                )));
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        self.admit_replica(replica)?;
+        Ok(replica)
+    }
+
+    /// Marks a caught-up joiner routable (step 5 of [`Cluster::join_replica`];
+    /// public so a join that timed out waiting for the lag bound can be
+    /// finished later).
+    pub fn admit_replica(&self, replica: ReplicaId) -> Result<()> {
+        let (ack_tx, ack_rx) = unbounded();
+        self.lb_tx
+            .send(ToLb::Admit {
+                replica,
+                ack: ack_tx,
+            })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        ack_rx
+            .recv()
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))
+    }
+
+    /// The applied version (`V_local`) of one replica, observed after every
+    /// refresh queued before the probe.
+    fn probe_replica(&self, replica: ReplicaId) -> Result<Version> {
+        let (reply_tx, reply_rx) = unbounded();
+        {
+            let txs = self.replica_txs.lock();
+            let tx = txs
+                .get(replica.index())
+                .ok_or_else(|| Error::Protocol(format!("unknown replica {replica:?}")))?;
+            tx.send(ToReplica::Probe { reply: reply_tx })
+                .map_err(|_| Error::Protocol("replica is shut down".into()))?;
+        }
+        reply_rx
+            .recv()
+            .map_err(|_| Error::Protocol("replica is shut down".into()))
+    }
+
+    /// Removes a replica from the running cluster without losing any
+    /// acknowledged commit:
+    /// 1. the load balancer stops routing to it and waits for its in-flight
+    ///    transactions to complete (the per-replica drain);
+    /// 2. the certifier drops it from the refresh membership (eager commits
+    ///    it alone was blocking complete);
+    /// 3. the load balancer forgets it and its thread shuts down.
+    ///
+    /// Refused when the replica is unknown, is the last routable replica,
+    /// the cluster is draining, or membership belongs to a remote
+    /// certification service.
+    pub fn decommission_replica(&self, replica: ReplicaId) -> Result<()> {
+        if self.remote_certifier {
+            return Err(Error::Unavailable(
+                "decommission refused: cluster membership belongs to the remote \
+                 certification service"
+                    .into(),
+            ));
+        }
+        // 1. Per-replica drain: stop routing, wait out in-flight work.
+        //    Refreshes keep flowing so transactions parked on a start
+        //    requirement still finish.
+        let (reply_tx, reply_rx) = unbounded();
+        self.lb_tx
+            .send(ToLb::DrainReplica {
+                replica,
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))??;
+        // 2. Leave the refresh membership. Every acked commit is already
+        //    durable at the certifier, so cutting the fan-out loses nothing.
+        let (ack_tx, ack_rx) = unbounded();
+        self.cert_tx
+            .send(CertifierRequest::Leave {
+                replica,
+                ack: ack_tx,
+            })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        ack_rx
+            .recv()
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))??;
+        // 3. Forget the replica and stop its thread.
+        let (ack_tx, ack_rx) = unbounded();
+        self.lb_tx
+            .send(ToLb::Detach {
+                replica,
+                ack: ack_tx,
+            })
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        ack_rx
+            .recv()
+            .map_err(|_| Error::Protocol("cluster is shut down".into()))?;
+        self.replicas.fetch_sub(1, Ordering::AcqRel);
+        Ok(())
+    }
+
     /// Gracefully stops the cluster: new transactions are rejected with
     /// [`Error::Unavailable`]-style aborts, every in-flight transaction runs
     /// to completion, the certifier flushes its pending work (and WAL), and
@@ -610,7 +971,7 @@ impl Cluster {
         if self.lb_tx.send(ToLb::Drain { ack: ack_tx }).is_ok() {
             let _ = ack_rx.recv();
         }
-        for h in self.handles {
+        for h in self.handles.into_inner() {
             let _ = h.join();
         }
     }
@@ -618,7 +979,7 @@ impl Cluster {
     /// Stops all threads. In-flight transactions are abandoned.
     pub fn shutdown(self) {
         let _ = self.lb_tx.send(ToLb::Shutdown);
-        for h in self.handles {
+        for h in self.handles.into_inner() {
             let _ = h.join();
         }
     }
@@ -790,6 +1151,12 @@ fn replica_main(
             ToReplica::Ddl { stmt, ack } => {
                 let _ = ack.send(execute_ddl(proxy.engine_mut(), &stmt));
             }
+            ToReplica::ExportSnapshot { chunk_bytes, reply } => {
+                let _ = reply.send(proxy.engine().export_snapshot(chunk_bytes));
+            }
+            ToReplica::Probe { reply } => {
+                let _ = reply.send(proxy.version());
+            }
             ToReplica::Shutdown => break,
         }
     }
@@ -811,7 +1178,7 @@ fn shard_wal_paths(dir: &std::path::Path, shards: usize) -> Vec<std::path::PathB
 fn certifier_main(
     mut certifier: AnyCertifier,
     rx: Receiver<CertifierRequest>,
-    replicas: Vec<Sender<ToReplica>>,
+    replicas: ReplicaTxs,
 ) {
     // Group commit: every certify request sitting in the channel when the
     // thread comes around is certified as one batch, drained to the shard
@@ -826,24 +1193,25 @@ fn certifier_main(
     // batch k+1's conflict probes. At most one batch is ever pending, and
     // decisions are announced strictly in submission (= commit) order.
     let announce = |certifier: &AnyCertifier,
-                    replicas: &Vec<Sender<ToReplica>>,
+                    replicas: &ReplicaTxs,
                     pending: &mut Option<(Vec<ReplicaId>, PendingBatch)>| {
         let Some((origins, batch)) = pending.take() else {
             return;
         };
         let results = batch.wait().expect("certify accepts");
+        let txs = replicas.lock();
         for (origin, (decision, refreshes)) in origins.into_iter().zip(results) {
             for (target, refresh) in certifier.refresh_targets(origin).into_iter().zip(refreshes) {
-                let _ = replicas[target.index()].send(ToReplica::Refresh(refresh));
+                let _ = txs[target.index()].send(ToReplica::Refresh(refresh));
             }
-            let _ = replicas[origin.index()].send(ToReplica::Decision(decision));
+            let _ = txs[origin.index()].send(ToReplica::Decision(decision));
         }
     };
     // Submit the accumulated batch, then announce the *previous* pending
     // batch (its flush has been overlapping this submission) and leave the
     // new one pending.
     let submit = |certifier: &mut AnyCertifier,
-                  replicas: &Vec<Sender<ToReplica>>,
+                  replicas: &ReplicaTxs,
                   batch: &mut Vec<CertifyRequest>,
                   pending: &mut Option<(Vec<ReplicaId>, PendingBatch)>| {
         if batch.is_empty() {
@@ -890,12 +1258,49 @@ fn certifier_main(
                     submit(&mut certifier, &replicas, &mut batch, &mut pending);
                     announce(&certifier, &replicas, &mut pending);
                     if let Some((origin, txn)) = certifier.on_commit_applied(replica, version) {
-                        let _ = replicas[origin.index()].send(ToReplica::GlobalCommit(txn));
+                        let _ = replicas.lock()[origin.index()].send(ToReplica::GlobalCommit(txn));
                     }
                 }
                 // The in-process certifier never declares itself down, so a
                 // sweep acknowledgement has nothing to fence.
                 CertifierRequest::SweepAck { .. } => {}
+                CertifierRequest::Join {
+                    replica,
+                    after,
+                    reply,
+                } => {
+                    // Membership changes only between fully drained batches:
+                    // `refresh_targets` at announce time must match the
+                    // membership at certify time.
+                    submit(&mut certifier, &replicas, &mut batch, &mut pending);
+                    announce(&certifier, &replicas, &mut pending);
+                    certifier.add_replica(replica);
+                    // Credit the joiner for every pending eager commit at or
+                    // below its snapshot version — the snapshot already
+                    // contains those writes, and the joiner will never
+                    // replay them, so without the credit such entries could
+                    // never globally commit.
+                    for (origin, txn) in certifier.on_replica_hello(replica, after) {
+                        let _ = replicas.lock()[origin.index()].send(ToReplica::GlobalCommit(txn));
+                    }
+                    let _ = reply.send(certifier.certified_since(after));
+                }
+                CertifierRequest::Leave { replica, ack } => {
+                    submit(&mut certifier, &replicas, &mut batch, &mut pending);
+                    announce(&certifier, &replicas, &mut pending);
+                    // Entries the leaver alone was blocking complete now.
+                    for (origin, txn) in certifier.remove_replica(replica) {
+                        let _ = replicas.lock()[origin.index()].send(ToReplica::GlobalCommit(txn));
+                    }
+                    let _ = ack.send(Ok(()));
+                }
+                CertifierRequest::History { after, reply } => {
+                    // Drain first so the reply covers everything enqueued
+                    // before the request.
+                    submit(&mut certifier, &replicas, &mut batch, &mut pending);
+                    announce(&certifier, &replicas, &mut pending);
+                    let _ = reply.send(certifier.certified_since(after));
+                }
                 CertifierRequest::Shutdown => {
                     submit(&mut certifier, &replicas, &mut batch, &mut pending);
                     announce(&certifier, &replicas, &mut pending);
@@ -911,7 +1316,7 @@ fn certifier_main(
 fn lb_main(
     mut lb: LoadBalancer,
     rx: Receiver<ToLb>,
-    replicas: Vec<Sender<ToReplica>>,
+    replicas: ReplicaTxs,
     cert: Sender<CertifierRequest>,
 ) {
     let mut replies: HashMap<TxnId, Sender<TxnResult>> = HashMap::new();
@@ -919,6 +1324,9 @@ fn lb_main(
     // last in-flight transaction completes, the shutdown propagates and the
     // drain is acknowledged.
     let mut drain_ack: Option<Sender<()>> = None;
+    // Per-replica drain state (decommission step 1): the drain replies
+    // waiting for their replica's in-flight count to reach zero.
+    let mut replica_drains: HashMap<ReplicaId, Sender<Result<()>>> = HashMap::new();
 
     let abort_reply = |reply: &Sender<TxnResult>, reason: String| {
         let _ = reply.send((
@@ -936,9 +1344,8 @@ fn lb_main(
             Vec::new(),
         ));
     };
-    let propagate_shutdown = |replicas: &Vec<Sender<ToReplica>>,
-                              cert: &Sender<CertifierRequest>| {
-        for r in replicas {
+    let propagate_shutdown = |replicas: &ReplicaTxs, cert: &Sender<CertifierRequest>| {
+        for r in replicas.lock().iter() {
             let _ = r.send(ToReplica::Shutdown);
         }
         let _ = cert.send(CertifierRequest::Shutdown);
@@ -967,12 +1374,23 @@ fn lb_main(
                 };
                 replies.insert(routed.txn, reply);
                 let target = routed.replica.index();
-                let _ = replicas[target].send(ToReplica::Txn { routed, template });
+                let _ = replicas.lock()[target].send(ToReplica::Txn { routed, template });
             }
             ToLb::Outcome { outcome, results } => {
                 lb.on_outcome(&outcome);
+                let on_replica = outcome.replica;
                 if let Some(reply) = replies.remove(&outcome.txn) {
                     let _ = reply.send((outcome, results));
+                }
+                // A decommission drain completes when the last in-flight
+                // transaction on its replica finishes.
+                if replica_drains.contains_key(&on_replica)
+                    && lb.knows_replica(on_replica)
+                    && lb.active_on(on_replica) == 0
+                {
+                    if let Some(reply) = replica_drains.remove(&on_replica) {
+                        let _ = reply.send(Ok(()));
+                    }
                 }
                 if replies.is_empty() {
                     if let Some(ack) = drain_ack.take() {
@@ -983,7 +1401,7 @@ fn lb_main(
                 }
             }
             ToLb::Ddl { stmt, ack } => {
-                for r in &replicas {
+                for r in replicas.lock().iter() {
                     let _ = r.send(ToReplica::Ddl {
                         stmt: stmt.clone(),
                         ack: ack.clone(),
@@ -1007,6 +1425,64 @@ fn lb_main(
                 } else {
                     lb.mark_certifier_down();
                 }
+            }
+            ToLb::Snapshot { chunk_bytes, reply } => {
+                match lb.least_loaded_up() {
+                    Some(donor) => {
+                        let _ = replicas.lock()[donor.index()]
+                            .send(ToReplica::ExportSnapshot { chunk_bytes, reply });
+                    }
+                    // No donor: drop the reply sender; the requester sees a
+                    // hung-up channel and reports Unavailable.
+                    None => drop(reply),
+                }
+            }
+            ToLb::AddReplica { replica, ack } => {
+                lb.add_replica(replica);
+                let _ = ack.send(());
+            }
+            ToLb::Admit { replica, ack } => {
+                if lb.knows_replica(replica) {
+                    lb.mark_up(replica);
+                }
+                let _ = ack.send(());
+            }
+            ToLb::DrainReplica { replica, reply } => {
+                let result = if drain_ack.is_some() {
+                    Err(Error::Unavailable(
+                        "decommission refused: cluster is draining (retry-after)".into(),
+                    ))
+                } else if !lb.knows_replica(replica) {
+                    Err(Error::Protocol(format!(
+                        "decommission refused: unknown replica {}",
+                        replica.index()
+                    )))
+                } else if lb.is_up(replica) && lb.up_count() <= 1 {
+                    Err(Error::Unavailable(
+                        "decommission refused: last available replica (retry-after)".into(),
+                    ))
+                } else {
+                    lb.mark_down(replica);
+                    Ok(())
+                };
+                match result {
+                    Ok(()) if lb.active_on(replica) > 0 => {
+                        // Completed from the Outcome arm once in-flight work
+                        // on this replica reaches zero.
+                        replica_drains.insert(replica, reply);
+                    }
+                    other => {
+                        let _ = reply.send(other);
+                    }
+                }
+            }
+            ToLb::Detach { replica, ack } => {
+                lb.remove_replica(replica);
+                replica_drains.remove(&replica);
+                if let Some(tx) = replicas.lock().get(replica.index()) {
+                    let _ = tx.send(ToReplica::Shutdown);
+                }
+                let _ = ack.send(());
             }
             ToLb::Drain { ack } => {
                 if replies.is_empty() {

@@ -24,6 +24,12 @@ pub fn abort_error(reason: String) -> Error {
     } else if reason.contains("draining")
         || reason.contains("unavailable")
         || reason.contains("overloaded")
+        // Transient membership states: every routable replica is down or
+        // detached (e.g. mid-elasticity), or a join/decommission was
+        // refused with an explicit retry hint. All clear up on their own —
+        // retryable, not a SQL error.
+        || reason.contains("no replica")
+        || reason.contains("retry-after")
     {
         Error::Unavailable(reason)
     } else {

@@ -467,6 +467,11 @@ impl Certifier {
         replica: ReplicaId,
         version: Version,
     ) -> Option<(ReplicaId, TxnId)> {
+        // A report from outside the current membership (a straggler from a
+        // decommissioned replica) must not stand in for a member's credit.
+        if !self.replicas.contains(&replica) {
+            return None;
+        }
         let n = self.replicas.len();
         let state = self.eager_pending.get_mut(&version)?;
         if !state.applied.contains(&replica) {
@@ -638,6 +643,57 @@ impl Certifier {
             }
         }
         completed_versions
+            .into_iter()
+            .map(|v| {
+                let state = self.eager_pending.remove(&v).expect("present");
+                (state.origin, state.txn)
+            })
+            .collect()
+    }
+
+    /// The replica set currently in the refresh fan-out.
+    #[must_use]
+    pub fn replica_set(&self) -> &[ReplicaId] {
+        &self.replicas
+    }
+
+    /// Adds a replica to the refresh fan-out (replica elasticity: join).
+    ///
+    /// Called once the joiner has imported its snapshot and subscribed —
+    /// from this point every new commit fans out to it, and the gap between
+    /// the snapshot version and the subscription point is closed by
+    /// [`Self::certified_since`] replay (the proxy deduplicates overlap).
+    /// In eager mode, commits already pending do **not** wait on the
+    /// joiner: its catch-up replay reports applied versions, which credit
+    /// those entries like any other replica's. Idempotent.
+    pub fn add_replica(&mut self, replica: ReplicaId) {
+        if !self.replicas.contains(&replica) {
+            self.replicas.push(replica);
+        }
+    }
+
+    /// Removes a replica from the refresh fan-out (decommission).
+    ///
+    /// The leaver's credit is dropped from every pending eager entry, and
+    /// entries that now have every *remaining* replica applied complete —
+    /// their `(origin, txn)` pairs are returned in version order so the
+    /// host can deliver the global-commit notifications a departed replica
+    /// can no longer unblock. Unknown replicas return an empty vec.
+    pub fn remove_replica(&mut self, replica: ReplicaId) -> Vec<(ReplicaId, TxnId)> {
+        let Some(idx) = self.replicas.iter().position(|&r| r == replica) else {
+            return Vec::new();
+        };
+        self.replicas.remove(idx);
+        let n = self.replicas.len();
+        let mut completed: Vec<Version> = Vec::new();
+        for (&v, state) in &mut self.eager_pending {
+            state.applied.retain(|&r| r != replica);
+            if n > 0 && state.applied.len() >= n {
+                completed.push(v);
+            }
+        }
+        completed.sort_unstable();
+        completed
             .into_iter()
             .map(|v| {
                 let state = self.eager_pending.remove(&v).expect("present");
@@ -829,6 +885,108 @@ mod tests {
         );
         // Counter is consumed.
         assert_eq!(c.on_commit_applied(ReplicaId(2), v), None);
+    }
+
+    #[test]
+    fn added_replica_receives_fanout_and_counts_toward_eager() {
+        let mut c = Certifier::new(replicas(2));
+        c.set_eager(true);
+        // Before the join: fan-out to 1 target.
+        let (_, r1) = c.certify(req(1, 0, 0, ws(0, 1))).unwrap();
+        assert_eq!(r1.len(), 1);
+        c.add_replica(ReplicaId(2));
+        c.add_replica(ReplicaId(2)); // idempotent
+        assert_eq!(c.replica_set().len(), 3);
+        // After: fan-out to 2, and the eager quorum now includes the joiner.
+        let (d, r2) = c.certify(req(2, 0, 1, ws(0, 2))).unwrap();
+        assert_eq!(r2.len(), 2);
+        assert_eq!(
+            c.refresh_targets(ReplicaId(0)),
+            vec![ReplicaId(1), ReplicaId(2)]
+        );
+        let v = match d {
+            CertifyDecision::Commit { commit_version, .. } => commit_version,
+            _ => panic!("should commit"),
+        };
+        assert_eq!(c.on_commit_applied(ReplicaId(0), v), None);
+        assert_eq!(c.on_commit_applied(ReplicaId(1), v), None);
+        // The pre-join commit (v1) completes without the joiner's credit
+        // only once the joiner replays it — which its catch-up does.
+        assert_eq!(
+            c.on_commit_applied(ReplicaId(2), v),
+            Some((ReplicaId(0), TxnId(2)))
+        );
+    }
+
+    #[test]
+    fn pre_join_eager_entry_completes_via_joiner_catchup_credit() {
+        let mut c = Certifier::new(replicas(2));
+        c.set_eager(true);
+        let (d, _) = c.certify(req(1, 0, 0, ws(0, 1))).unwrap();
+        let v = match d {
+            CertifyDecision::Commit { commit_version, .. } => commit_version,
+            _ => panic!("should commit"),
+        };
+        assert_eq!(c.on_commit_applied(ReplicaId(0), v), None);
+        // Join lands between certification and the last apply report: the
+        // entry now needs all three credits.
+        c.add_replica(ReplicaId(2));
+        assert_eq!(c.on_commit_applied(ReplicaId(1), v), None);
+        // The joiner's catch-up replay of v1 provides the final credit.
+        assert_eq!(
+            c.on_commit_applied(ReplicaId(2), v),
+            Some((ReplicaId(0), TxnId(1)))
+        );
+    }
+
+    #[test]
+    fn remove_replica_drops_credit_and_completes_blocked_entries() {
+        let mut c = Certifier::new(replicas(3));
+        c.set_eager(true);
+        let (d, _) = c.certify(req(1, 0, 0, ws(0, 1))).unwrap();
+        let v = match d {
+            CertifyDecision::Commit { commit_version, .. } => commit_version,
+            _ => panic!("should commit"),
+        };
+        // Replicas 0 and 1 applied; the entry waits only on replica 2.
+        assert_eq!(c.on_commit_applied(ReplicaId(0), v), None);
+        assert_eq!(c.on_commit_applied(ReplicaId(1), v), None);
+        // Decommissioning replica 2 unblocks the global commit.
+        let completed = c.remove_replica(ReplicaId(2));
+        assert_eq!(completed, vec![(ReplicaId(0), TxnId(1))]);
+        assert_eq!(c.replica_set(), &[ReplicaId(0), ReplicaId(1)]);
+        // Unknown removal is a no-op.
+        assert!(c.remove_replica(ReplicaId(9)).is_empty());
+        // New fan-out excludes the leaver.
+        let (_, r) = c.certify(req(2, 0, 1, ws(0, 2))).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn remove_replica_completes_multiple_entries_in_version_order() {
+        let mut c = Certifier::new(replicas(2));
+        c.set_eager(true);
+        let mut versions = Vec::new();
+        for i in 1..=3u64 {
+            let (d, _) = c.certify(req(i, 0, i - 1, ws(0, i as i64))).unwrap();
+            match d {
+                CertifyDecision::Commit { commit_version, .. } => versions.push(commit_version),
+                _ => panic!("should commit"),
+            }
+        }
+        for &v in &versions {
+            assert_eq!(c.on_commit_applied(ReplicaId(0), v), None);
+        }
+        // Replica 1 leaves: all three entries complete, in version order.
+        let completed = c.remove_replica(ReplicaId(1));
+        assert_eq!(
+            completed,
+            vec![
+                (ReplicaId(0), TxnId(1)),
+                (ReplicaId(0), TxnId(2)),
+                (ReplicaId(0), TxnId(3)),
+            ]
+        );
     }
 
     #[test]

@@ -231,6 +231,49 @@ impl LoadBalancer {
             .expect("unknown replica")
     }
 
+    /// Adds a replica to the routing set, **marked down**: a joining
+    /// replica becomes known (so outcome accounting and drain work) before
+    /// it is routable. The join protocol calls [`Self::mark_up`] only once
+    /// the replica has caught up within the lag bound — the admission
+    /// point. Idempotent.
+    pub fn add_replica(&mut self, replica: ReplicaId) {
+        if self.replicas.contains(&replica) {
+            return;
+        }
+        self.replicas.push(replica);
+        self.active.push(0);
+        self.down.push(true);
+    }
+
+    /// Removes a decommissioned replica from the routing set entirely.
+    /// The caller must have drained it first (no new routes + in-flight
+    /// complete); any slots still accounted to it are dropped. Unknown
+    /// replicas are ignored (decommission + crash can race).
+    pub fn remove_replica(&mut self, replica: ReplicaId) {
+        if let Some(idx) = self.replicas.iter().position(|&r| r == replica) {
+            self.replicas.remove(idx);
+            self.active.remove(idx);
+            self.down.remove(idx);
+        }
+    }
+
+    /// Whether `replica` is part of the routing set (up or down).
+    #[must_use]
+    pub fn knows_replica(&self, replica: ReplicaId) -> bool {
+        self.replicas.contains(&replica)
+    }
+
+    /// The least-loaded routable replica (ties broken by position), or
+    /// `None` when every replica is down. Used to pick a snapshot donor
+    /// without disturbing the routing counters.
+    #[must_use]
+    pub fn least_loaded_up(&self) -> Option<ReplicaId> {
+        (0..self.replicas.len())
+            .filter(|&i| !self.down[i])
+            .min_by_key(|&i| (self.active[i], i))
+            .map(|i| self.replicas[i])
+    }
+
     /// Routes a transaction: picks the least-loaded *up* replica, assigns a
     /// [`TxnId`], and computes the start requirement for the current mode.
     /// Fails when every replica is marked down.
@@ -332,8 +375,12 @@ impl LoadBalancer {
     /// Records a transaction outcome reported by a replica: updates active
     /// counts, `V_system`, per-table versions, and the session dictionary.
     pub fn on_outcome(&mut self, outcome: &TxnOutcome) {
-        let idx = self.index_of(outcome.replica);
-        self.active[idx] = self.active[idx].saturating_sub(1);
+        // A straggler outcome from a replica that has since been
+        // decommissioned still carries version/session information; only
+        // the slot accounting is gone.
+        if let Some(idx) = self.replicas.iter().position(|&r| r == outcome.replica) {
+            self.active[idx] = self.active[idx].saturating_sub(1);
+        }
         if !outcome.committed {
             self.stats.aborts += 1;
             return;
@@ -679,6 +726,46 @@ mod tests {
         assert_eq!(s.certifier_downs, 1);
         assert_eq!(s.certifier_ups, 1);
         assert_eq!(s.shed_certifier_down, 1);
+    }
+
+    #[test]
+    fn added_replica_joins_down_and_routes_after_mark_up() {
+        let mut lb = lb(ConsistencyMode::LazyCoarse);
+        lb.add_replica(ReplicaId(3));
+        lb.add_replica(ReplicaId(3)); // idempotent
+        assert!(lb.knows_replica(ReplicaId(3)));
+        assert!(!lb.is_up(ReplicaId(3)));
+        assert_eq!(lb.up_count(), 3);
+        // Not routable until admitted.
+        let picks: Vec<u32> = (0..3)
+            .map(|i| lb.route(request(i, 0)).unwrap().replica.0)
+            .collect();
+        assert!(!picks.contains(&3));
+        // Admission makes it the least-loaded choice.
+        lb.mark_up(ReplicaId(3));
+        assert_eq!(lb.up_count(), 4);
+        assert_eq!(lb.route(request(9, 0)).unwrap().replica, ReplicaId(3));
+    }
+
+    #[test]
+    fn removed_replica_is_forgotten_and_stragglers_are_safe() {
+        let mut lb = lb(ConsistencyMode::LazyCoarse);
+        let routed = lb.route(request(1, 0)).unwrap();
+        assert_eq!(routed.replica, ReplicaId(0));
+        lb.mark_down(ReplicaId(0));
+        lb.remove_replica(ReplicaId(0));
+        lb.remove_replica(ReplicaId(0)); // idempotent
+        assert!(!lb.knows_replica(ReplicaId(0)));
+        assert_eq!(lb.up_count(), 2);
+        // A straggler outcome from the removed replica still advances
+        // version accounting without panicking.
+        lb.on_outcome(&outcome(0, 1, Some(7), 7, &[0]));
+        assert_eq!(lb.v_system(), Version(7));
+        // Routing continues over the survivors.
+        let picks: Vec<u32> = (0..4)
+            .map(|i| lb.route(request(i, 0)).unwrap().replica.0)
+            .collect();
+        assert!(picks.iter().all(|&r| r == 1 || r == 2));
     }
 
     #[test]

@@ -632,6 +632,9 @@ impl ShardedCertifier {
         replica: ReplicaId,
         version: Version,
     ) -> Option<(ReplicaId, TxnId)> {
+        if !self.replicas.contains(&replica) {
+            return None;
+        }
         let n = self.replicas.len();
         let state = self.eager_pending.get_mut(&version)?;
         if !state.applied.contains(&replica) {
@@ -673,6 +676,40 @@ impl ShardedCertifier {
                 completed.push(v);
             }
         }
+        completed
+            .into_iter()
+            .map(|v| {
+                let state = self.eager_pending.remove(&v).expect("present");
+                (state.origin, state.txn)
+            })
+            .collect()
+    }
+
+    /// Adds a replica to the refresh fan-out (join). Membership is global
+    /// (the sequencer's, not per shard). Idempotent.
+    pub fn add_replica(&mut self, replica: ReplicaId) {
+        if !self.replicas.contains(&replica) {
+            self.replicas.push(replica);
+        }
+    }
+
+    /// Removes a replica from the refresh fan-out (decommission), dropping
+    /// its credit from pending eager entries; entries completed by the
+    /// removal are returned in version order.
+    pub fn remove_replica(&mut self, replica: ReplicaId) -> Vec<(ReplicaId, TxnId)> {
+        let Some(idx) = self.replicas.iter().position(|&r| r == replica) else {
+            return Vec::new();
+        };
+        self.replicas.remove(idx);
+        let n = self.replicas.len();
+        let mut completed: Vec<Version> = Vec::new();
+        for (&v, state) in &mut self.eager_pending {
+            state.applied.retain(|&r| r != replica);
+            if n > 0 && state.applied.len() >= n {
+                completed.push(v);
+            }
+        }
+        completed.sort_unstable();
         completed
             .into_iter()
             .map(|v| {
@@ -1684,6 +1721,9 @@ impl ParallelShardedCertifier {
         replica: ReplicaId,
         version: Version,
     ) -> Option<(ReplicaId, TxnId)> {
+        if !self.replicas.contains(&replica) {
+            return None;
+        }
         let n = self.replicas.len();
         let state = self.eager_pending.get_mut(&version)?;
         if !state.applied.contains(&replica) {
@@ -1725,6 +1765,41 @@ impl ParallelShardedCertifier {
                 completed.push(v);
             }
         }
+        completed
+            .into_iter()
+            .map(|v| {
+                let state = self.eager_pending.remove(&v).expect("present");
+                (state.origin, state.txn)
+            })
+            .collect()
+    }
+
+    /// Adds a replica to the refresh fan-out (join). Membership lives at
+    /// the sequencer (the workers never see replica ids), so no worker
+    /// round-trip is needed. Idempotent.
+    pub fn add_replica(&mut self, replica: ReplicaId) {
+        if !self.replicas.contains(&replica) {
+            self.replicas.push(replica);
+        }
+    }
+
+    /// Removes a replica from the refresh fan-out (decommission), dropping
+    /// its credit from pending eager entries; entries completed by the
+    /// removal are returned in version order.
+    pub fn remove_replica(&mut self, replica: ReplicaId) -> Vec<(ReplicaId, TxnId)> {
+        let Some(idx) = self.replicas.iter().position(|&r| r == replica) else {
+            return Vec::new();
+        };
+        self.replicas.remove(idx);
+        let n = self.replicas.len();
+        let mut completed: Vec<Version> = Vec::new();
+        for (&v, state) in &mut self.eager_pending {
+            state.applied.retain(|&r| r != replica);
+            if n > 0 && state.applied.len() >= n {
+                completed.push(v);
+            }
+        }
+        completed.sort_unstable();
         completed
             .into_iter()
             .map(|v| {
@@ -2052,6 +2127,37 @@ impl AnyCertifier {
         match self {
             AnyCertifier::Sequential(c) => c.on_commit_applied(replica, version),
             AnyCertifier::Parallel(c) => c.on_commit_applied(replica, version),
+        }
+    }
+
+    /// Eager mode: credits `replica` as applied for every pending version
+    /// `<= v_local` (post-crash hello, and the join path's way of crediting
+    /// a joiner for the commits its snapshot already contains).
+    pub fn on_replica_hello(
+        &mut self,
+        replica: ReplicaId,
+        v_local: Version,
+    ) -> Vec<(ReplicaId, TxnId)> {
+        match self {
+            AnyCertifier::Sequential(c) => c.on_replica_hello(replica, v_local),
+            AnyCertifier::Parallel(c) => c.on_replica_hello(replica, v_local),
+        }
+    }
+
+    /// Adds a replica to the refresh fan-out (join). Idempotent.
+    pub fn add_replica(&mut self, replica: ReplicaId) {
+        match self {
+            AnyCertifier::Sequential(c) => c.add_replica(replica),
+            AnyCertifier::Parallel(c) => c.add_replica(replica),
+        }
+    }
+
+    /// Removes a replica from the refresh fan-out (decommission); returns
+    /// the eager entries completed by dropping its credit.
+    pub fn remove_replica(&mut self, replica: ReplicaId) -> Vec<(ReplicaId, TxnId)> {
+        match self {
+            AnyCertifier::Sequential(c) => c.remove_replica(replica),
+            AnyCertifier::Parallel(c) => c.remove_replica(replica),
         }
     }
 

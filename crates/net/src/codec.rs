@@ -167,6 +167,41 @@ pub enum Message {
         /// Certified records in commit order.
         records: Vec<LogRecord>,
     },
+    /// Joining node → frontend: request a snapshot bootstrap stream. The
+    /// server exports a consistent checkpoint from a donor replica and
+    /// answers with one [`Message::SnapshotChunk`] per chunk followed by a
+    /// [`Message::SnapshotDone`], all tagged with the request's id. The
+    /// stream rides the reactor's write-buffer backpressure: a slow joiner
+    /// stalls only its own connection.
+    JoinRequest {
+        /// Requested chunk granularity in bytes (the server may clamp).
+        chunk_bytes: u32,
+    },
+    /// Frontend → joining node: one snapshot chunk. Chunks arrive in index
+    /// order; each is independently checksummed in the manifest, so a torn
+    /// or corrupted chunk is detected at import and the joiner restarts the
+    /// bootstrap (possibly from a different donor).
+    SnapshotChunk {
+        /// Position of this chunk in the snapshot stream.
+        index: u32,
+        /// The chunk bytes.
+        data: Vec<u8>,
+    },
+    /// Frontend → joining node: end of the snapshot stream. The manifest is
+    /// shipped in its own self-checksummed encoding
+    /// (`bargain_storage::SnapshotManifest`), which the joiner decodes and
+    /// uses to verify every received chunk.
+    SnapshotDone {
+        /// `SnapshotManifest::encode()` bytes.
+        manifest: Vec<u8>,
+    },
+    /// Joining node → frontend: fetch the certified commit records strictly
+    /// above `after` (the catch-up feed replayed on top of a snapshot).
+    /// Answered with [`Message::History`].
+    CatchUp {
+        /// Return only records with `commit_version > after`.
+        after: Version,
+    },
 }
 
 // ----------------------------------------------------------------------
@@ -213,6 +248,18 @@ fn read_string(r: &mut impl Read) -> Result<String> {
     let mut bytes = vec![0u8; len];
     r.read_exact(&mut bytes)?;
     String::from_utf8(bytes).map_err(|e| Error::Codec(format!("bad utf-8 string: {e}")))
+}
+
+fn write_bytes(buf: &mut Vec<u8>, data: &[u8]) {
+    write_u32(buf, data.len() as u32);
+    buf.extend_from_slice(data);
+}
+
+fn read_bytes(r: &mut impl Read) -> Result<Vec<u8>> {
+    let len = read_u32(r)? as usize;
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes)
 }
 
 // ----------------------------------------------------------------------
@@ -556,6 +603,10 @@ impl Message {
             Message::GlobalCommitFor { .. } => 24,
             Message::FetchHistory { .. } => 25,
             Message::History { .. } => 26,
+            Message::JoinRequest { .. } => 30,
+            Message::SnapshotChunk { .. } => 31,
+            Message::SnapshotDone { .. } => 32,
+            Message::CatchUp { .. } => 33,
         }
     }
 
@@ -648,6 +699,13 @@ impl Message {
                     write_log_record(&mut buf, rec);
                 }
             }
+            Message::JoinRequest { chunk_bytes } => write_u32(&mut buf, *chunk_bytes),
+            Message::SnapshotChunk { index, data } => {
+                write_u32(&mut buf, *index);
+                write_bytes(&mut buf, data);
+            }
+            Message::SnapshotDone { manifest } => write_bytes(&mut buf, manifest),
+            Message::CatchUp { after } => write_u64(&mut buf, after.0),
         }
         buf
     }
@@ -776,6 +834,19 @@ impl Message {
                 }
                 Message::History { records }
             }
+            30 => Message::JoinRequest {
+                chunk_bytes: read_u32(r)?,
+            },
+            31 => Message::SnapshotChunk {
+                index: read_u32(r)?,
+                data: read_bytes(r)?,
+            },
+            32 => Message::SnapshotDone {
+                manifest: read_bytes(r)?,
+            },
+            33 => Message::CatchUp {
+                after: Version(read_u64(r)?),
+            },
             k => return Err(Error::Codec(format!("unknown message kind {k}"))),
         })
     }
@@ -922,6 +993,36 @@ mod tests {
                 },
             ],
         });
+        round_trip(Message::JoinRequest {
+            chunk_bytes: 256 * 1024,
+        });
+        round_trip(Message::SnapshotChunk {
+            index: 7,
+            data: vec![0xAB; 37],
+        });
+        round_trip(Message::SnapshotChunk {
+            index: 0,
+            data: Vec::new(),
+        });
+        round_trip(Message::SnapshotDone {
+            manifest: b"BSNP-manifest-bytes".to_vec(),
+        });
+        round_trip(Message::CatchUp { after: Version(99) });
+    }
+
+    #[test]
+    fn snapshot_chunk_truncation_errors_not_panics() {
+        let msg = Message::SnapshotChunk {
+            index: 3,
+            data: vec![1, 2, 3, 4, 5],
+        };
+        let payload = msg.encode();
+        for cut in 0..payload.len() {
+            assert!(
+                Message::decode(msg.kind(), &payload[..cut]).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   retry/backoff [`conn::ConnectPolicy`]. Retries in-doubt transactions
 //!   under durable idempotency keys, so client-visible commits are
 //!   exactly-once even across connection failures and server restarts.
+//!   [`bootstrap`] is the elasticity counterpart: a joining node streams a
+//!   checksummed snapshot plus catch-up feed from a donor frontend
+//!   ([`bootstrap::bootstrap_engine`]) and restarts the whole fetch from
+//!   another donor on any failure.
 //!
 //! For testing there is also [`chaos`]: a fault-injecting TCP proxy driven
 //! by seed-deterministic schedules ([`chaos::NetFaultPlan`]), used by the
@@ -52,6 +56,7 @@
 //! server.stop();
 //! ```
 
+pub mod bootstrap;
 pub mod certifier;
 pub mod chaos;
 pub mod client;
@@ -61,6 +66,7 @@ pub mod frame;
 pub(crate) mod reactor;
 pub mod server;
 
+pub use bootstrap::{bootstrap_engine, BootstrapConfig, Bootstrapped};
 pub use certifier::{
     CertifierLinkConfig, CertifierServer, CertifierServerConfig, RemoteCertifierLink,
 };

@@ -250,6 +250,13 @@ impl NetServer {
         self.shared.addr
     }
 
+    /// The served cluster, for in-process administration — elasticity
+    /// (join/decommission) and stats — alongside the remote traffic.
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.shared.cluster
+    }
+
     /// Transactions shed so far by the `max_inflight` admission bound.
     #[must_use]
     pub fn shed_count(&self) -> u64 {
@@ -812,18 +819,29 @@ fn worker_loop(
     while let Ok(mut job) = jobs_rx.recv() {
         let mut frames = Vec::with_capacity(job.msgs.len());
         for (request_id, msg) in job.msgs.drain(..) {
-            let reply = handle_request(shared, msg, &mut job.exec);
-            let frame = encode_frame(reply.kind(), request_id, &reply.encode())
-                .or_else(|e| {
-                    // Over-size reply: degrade to the (small) error frame.
-                    encode_frame(
-                        Message::Err(e.clone()).kind(),
-                        request_id,
-                        &Message::Err(e).encode(),
-                    )
-                })
-                .unwrap_or_default();
-            frames.push(frame);
+            // A snapshot bootstrap is the one request answered with a
+            // *stream* of frames (chunks then the manifest), all tagged
+            // with the request's id. They ride the connection's write
+            // queue, so reactor backpressure paces the transfer to the
+            // joiner's read speed.
+            let replies = if let Message::JoinRequest { chunk_bytes } = msg {
+                snapshot_stream(shared, chunk_bytes)
+            } else {
+                vec![handle_request(shared, msg, &mut job.exec)]
+            };
+            for reply in replies {
+                let frame = encode_frame(reply.kind(), request_id, &reply.encode())
+                    .or_else(|e| {
+                        // Over-size reply: degrade to the (small) error frame.
+                        encode_frame(
+                            Message::Err(e.clone()).kind(),
+                            request_id,
+                            &Message::Err(e).encode(),
+                        )
+                    })
+                    .unwrap_or_default();
+                frames.push(frame);
+            }
         }
         let sent = completions_tx.send(Completion {
             token: job.token,
@@ -891,10 +909,41 @@ fn handle_request(shared: &Arc<Shared>, msg: Message, exec: &mut ConnExec) -> Me
             },
             Err(e) => Message::Err(e),
         },
+        Message::CatchUp { after } => match shared.cluster.certified_since(after) {
+            Ok(records) => Message::History { records },
+            Err(e) => Message::Err(e),
+        },
         other => Message::Err(Error::Protocol(format!(
             "unexpected message kind {} on a frontend connection",
             other.kind()
         ))),
+    }
+}
+
+/// Builds the reply stream for a [`Message::JoinRequest`]: one
+/// [`Message::SnapshotChunk`] per exported chunk, then the self-checksummed
+/// manifest in [`Message::SnapshotDone`]. Any export failure (no donor up,
+/// cluster draining) collapses to a single error frame.
+fn snapshot_stream(shared: &Arc<Shared>, chunk_bytes: u32) -> Vec<Message> {
+    // Clamp the requested granularity: big enough to amortize the frame
+    // envelope, small enough that a chunk always fits a frame
+    // (MAX_FRAME_LEN is 64 MiB) with room to spare.
+    let chunk_bytes = (chunk_bytes as usize).clamp(4 * 1024, 16 * 1024 * 1024);
+    match shared.cluster.export_snapshot(chunk_bytes) {
+        Ok(snapshot) => {
+            let mut msgs = Vec::with_capacity(snapshot.chunks.len() + 1);
+            for (index, data) in snapshot.chunks.into_iter().enumerate() {
+                msgs.push(Message::SnapshotChunk {
+                    index: index as u32,
+                    data,
+                });
+            }
+            msgs.push(Message::SnapshotDone {
+                manifest: snapshot.manifest.encode(),
+            });
+            msgs
+        }
+        Err(e) => vec![Message::Err(e)],
     }
 }
 

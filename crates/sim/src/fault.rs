@@ -65,6 +65,33 @@ pub enum FaultKind {
         /// How long the shard stays down (virtual ms).
         down_ms: u64,
     },
+    /// A new replica joins the running cluster: it bootstraps from a live
+    /// donor's consistent snapshot (chunked and checksummed, exactly like
+    /// the TCP snapshot-ship protocol), replays the commits certified after
+    /// the snapshot's cut, and is admitted into the routing set only once
+    /// its lag is inside `SimConfig::join_lag_bound`. The two knobs inject
+    /// the bootstrap failure modes; each is one-shot, so the *retry* is
+    /// exercised too.
+    ReplicaJoin {
+        /// Crash the donor halfway through the snapshot transfer (a real
+        /// crash, counted in `replica_crashes`): the joiner abandons the
+        /// stream and restarts the whole fetch from the next live donor.
+        donor_crash: bool,
+        /// Corrupt one chunk of the transfer in flight: the checksum
+        /// verification at import rejects the snapshot wholesale and the
+        /// joiner refetches from another donor.
+        corrupt_chunk: bool,
+    },
+    /// Replica `replica` is decommissioned: it is drained (no new
+    /// transactions routed; in-flight work completes) and then removed from
+    /// the refresh fan-out and the routing set. Acked commits must survive —
+    /// the durable history lives at the certifier, not the leaver. A no-op
+    /// if the target is the last routable replica, already gone, or already
+    /// draining.
+    ReplicaLeave {
+        /// The leaving replica's index (an initial replica).
+        replica: usize,
+    },
 }
 
 /// A fault scheduled at an absolute point of virtual time.
@@ -219,6 +246,93 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// The elasticity acceptance schedule: one replica joins at
+    /// `join_at_ms` (optionally through a donor crash and/or a corrupted
+    /// chunk, so the retry path runs), and replica `leave_replica` is
+    /// decommissioned at `leave_at_ms`.
+    #[must_use]
+    pub fn join_then_leave(
+        join_at_ms: u64,
+        donor_crash: bool,
+        corrupt_chunk: bool,
+        leave_at_ms: u64,
+        leave_replica: usize,
+    ) -> Self {
+        FaultPlan::none()
+            .with(
+                join_at_ms,
+                FaultKind::ReplicaJoin {
+                    donor_crash,
+                    corrupt_chunk,
+                },
+            )
+            .with(
+                leave_at_ms,
+                FaultKind::ReplicaLeave {
+                    replica: leave_replica,
+                },
+            )
+    }
+
+    /// A pseudo-random *elastic* plan: always one [`FaultKind::ReplicaJoin`]
+    /// (with seed-drawn donor-crash / corrupt-chunk knobs) early in the
+    /// window and one [`FaultKind::ReplicaLeave`] later, plus one to three
+    /// background faults from the [`FaultPlan::random`] mix. Same seed,
+    /// same plan.
+    #[must_use]
+    pub fn random_elastic(seed: u64, replicas: usize, horizon_ms: u64) -> Self {
+        let mut state = seed ^ 0x6C62_272E_07BB_0142;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let lo = horizon_ms / 5;
+        let hi = horizon_ms * 17 / 20;
+        let span = hi.saturating_sub(lo).max(2);
+        // Join in the first half of the window, leave in the second: the
+        // joiner is usually admitted (and routable) before the leaver
+        // drains, so the membership change overlaps live traffic from both
+        // directions.
+        let join_at = lo + next() % (span / 2).max(1);
+        let leave_at = lo + span / 2 + next() % (span / 2).max(1);
+        let mut plan = FaultPlan::none()
+            .with(
+                join_at,
+                FaultKind::ReplicaJoin {
+                    donor_crash: next() % 3 == 0,
+                    corrupt_chunk: next() % 3 == 0,
+                },
+            )
+            .with(
+                leave_at,
+                FaultKind::ReplicaLeave {
+                    replica: (next() % replicas.max(1) as u64) as usize,
+                },
+            );
+        let n_background = 1 + (next() % 3) as usize; // 1..=3
+        for _ in 0..n_background {
+            let at_ms = lo + next() % span;
+            let kind = match next() % 3 {
+                0 => FaultKind::ReplicaCrash {
+                    replica: (next() % replicas.max(1) as u64) as usize,
+                    down_ms: 20 + next() % 120,
+                },
+                1 => FaultKind::DropRefreshes {
+                    replica: (next() % replicas.max(1) as u64) as usize,
+                    count: 1 + (next() % 3) as u32,
+                },
+                _ => FaultKind::DelayNet {
+                    extra_us: 500 + next() % 4_500,
+                    duration_ms: 50 + next() % 200,
+                },
+            };
+            plan = plan.with(at_ms, kind);
+        }
+        plan
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +405,80 @@ mod tests {
                 .any(|e| matches!(e.kind, FaultKind::CertifierShardCrash { .. }))
         });
         assert!(any_shard_crash);
+    }
+
+    #[test]
+    fn join_then_leave_plan_has_both_membership_events() {
+        let p = FaultPlan::join_then_leave(200, true, false, 900, 1);
+        assert_eq!(p.events.len(), 2);
+        assert!(matches!(
+            p.events[0].kind,
+            FaultKind::ReplicaJoin {
+                donor_crash: true,
+                corrupt_chunk: false,
+            }
+        ));
+        assert!(matches!(
+            p.events[1].kind,
+            FaultKind::ReplicaLeave { replica: 1 }
+        ));
+        assert!(p.events[0].at_ms < p.events[1].at_ms);
+    }
+
+    #[test]
+    fn random_elastic_plans_are_deterministic_with_join_before_leave() {
+        let a = FaultPlan::random_elastic(7, 3, 2_000);
+        let b = FaultPlan::random_elastic(7, 3, 2_000);
+        assert_eq!(a, b);
+        assert!((3..=5).contains(&a.events.len()));
+        for seed in 0..8u64 {
+            let p = FaultPlan::random_elastic(seed, 3, 2_000);
+            let join_at = p
+                .events
+                .iter()
+                .find_map(|e| matches!(e.kind, FaultKind::ReplicaJoin { .. }).then_some(e.at_ms))
+                .expect("every elastic plan has a join");
+            let leave = p
+                .events
+                .iter()
+                .find(|e| matches!(e.kind, FaultKind::ReplicaLeave { .. }))
+                .expect("every elastic plan has a leave");
+            assert!(join_at < leave.at_ms, "join fires before the leave");
+            if let FaultKind::ReplicaLeave { replica } = leave.kind {
+                assert!(replica < 3);
+            }
+        }
+        // The one-shot failure knobs must actually come up across a small
+        // seed range, or the retry paths go untested.
+        let any_donor_crash = (0..16).any(|s| {
+            FaultPlan::random_elastic(s, 3, 2_000)
+                .events
+                .iter()
+                .any(|e| {
+                    matches!(
+                        e.kind,
+                        FaultKind::ReplicaJoin {
+                            donor_crash: true,
+                            ..
+                        }
+                    )
+                })
+        });
+        let any_corrupt = (0..16).any(|s| {
+            FaultPlan::random_elastic(s, 3, 2_000)
+                .events
+                .iter()
+                .any(|e| {
+                    matches!(
+                        e.kind,
+                        FaultKind::ReplicaJoin {
+                            corrupt_chunk: true,
+                            ..
+                        }
+                    )
+                })
+        });
+        assert!(any_donor_crash && any_corrupt);
     }
 
     #[test]

@@ -153,6 +153,16 @@ pub struct SimReport {
     pub refreshes_dropped: u64,
     /// Re-synchronization rounds replicas ran to repair crash/drop gaps.
     pub resyncs: u64,
+    /// Replicas that joined the cluster mid-run (snapshot-ship bootstrap,
+    /// catch-up, admission) and became routable.
+    pub replicas_joined: u64,
+    /// Replicas decommissioned mid-run (drained, then removed from the
+    /// membership).
+    pub replicas_left: u64,
+    /// Bootstrap attempts a joiner abandoned and restarted from another
+    /// donor (donor crash mid-stream, or a snapshot rejected by its
+    /// chunk checksums).
+    pub bootstrap_retries: u64,
     /// Acknowledged commit versions missing from the certifier's durable
     /// log at the end of the run. Any non-zero value is a lost acked
     /// commit — the headline property says this must be 0 under every
@@ -238,6 +248,9 @@ impl SimReport {
             replica_crashes: 0,
             refreshes_dropped: 0,
             resyncs: 0,
+            replicas_joined: 0,
+            replicas_left: 0,
+            bootstrap_retries: 0,
             lost_acked_commits: 0,
         }
     }

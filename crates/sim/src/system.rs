@@ -32,12 +32,19 @@ use bargain_core::{
     CertifyDecision, CertifyRequest, ConsistencyChecker, LoadBalancer, Proxy, ProxyEvent, Refresh,
     RoutedTxn, ShardedCertifier, StartDecision, TxnOutcome, TxnRequest,
 };
-use bargain_storage::Engine;
+use bargain_sql::TransactionTemplate;
+use bargain_storage::{Engine, SnapshotManifest};
 use bargain_workloads::{ClientContext, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// Chunk granularity for join-bootstrap snapshot exports: small enough
+/// that a workload-sized snapshot spans several chunks (so chunk-level
+/// corruption faults land inside the stream), large enough to keep export
+/// overhead negligible.
+const JOIN_CHUNK_BYTES: usize = 64 * 1024;
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -69,6 +76,11 @@ pub struct SimConfig {
     /// `FaultKind::CertifierShardCrash` becomes injectable: one shard dies
     /// while traffic over the healthy shards keeps flowing.
     pub certifier_shards: usize,
+    /// Admission lag bound for a joining replica (versions): after its
+    /// snapshot import and catch-up replay, a joiner becomes routable only
+    /// once the certifier's commit version is within this many versions of
+    /// its own. Mirrors `JoinOptions::lag_bound` in the live cluster.
+    pub join_lag_bound: u64,
     /// Model the certifier in its parallel execution mode: the service
     /// time of a certification batch divides its conflict-check work
     /// across `certifier_shards` workers (plus a sequencer residue — see
@@ -94,6 +106,7 @@ impl Default for SimConfig {
             early_certification: true,
             faults: FaultPlan::default(),
             certifier_shards: 1,
+            join_lag_bound: 64,
             parallel_certifier: false,
         }
     }
@@ -191,6 +204,44 @@ enum Event {
     NetCalm {
         extra_us: SimTime,
     },
+    /// A joining replica (re)starts its snapshot fetch: pick a live donor,
+    /// export, and put the transfer on the wire.
+    JoinFetch {
+        join: usize,
+    },
+    /// A joiner's snapshot transfer completes (the bytes as they arrived —
+    /// possibly corrupted in flight; import verifies every chunk checksum).
+    SnapshotAtJoiner {
+        join: usize,
+        manifest: SnapshotManifest,
+        chunks: Vec<Vec<u8>>,
+    },
+    /// Admission poll for a bootstrapped joiner: routable once its lag is
+    /// inside the bound, otherwise another catch-up round and re-check.
+    AdmitCheck {
+        replica: usize,
+    },
+    /// Drain poll for a decommissioning replica: removed from membership
+    /// once its last in-flight transaction completes.
+    DrainCheck {
+        replica: usize,
+    },
+}
+
+/// Progress of one injected [`FaultKind::ReplicaJoin`].
+///
+/// The joiner's [`ReplicaId`] is assigned only when its snapshot imports
+/// successfully: it is then `ReplicaId(proxies.len())`, preserving the
+/// simulator's invariant that a replica's id equals its index in the proxy
+/// vector (decommissioned replicas stay in the vector as tombstones, so
+/// positions never shift).
+struct JoinState {
+    /// One-shot: crash the donor mid-transfer on the next fetch.
+    donor_crash: bool,
+    /// One-shot: corrupt a chunk of the next transfer.
+    corrupt_chunk: bool,
+    /// Set once the joiner's snapshot has imported (the fetch is over).
+    done: bool,
 }
 
 #[derive(Default)]
@@ -261,6 +312,18 @@ struct Sim<'w> {
     replica_epoch: Vec<u32>,
     /// Outstanding injected refresh-drop budgets per replica.
     drop_refreshes: Vec<u32>,
+    /// Per-replica "decommissioned" flags: a gone replica is out of the
+    /// membership for good (unlike a crash, nothing restarts it) and
+    /// messages addressed to it are silently moot.
+    replica_gone: Vec<bool>,
+    /// Per-replica drain-in-progress flags (decommission requested, last
+    /// in-flight transactions completing).
+    draining: Vec<bool>,
+    /// The workload's transaction templates, kept so a joining replica's
+    /// proxy can be built mid-run.
+    templates: Vec<Arc<TransactionTemplate>>,
+    /// Progress of injected replica joins.
+    joins: Vec<JoinState>,
     /// Extra per-message latency from active injected slowdown windows.
     net_extra_us: SimTime,
     n_faults: u64,
@@ -268,6 +331,9 @@ struct Sim<'w> {
     n_replica_crashes: u64,
     n_refreshes_dropped: u64,
     n_resyncs: u64,
+    n_joins: u64,
+    n_leaves: u64,
+    n_bootstrap_retries: u64,
 }
 
 /// Runs one simulation and returns its report.
@@ -285,7 +351,8 @@ impl<'w> Sim<'w> {
         for f in &cfg.faults.events {
             match f.kind {
                 FaultKind::ReplicaCrash { replica, .. }
-                | FaultKind::DropRefreshes { replica, .. } => {
+                | FaultKind::DropRefreshes { replica, .. }
+                | FaultKind::ReplicaLeave { replica } => {
                     assert!(
                         replica < cfg.replicas,
                         "fault plan targets replica {replica}, cluster has {}",
@@ -387,12 +454,19 @@ impl<'w> Sim<'w> {
             replica_up: vec![true; n_replicas],
             replica_epoch: vec![0; n_replicas],
             drop_refreshes: vec![0; n_replicas],
+            replica_gone: vec![false; n_replicas],
+            draining: vec![false; n_replicas],
+            templates,
+            joins: Vec::new(),
             net_extra_us: 0,
             n_faults: 0,
             n_cert_crashes: 0,
             n_replica_crashes: 0,
             n_refreshes_dropped: 0,
             n_resyncs: 0,
+            n_joins: 0,
+            n_leaves: 0,
+            n_bootstrap_retries: 0,
         }
     }
 
@@ -445,6 +519,9 @@ impl<'w> Sim<'w> {
         report.replica_crashes = self.n_replica_crashes;
         report.refreshes_dropped = self.n_refreshes_dropped;
         report.resyncs = self.n_resyncs;
+        report.replicas_joined = self.n_joins;
+        report.replicas_left = self.n_leaves;
+        report.bootstrap_retries = self.n_bootstrap_retries;
         if self.cfg.check_consistency && !self.cfg.faults.is_empty() {
             // The headline durability property: every acknowledged commit
             // version must still be in the certifier's durable history.
@@ -675,6 +752,11 @@ impl<'w> Sim<'w> {
                 self.on_decision_at_replica(replica, decision);
             }
             Event::RefreshAtReplica { replica, refresh } => {
+                if self.replica_gone[replica] {
+                    // Decommissioned, not crashed: a refresh still in flight
+                    // to it is moot, not lost.
+                    return;
+                }
                 if !self.replica_up[replica] {
                     self.n_refreshes_dropped += 1;
                     return;
@@ -741,10 +823,14 @@ impl<'w> Sim<'w> {
             }
             Event::AckAtClient { outcome } => self.on_ack_at_client(outcome),
             Event::PruneTick => {
+                // Decommissioned replicas are frozen at their final version
+                // and must not pin the certifier's history floor.
                 let floor = self
                     .proxies
                     .iter()
-                    .map(Proxy::min_snapshot_bound)
+                    .enumerate()
+                    .filter(|&(r, _)| !self.replica_gone[r])
+                    .map(|(_, p)| p.min_snapshot_bound())
                     .min()
                     .unwrap_or(Version::ZERO);
                 self.certifier.prune(floor);
@@ -754,8 +840,10 @@ impl<'w> Sim<'w> {
                 // Background version-chain garbage collection, as a real
                 // MVCC engine's vacuum would run. Modelled as free (it
                 // executes off the transaction path).
-                for p in &mut self.proxies {
-                    p.engine_mut().gc();
+                for (r, p) in self.proxies.iter_mut().enumerate() {
+                    if !self.replica_gone[r] {
+                        p.engine_mut().gc();
+                    }
                 }
                 self.queue.schedule(2_000 * MS, Event::GcTick);
             }
@@ -767,6 +855,14 @@ impl<'w> Sim<'w> {
             Event::NetCalm { extra_us } => {
                 self.net_extra_us = self.net_extra_us.saturating_sub(extra_us);
             }
+            Event::JoinFetch { join } => self.on_join_fetch(join),
+            Event::SnapshotAtJoiner {
+                join,
+                manifest,
+                chunks,
+            } => self.on_snapshot_at_joiner(join, manifest, chunks),
+            Event::AdmitCheck { replica } => self.on_admit_check(replica),
+            Event::DrainCheck { replica } => self.on_drain_check(replica),
         }
     }
 
@@ -863,6 +959,48 @@ impl<'w> Sim<'w> {
                 self.checker.record_fault("network slowdown");
                 self.queue
                     .schedule(duration_ms * MS, Event::NetCalm { extra_us });
+            }
+            FaultKind::ReplicaJoin {
+                donor_crash,
+                corrupt_chunk,
+            } => {
+                self.n_faults += 1;
+                self.joins.push(JoinState {
+                    donor_crash,
+                    corrupt_chunk,
+                    done: false,
+                });
+                let join = self.joins.len() - 1;
+                self.checker.record_fault(format!("join {join} requested"));
+                self.on_join_fetch(join);
+            }
+            FaultKind::ReplicaLeave { replica } => {
+                if replica >= self.proxies.len()
+                    || self.replica_gone[replica]
+                    || self.draining[replica]
+                {
+                    return; // already gone or already on its way out
+                }
+                let rid = self.proxies[replica].replica();
+                // Refuse to drain the last routable replica — the real
+                // cluster classifies this as a refused decommission.
+                let others_routable = (0..self.proxies.len()).any(|r| {
+                    r != replica
+                        && !self.replica_gone[r]
+                        && self.lb.knows_replica(self.proxies[r].replica())
+                        && self.lb.is_up(self.proxies[r].replica())
+                });
+                if !others_routable {
+                    return;
+                }
+                self.n_faults += 1;
+                self.draining[replica] = true;
+                // Stop new routes; in-flight transactions run to completion
+                // (their outcomes release the LB slots the drain waits on).
+                self.lb.mark_down(rid);
+                self.checker
+                    .record_fault(format!("replica {replica} decommission requested"));
+                self.queue.schedule(MS, Event::DrainCheck { replica });
             }
         }
     }
@@ -962,6 +1100,9 @@ impl<'w> Sim<'w> {
     }
 
     fn on_replica_restart(&mut self, replica: usize) {
+        if self.replica_gone[replica] {
+            return; // decommissioned while it was down; nothing comes back
+        }
         self.replica_up[replica] = true;
         self.replica_epoch[replica] += 1;
         let rid = self.proxies[replica].replica();
@@ -989,8 +1130,8 @@ impl<'w> Sim<'w> {
     }
 
     fn on_resync_replica(&mut self, replica: usize) {
-        if !self.replica_up[replica] {
-            return; // crashed again before the resync ran
+        if self.replica_gone[replica] || !self.replica_up[replica] {
+            return; // crashed again (or decommissioned) before the resync ran
         }
         if !self.cert_up {
             // The certified history lives at the certifier; retry shortly.
@@ -1022,6 +1163,215 @@ impl<'w> Sim<'w> {
                 },
             );
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Elasticity: replica join (snapshot-ship bootstrap) and decommission
+    // ------------------------------------------------------------------
+
+    /// Starts (or restarts) a joiner's snapshot fetch: pick the least-
+    /// loaded routable donor, export its consistent checkpoint, and put
+    /// the transfer on the wire. The injected one-shot failure knobs fire
+    /// here, each consuming itself so the retry runs clean.
+    fn on_join_fetch(&mut self, join: usize) {
+        if self.joins[join].done {
+            return;
+        }
+        // Donor selection mirrors the live cluster's: the least-loaded
+        // routable replica (crashed and draining replicas are marked down,
+        // so they are never chosen).
+        let Some(donor_rid) = self.lb.least_loaded_up() else {
+            // No live donor right now; the joiner keeps knocking.
+            self.queue.schedule(10 * MS, Event::JoinFetch { join });
+            return;
+        };
+        let donor = donor_rid.index();
+        let snapshot = self.proxies[donor]
+            .engine()
+            .export_snapshot(JOIN_CHUNK_BYTES);
+        let transfer = self.net_delay(snapshot.manifest.total_bytes as usize);
+        if self.joins[join].donor_crash {
+            self.joins[join].donor_crash = false;
+            self.n_bootstrap_retries += 1;
+            self.checker
+                .record_fault(format!("join donor {donor} crashes mid-snapshot"));
+            // The donor dies halfway through the stream — a real crash,
+            // with all the usual consequences for its own traffic. The
+            // joiner notices the dead stream and refetches from the next
+            // donor; nothing of the partial transfer is kept.
+            self.queue.schedule(
+                transfer / 2,
+                Event::Fault(FaultKind::ReplicaCrash {
+                    replica: donor,
+                    down_ms: 200,
+                }),
+            );
+            self.queue
+                .schedule(transfer / 2 + 5 * MS, Event::JoinFetch { join });
+            return;
+        }
+        let mut chunks = snapshot.chunks;
+        if self.joins[join].corrupt_chunk {
+            self.joins[join].corrupt_chunk = false;
+            // Flip one bit in the middle of the middle chunk: the per-chunk
+            // CRC verification at import must reject the whole transfer.
+            let mid = chunks.len() / 2;
+            if let Some(chunk) = chunks.get_mut(mid) {
+                let at = chunk.len() / 2;
+                if let Some(byte) = chunk.get_mut(at) {
+                    *byte ^= 0x40;
+                }
+            }
+        }
+        self.queue.schedule(
+            transfer,
+            Event::SnapshotAtJoiner {
+                join,
+                manifest: snapshot.manifest,
+                chunks,
+            },
+        );
+    }
+
+    /// A snapshot transfer lands at the joiner: verify and import it,
+    /// stand the replica up (known to the membership but *not* routable),
+    /// and start the catch-up / admission loop.
+    fn on_snapshot_at_joiner(
+        &mut self,
+        join: usize,
+        manifest: SnapshotManifest,
+        chunks: Vec<Vec<u8>>,
+    ) {
+        if self.joins[join].done {
+            return;
+        }
+        let engine = match Engine::import_snapshot(&manifest, &chunks) {
+            Ok(engine) => engine,
+            Err(_) => {
+                // A chunk failed its checksum: the torn transfer is
+                // rejected wholesale and refetched from another donor —
+                // the same restart-from-scratch policy as the TCP
+                // bootstrap.
+                self.n_bootstrap_retries += 1;
+                self.checker
+                    .record_fault(format!("join {join} snapshot rejected (checksum)"));
+                self.queue.schedule(5 * MS, Event::JoinFetch { join });
+                return;
+            }
+        };
+        self.joins[join].done = true;
+        let replica = self.proxies.len();
+        let rid = ReplicaId(replica as u32);
+        let mut proxy = Proxy::new(rid, self.cfg.mode, engine);
+        proxy.set_early_certification(self.cfg.early_certification);
+        for t in &self.templates {
+            proxy.register_template(Arc::clone(t));
+        }
+        self.proxies.push(proxy);
+        self.replica_res
+            .push(Resource::new(self.cfg.costs.replica_workers));
+        self.apply_res.push(Resource::new(1));
+        self.replica_up.push(true);
+        self.replica_epoch.push(0);
+        self.drop_refreshes.push(0);
+        self.replica_gone.push(false);
+        self.draining.push(false);
+        // Membership order matters: into the refresh fan-out first (no
+        // commit certified from here on can be missed), then into the
+        // routing set *marked down* — the joiner serves nothing until the
+        // admission check passes.
+        self.certifier.add_replica(rid);
+        // Credit the joiner for every pending eager commit at or below its
+        // snapshot version: those writes are already inside the shipped
+        // snapshot and the joiner will never replay them, so without the
+        // credit such entries could never globally commit (mirrors the
+        // cluster runtime's Join handling). No-op outside eager mode.
+        for (origin, txn) in self.certifier.on_replica_hello(rid, manifest.version) {
+            let d = self.net_delay(0);
+            self.queue.schedule(
+                d,
+                Event::GlobalCommitAtReplica {
+                    replica: origin.index(),
+                    txn,
+                },
+            );
+        }
+        self.lb.add_replica(rid);
+        self.checker.record_fault(format!(
+            "replica {replica} bootstrapped at v{}",
+            manifest.version.0
+        ));
+        // Catch-up: replay the certified suffix after the snapshot's cut,
+        // then poll for admission.
+        self.queue.schedule(0, Event::ResyncReplica { replica });
+        self.queue.schedule(5 * MS, Event::AdmitCheck { replica });
+    }
+
+    /// Admission poll: the joiner becomes routable once the certifier's
+    /// commit version is within `join_lag_bound` of its own — the same
+    /// admission rule as the live cluster's join protocol.
+    fn on_admit_check(&mut self, replica: usize) {
+        if self.replica_gone[replica] || !self.replica_up[replica] {
+            return;
+        }
+        let rid = self.proxies[replica].replica();
+        if self.lb.is_up(rid) {
+            return; // already admitted
+        }
+        let lag = self
+            .certifier
+            .version()
+            .0
+            .saturating_sub(self.proxies[replica].version().0);
+        if lag <= self.cfg.join_lag_bound {
+            self.lb.mark_up(rid);
+            self.n_joins += 1;
+            self.checker
+                .record_fault(format!("replica {replica} admitted (lag {lag})"));
+        } else {
+            // Another catch-up round, then re-check.
+            self.queue.schedule(0, Event::ResyncReplica { replica });
+            self.queue.schedule(10 * MS, Event::AdmitCheck { replica });
+        }
+    }
+
+    /// Drain poll for a decommissioning replica: the leave completes once
+    /// its last in-flight transaction has released its routing slot — no
+    /// acknowledged work is cut short, nothing new arrives.
+    fn on_drain_check(&mut self, replica: usize) {
+        if self.replica_gone[replica] {
+            return;
+        }
+        let rid = self.proxies[replica].replica();
+        if self.lb.active_on(rid) > 0 {
+            self.queue.schedule(MS, Event::DrainCheck { replica });
+            return;
+        }
+        // Drained: out of the routing set and the refresh fan-out. Under
+        // the eager mode, shrinking the membership can complete pending
+        // global commits (the leaver's ack is no longer awaited).
+        self.lb.remove_replica(rid);
+        for (origin, txn) in self.certifier.remove_replica(rid) {
+            let d = self.net_delay(0);
+            self.queue.schedule(
+                d,
+                Event::GlobalCommitAtReplica {
+                    replica: origin.index(),
+                    txn,
+                },
+            );
+        }
+        self.draining[replica] = false;
+        self.replica_gone[replica] = true;
+        self.replica_up[replica] = false;
+        // Invalidate whatever is still queued on its lanes; the proxy
+        // stays in the vector as a tombstone so indices never shift.
+        self.replica_epoch[replica] += 1;
+        let _ = self.replica_res[replica].drain();
+        let _ = self.apply_res[replica].drain();
+        self.n_leaves += 1;
+        self.checker
+            .record_fault(format!("replica {replica} decommissioned"));
     }
 
     fn on_client_issue(&mut self, client: usize) {

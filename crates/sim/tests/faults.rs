@@ -357,6 +357,177 @@ fn parallel_sharded_fault_sweep_holds_the_headline_property() {
 }
 
 #[test]
+fn replica_join_bootstraps_catches_up_and_is_admitted() {
+    // A clean join: snapshot-ship from a live donor, catch-up replay,
+    // admission into the routing set — all while the closed loop keeps
+    // committing. No retry should be needed.
+    let w = workload();
+    let plan = FaultPlan::none().with(
+        500,
+        FaultKind::ReplicaJoin {
+            donor_crash: false,
+            corrupt_chunk: false,
+        },
+    );
+    let r = simulate(&w, &faulty_cfg(ConsistencyMode::LazyFine, plan));
+    assert_eq!(r.replicas_joined, 1, "the joiner must be admitted");
+    assert_eq!(r.bootstrap_retries, 0);
+    assert!(r.committed > 0);
+    assert_eq!(r.violations, 0);
+    assert_eq!(r.lost_acked_commits, 0);
+}
+
+#[test]
+fn join_survives_donor_crash_mid_snapshot() {
+    // The donor dies halfway through the stream: the joiner abandons the
+    // attempt and restarts the whole fetch from the next live donor. The
+    // donor crash is a real crash (counted, recovered from) — and the join
+    // still completes.
+    let w = workload();
+    let plan = FaultPlan::none().with(
+        500,
+        FaultKind::ReplicaJoin {
+            donor_crash: true,
+            corrupt_chunk: false,
+        },
+    );
+    let r = simulate(&w, &faulty_cfg(ConsistencyMode::LazyFine, plan));
+    assert_eq!(r.replicas_joined, 1, "the retry must succeed");
+    assert!(r.bootstrap_retries >= 1, "the first fetch was abandoned");
+    assert!(r.replica_crashes >= 1, "the donor really crashed");
+    assert_eq!(r.violations, 0);
+    assert_eq!(r.lost_acked_commits, 0);
+}
+
+#[test]
+fn join_rejects_corrupt_chunk_and_retries() {
+    // One chunk of the transfer is corrupted in flight: the import's
+    // checksum verification rejects the snapshot wholesale and the joiner
+    // refetches — torn state never becomes a serving replica.
+    let w = workload();
+    let plan = FaultPlan::none().with(
+        500,
+        FaultKind::ReplicaJoin {
+            donor_crash: false,
+            corrupt_chunk: true,
+        },
+    );
+    let r = simulate(&w, &faulty_cfg(ConsistencyMode::LazyFine, plan));
+    assert_eq!(r.replicas_joined, 1);
+    assert!(
+        r.bootstrap_retries >= 1,
+        "the corrupted transfer must be rejected"
+    );
+    assert_eq!(r.replica_crashes, 0, "no crash involved this time");
+    assert_eq!(r.violations, 0);
+    assert_eq!(r.lost_acked_commits, 0);
+}
+
+#[test]
+fn replica_leave_drains_cleanly_without_losing_acked_commits() {
+    let w = workload();
+    let plan = FaultPlan::none().with(600, FaultKind::ReplicaLeave { replica: 2 });
+    let r = simulate(&w, &faulty_cfg(ConsistencyMode::LazyFine, plan));
+    assert_eq!(r.replicas_left, 1, "the leaver must drain and depart");
+    assert!(r.committed > 0, "the remaining replicas keep serving");
+    assert_eq!(r.violations, 0);
+    assert_eq!(r.lost_acked_commits, 0);
+}
+
+#[test]
+fn leave_of_the_last_routable_replica_is_refused() {
+    // With a single replica, decommission must be refused (the real
+    // cluster classifies this as a refused leave): the cluster keeps
+    // serving and nothing departs.
+    let w = workload();
+    let plan = FaultPlan::none().with(600, FaultKind::ReplicaLeave { replica: 0 });
+    let mut cfg = faulty_cfg(ConsistencyMode::LazyFine, plan);
+    cfg.replicas = 1;
+    let r = simulate(&w, &cfg);
+    assert_eq!(r.replicas_left, 0, "the last replica must not leave");
+    assert!(r.committed > 0);
+    assert_eq!(r.violations, 0);
+}
+
+#[test]
+fn elastic_run_is_byte_identical_for_same_seed_and_plan() {
+    // Join (through a donor crash *and* a corrupted chunk) plus a leave:
+    // the full elasticity machinery must stay deterministic.
+    let w = workload();
+    let plan = FaultPlan::join_then_leave(400, true, true, 1_000, 1);
+    let a = simulate(&w, &faulty_cfg(ConsistencyMode::LazyFine, plan.clone()));
+    let b = simulate(&w, &faulty_cfg(ConsistencyMode::LazyFine, plan));
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(a.replicas_joined, 1);
+    assert_eq!(a.replicas_left, 1);
+    assert!(a.bootstrap_retries >= 2, "both failure knobs fired");
+}
+
+#[test]
+fn eager_join_through_donor_crash_credits_snapshot_applied_commits() {
+    // Regression: an eager joiner's snapshot already contains every commit
+    // the donor applied locally — including entries still awaiting global
+    // acknowledgement (the donor crash leaves many such pending). The
+    // certifier must credit the joiner for those at subscription time,
+    // because the joiner will never replay them; without the credit they
+    // can never globally commit, their clients hang, throughput collapses,
+    // and a later drain of any replica they occupy never completes.
+    let w = workload();
+    let plan = FaultPlan::join_then_leave(400, true, true, 1_000, 1);
+    let r = simulate(&w, &faulty_cfg(ConsistencyMode::Eager, plan));
+    assert_eq!(r.replicas_joined, 1);
+    assert_eq!(r.replicas_left, 1, "the post-join drain must complete");
+    assert!(r.bootstrap_retries >= 2, "both failure knobs fired");
+    assert!(
+        r.committed > 2_000,
+        "throughput must survive the join: only {} commits",
+        r.committed
+    );
+    assert_eq!(r.violations, 0);
+    assert_eq!(r.lost_acked_commits, 0);
+}
+
+#[test]
+fn elastic_fault_sweep_no_schedule_breaks_consistency_or_loses_acked_commits() {
+    // Seeded sweep of random *elastic* schedules — a join (sometimes
+    // through donor-crash / corrupt-chunk retries), a leave, and
+    // background crashes/drops/slowdowns — across every guarantee-claiming
+    // mode. The headline property is unchanged: no schedule may violate
+    // the mode's guarantee or lose an acknowledged commit.
+    let w = workload();
+    let modes = [
+        ConsistencyMode::Eager,
+        ConsistencyMode::LazyCoarse,
+        ConsistencyMode::LazyFine,
+        ConsistencyMode::Session,
+    ];
+    for seed in 0..6u64 {
+        let plan = FaultPlan::random_elastic(seed, 3, 1_800);
+        for mode in modes {
+            let mut cfg = faulty_cfg(mode, plan.clone());
+            cfg.seed = seed.wrapping_mul(41).wrapping_add(3);
+            let r = simulate(&w, &cfg);
+            assert!(
+                r.committed > 0,
+                "{mode} seed {seed}: nothing committed under {plan:?}"
+            );
+            assert_eq!(
+                r.violations, 0,
+                "{mode} seed {seed}: consistency violated under {plan:?}"
+            );
+            assert_eq!(
+                r.lost_acked_commits, 0,
+                "{mode} seed {seed}: acked commits lost under {plan:?}"
+            );
+            assert_eq!(
+                r.replicas_joined, 1,
+                "{mode} seed {seed}: the join never completed under {plan:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn dropped_refreshes_are_repaired_by_resync() {
     let w = workload();
     let plan = FaultPlan::none().with(

@@ -208,6 +208,54 @@ mod tests {
     }
 
     #[test]
+    fn gc_horizon_below_latest_commit_keeps_straddling_pair() {
+        // latest_commit = 9; horizon 6 sits between the two versions:
+        // snapshot 6 still reads v4's image, so only v1 is prunable.
+        let mut c = VersionChain::with_initial(Version(1), Some(row(10)));
+        c.install(Version(4), Some(row(40)));
+        c.install(Version(9), Some(row(90)));
+        assert_eq!(c.latest_commit(), Some(Version(9)));
+        assert_eq!(c.gc(Version(6)), 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.read_at(Version(6)), Some(&row(40)));
+        assert_eq!(c.read_at(Version(9)), Some(&row(90)));
+    }
+
+    #[test]
+    fn gc_horizon_at_latest_commit_keeps_only_head() {
+        // horizon == latest_commit: every older version is unobservable.
+        let mut c = VersionChain::with_initial(Version(1), Some(row(10)));
+        c.install(Version(4), Some(row(40)));
+        c.install(Version(9), Some(row(90)));
+        assert_eq!(c.gc(Version(9)), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.latest_commit(), Some(Version(9)));
+        assert_eq!(c.read_at(Version(9)), Some(&row(90)));
+        // The head's begin is preserved exactly — re-installing the next
+        // commit still asserts order against the true latest commit.
+        c.install(Version(10), Some(row(100)));
+        assert_eq!(c.read_at(Version(10)), Some(&row(100)));
+    }
+
+    #[test]
+    fn gc_horizon_above_latest_commit_matches_at_horizon() {
+        // horizon > latest_commit behaves exactly like horizon == head for
+        // a live row: the head must survive (it is the visible image for
+        // every snapshot >= horizon).
+        let mut c = VersionChain::with_initial(Version(1), Some(row(10)));
+        c.install(Version(4), Some(row(40)));
+        c.install(Version(9), Some(row(90)));
+        assert_eq!(c.gc(Version(42)), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.read_at(Version(42)), Some(&row(90)));
+        // ...but a tombstone head above-horizon is dropped entirely.
+        let mut d = VersionChain::with_initial(Version(1), Some(row(10)));
+        d.install(Version(9), None);
+        assert_eq!(d.gc(Version(42)), 2);
+        assert!(d.is_empty());
+    }
+
+    #[test]
     fn gc_keeps_recent_tombstone() {
         let mut c = VersionChain::with_initial(Version(1), Some(row(10)));
         c.install(Version(8), None);

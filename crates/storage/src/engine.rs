@@ -525,6 +525,54 @@ impl Engine {
         self.catalog.schema(id)?;
         Ok(&self.tables[id.index()])
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot import plumbing (crate-internal: only `snapshot::import`
+    // may bypass the versioned write paths, and only on a fresh engine
+    // with no open transactions).
+    // ------------------------------------------------------------------
+
+    /// Installs one historical row version directly into a table's chain,
+    /// bypassing transaction machinery. Versions must arrive oldest-first
+    /// per key (the chain asserts commit order).
+    pub(crate) fn install_version(
+        &mut self,
+        table: TableId,
+        key: Value,
+        data: Option<Row>,
+        begin: Version,
+    ) {
+        self.tables[table.index()].install(key, data, begin);
+    }
+
+    /// Creates a secondary index by column position (snapshot manifests
+    /// record positions, not names).
+    pub(crate) fn create_index_by_position(&mut self, table: TableId, column: usize) {
+        self.tables[table.index()].create_index(column);
+    }
+
+    /// Forces the engine's version to the snapshot's capture version so
+    /// replay of `certified_since(V)` continues the sequence.
+    pub(crate) fn set_version(&mut self, version: Version) {
+        debug_assert!(self.txns.is_empty(), "set_version with open transactions");
+        self.version = version;
+    }
+
+    /// Exports a consistent snapshot of this engine at its current
+    /// version. See [`crate::snapshot::export`].
+    #[must_use]
+    pub fn export_snapshot(&self, chunk_bytes: usize) -> crate::snapshot::Snapshot {
+        crate::snapshot::export(self, chunk_bytes)
+    }
+
+    /// Rebuilds an engine from an exported snapshot. See
+    /// [`crate::snapshot::import`].
+    pub fn import_snapshot(
+        manifest: &crate::snapshot::SnapshotManifest,
+        chunks: &[Vec<u8>],
+    ) -> Result<Engine> {
+        crate::snapshot::import(manifest, chunks)
+    }
 }
 
 #[cfg(test)]

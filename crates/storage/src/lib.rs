@@ -26,15 +26,22 @@
 //!
 //! Version chains are kept per row, newest first, and can be pruned with
 //! [`Engine::gc`] once no live snapshot can observe old versions.
+//!
+//! For replica elasticity, [`snapshot`] exports a **consistent checkpoint**
+//! of an engine at version `V` (catalog + chains pruned to the live
+//! snapshot horizon, chunked and checksummed) and rebuilds an equivalent
+//! engine on the joining side ([`snapshot::export`] / [`snapshot::import`]).
 
 pub mod chain;
 pub mod engine;
 pub mod index;
 pub mod schema;
+pub mod snapshot;
 pub mod table;
 
 pub use chain::{RowVersion, VersionChain};
 pub use engine::{Engine, EngineStats, TxnHandle};
 pub use index::SecondaryIndex;
 pub use schema::{Catalog, Column, ColumnType, TableSchema};
+pub use snapshot::{Snapshot, SnapshotManifest, TableMeta, DEFAULT_CHUNK_BYTES};
 pub use table::Table;

@@ -1,0 +1,739 @@
+//! Consistent engine snapshots: the storage half of replica elasticity.
+//!
+//! A snapshot is a checkpoint of one engine at its current version `V`:
+//! the catalog (schemas + indexed columns) plus every row's version chain,
+//! pruned to the *live snapshot horizon* — versions no open transaction on
+//! the donor can still observe are not shipped ([`VersionChain::gc`] runs
+//! on a clone of each chain before encoding). A joining replica imports
+//! the snapshot, replays `certified_since(V)` to close the gap, and is
+//! then bit-equivalent to any other replica at the same version.
+//!
+//! # Format
+//!
+//! The snapshot is a **manifest** plus a sequence of **chunks**. The
+//! chunks are one logical byte stream split at `chunk_bytes` boundaries,
+//! each independently CRC32-checksummed in the manifest, so a receiver
+//! can verify chunks incrementally as they arrive off the wire and
+//! re-request exactly the chunk that was torn or corrupted.
+//!
+//! Everything is little-endian, in the WAL/frame codec's hand-rolled
+//! style (this crate depends on neither `bargain-core` nor `bargain-net`,
+//! so the small value codec and CRC table are duplicated here; the
+//! encodings are deliberately identical to `bargain_core::wal`):
+//!
+//! ```text
+//! manifest:  "BSNP" | u16 format version (1)
+//!            | u64 snapshot version | u64 gc horizon
+//!            | u32 n_tables | table meta*
+//!            | u32 n_chunks | u32 crc32 per chunk
+//!            | u64 total stream bytes
+//!            | u32 crc32 of all preceding manifest bytes
+//! table meta: string name | u32 n_columns
+//!            | (string name | u8 type tag | u8 nullable)*
+//!            | u32 pk column | u32 n_indexed | u32 indexed column*
+//! stream:    per table, in id order:
+//!            u64 n_keys | (value key | u32 n_versions | version*)*
+//! version:   u64 begin | u8 has_data [| u32 n_cols | value*]
+//!            (oldest first, so import replays installs in commit order)
+//! value:     u8 tag (0=null, 1=int, 2=float, 3=text) | payload
+//! ```
+
+use crate::chain::VersionChain;
+use crate::engine::Engine;
+use crate::schema::{Column, ColumnType, TableSchema};
+use bargain_common::{Error, Result, Row, Value, Version};
+
+/// Default chunk size: comfortably under the wire's frame cap while big
+/// enough that header/syscall overhead amortizes.
+pub const DEFAULT_CHUNK_BYTES: usize = 256 * 1024;
+
+/// Per-table metadata shipped in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMeta {
+    /// The table's schema.
+    pub schema: TableSchema,
+    /// Columns carrying a secondary index (rebuilt on import).
+    pub indexed_columns: Vec<usize>,
+}
+
+/// Describes one snapshot: what version it captures and how to verify the
+/// chunk stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotManifest {
+    /// The engine version the snapshot captures (`V`): the joiner replays
+    /// the certified log strictly after this version.
+    pub version: Version,
+    /// The GC horizon chains were pruned to (the donor's oldest live
+    /// snapshot at export time).
+    pub horizon: Version,
+    /// Table metadata in id order.
+    pub tables: Vec<TableMeta>,
+    /// CRC32 (IEEE) of each chunk, in order.
+    pub chunk_checksums: Vec<u32>,
+    /// Total bytes across all chunks.
+    pub total_bytes: u64,
+}
+
+/// A complete exported snapshot: manifest + chunk stream.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The manifest.
+    pub manifest: SnapshotManifest,
+    /// The data chunks, each `<= chunk_bytes` long.
+    pub chunks: Vec<Vec<u8>>,
+}
+
+// ----------------------------------------------------------------------
+// CRC32 (IEEE), table-driven — same polynomial as the WAL and the wire
+// frame codec.
+// ----------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of `data` — the checksum guarding snapshot chunks.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ----------------------------------------------------------------------
+// Primitive codec
+// ----------------------------------------------------------------------
+
+const MAGIC: &[u8; 4] = b"BSNP";
+const FORMAT_VERSION: u16 = 1;
+
+fn write_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_string(buf: &mut Vec<u8>, s: &str) {
+    write_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn write_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int(i) => {
+            buf.push(1);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(2);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            buf.push(3);
+            write_string(buf, s);
+        }
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(Error::Codec(format!(
+                "snapshot truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.data.len() - self.pos
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| Error::Codec(format!("snapshot: bad utf-8 string: {e}")))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(i64::from_le_bytes(self.take(8)?.try_into().unwrap())),
+            2 => Value::Float(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().unwrap(),
+            ))),
+            3 => Value::Text(self.string()?),
+            t => return Err(Error::Codec(format!("snapshot: bad value tag {t}"))),
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Manifest codec
+// ----------------------------------------------------------------------
+
+fn type_tag(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::Int => 0,
+        ColumnType::Float => 1,
+        ColumnType::Text => 2,
+    }
+}
+
+fn type_from_tag(tag: u8) -> Result<ColumnType> {
+    Ok(match tag {
+        0 => ColumnType::Int,
+        1 => ColumnType::Float,
+        2 => ColumnType::Text,
+        t => return Err(Error::Codec(format!("snapshot: bad column type tag {t}"))),
+    })
+}
+
+impl SnapshotManifest {
+    /// Encodes the manifest (self-checksummed: the final u32 is the CRC32
+    /// of everything before it).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(128);
+        buf.extend_from_slice(MAGIC);
+        write_u16(&mut buf, FORMAT_VERSION);
+        write_u64(&mut buf, self.version.0);
+        write_u64(&mut buf, self.horizon.0);
+        write_u32(&mut buf, self.tables.len() as u32);
+        for t in &self.tables {
+            write_string(&mut buf, &t.schema.name);
+            write_u32(&mut buf, t.schema.columns.len() as u32);
+            for c in &t.schema.columns {
+                write_string(&mut buf, &c.name);
+                buf.push(type_tag(c.ty));
+                buf.push(u8::from(c.nullable));
+            }
+            write_u32(&mut buf, t.schema.pk as u32);
+            write_u32(&mut buf, t.indexed_columns.len() as u32);
+            for &c in &t.indexed_columns {
+                write_u32(&mut buf, c as u32);
+            }
+        }
+        write_u32(&mut buf, self.chunk_checksums.len() as u32);
+        for &c in &self.chunk_checksums {
+            write_u32(&mut buf, c);
+        }
+        write_u64(&mut buf, self.total_bytes);
+        let crc = crc32(&buf);
+        write_u32(&mut buf, crc);
+        buf
+    }
+
+    /// Decodes and verifies a manifest (magic, format version, trailing
+    /// self-CRC).
+    pub fn decode(bytes: &[u8]) -> Result<SnapshotManifest> {
+        if bytes.len() < 4 + 2 + 4 {
+            return Err(Error::Codec("snapshot manifest too short".into()));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let expect = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let got = crc32(body);
+        if got != expect {
+            return Err(Error::Codec(format!(
+                "snapshot manifest checksum mismatch: stored {expect:#010x}, computed {got:#010x}"
+            )));
+        }
+        let mut r = Reader::new(body);
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(Error::Codec(format!(
+                "snapshot manifest: bad magic {magic:02x?}"
+            )));
+        }
+        let fv = r.u16()?;
+        if fv != FORMAT_VERSION {
+            return Err(Error::Codec(format!(
+                "snapshot manifest: unsupported format version {fv}"
+            )));
+        }
+        let version = Version(r.u64()?);
+        let horizon = Version(r.u64()?);
+        let n_tables = r.u32()? as usize;
+        let mut tables = Vec::with_capacity(n_tables.min(4096));
+        for _ in 0..n_tables {
+            let name = r.string()?;
+            let n_cols = r.u32()? as usize;
+            let mut columns = Vec::with_capacity(n_cols.min(4096));
+            for _ in 0..n_cols {
+                let cname = r.string()?;
+                let ty = type_from_tag(r.u8()?)?;
+                let nullable = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(Error::Codec(format!("snapshot: bad bool tag {t}"))),
+                };
+                columns.push(if nullable {
+                    Column::nullable(&cname, ty)
+                } else {
+                    Column::new(&cname, ty)
+                });
+            }
+            let pk = r.u32()? as usize;
+            let schema = TableSchema::new(&name, columns, pk)
+                .map_err(|e| Error::Codec(format!("snapshot: bad schema for {name}: {e}")))?;
+            let n_idx = r.u32()? as usize;
+            let mut indexed_columns = Vec::with_capacity(n_idx.min(4096));
+            for _ in 0..n_idx {
+                indexed_columns.push(r.u32()? as usize);
+            }
+            tables.push(TableMeta {
+                schema,
+                indexed_columns,
+            });
+        }
+        let n_chunks = r.u32()? as usize;
+        let mut chunk_checksums = Vec::with_capacity(n_chunks.min(1 << 20));
+        for _ in 0..n_chunks {
+            chunk_checksums.push(r.u32()?);
+        }
+        let total_bytes = r.u64()?;
+        if !r.done() {
+            return Err(Error::Codec(
+                "snapshot manifest: trailing bytes after body".into(),
+            ));
+        }
+        Ok(SnapshotManifest {
+            version,
+            horizon,
+            tables,
+            chunk_checksums,
+            total_bytes,
+        })
+    }
+
+    /// Verifies one arrived chunk against its manifest checksum. The wire
+    /// and simulator call this per chunk so a torn or corrupted chunk is
+    /// rejected (and re-requested) the moment it lands, not at the end of
+    /// the transfer.
+    pub fn verify_chunk(&self, index: usize, chunk: &[u8]) -> Result<()> {
+        let expect = *self.chunk_checksums.get(index).ok_or_else(|| {
+            Error::Codec(format!(
+                "snapshot chunk {index} out of range ({} chunks)",
+                self.chunk_checksums.len()
+            ))
+        })?;
+        let got = crc32(chunk);
+        if got != expect {
+            return Err(Error::Codec(format!(
+                "snapshot chunk {index} checksum mismatch: stored {expect:#010x}, \
+                 computed {got:#010x}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Export
+// ----------------------------------------------------------------------
+
+/// Exports a consistent snapshot of `engine` at its current version.
+///
+/// Each row's version chain is cloned and pruned with [`VersionChain::gc`]
+/// to the donor's oldest live snapshot before encoding — history nobody
+/// can observe any more is not shipped (and a fresh joiner opens no
+/// transaction below `V` anyway). The byte stream is split into chunks of
+/// at most `chunk_bytes` (min 1), each checksummed in the manifest.
+#[must_use]
+pub fn export(engine: &Engine, chunk_bytes: usize) -> Snapshot {
+    let version = engine.version();
+    let horizon = engine.min_active_snapshot().unwrap_or(version);
+    let mut tables = Vec::new();
+    let mut stream = Vec::new();
+    for (id, _) in engine.catalog().iter() {
+        let table = engine.table(id).expect("catalog table exists");
+        tables.push(TableMeta {
+            schema: table.schema().clone(),
+            indexed_columns: table.indexed_columns(),
+        });
+        // Count keys that survive pruning first (dead tombstone chains
+        // drop out entirely).
+        let mut pruned: Vec<(&Value, VersionChain)> = Vec::new();
+        for (key, chain) in table.chains() {
+            let mut c = chain.clone();
+            c.gc(horizon);
+            if !c.is_empty() {
+                pruned.push((key, c));
+            }
+        }
+        write_u64(&mut stream, pruned.len() as u64);
+        for (key, chain) in pruned {
+            write_value(&mut stream, key);
+            write_u32(&mut stream, chain.len() as u32);
+            // Oldest first: import replays installs in commit order.
+            for v in chain.versions().rev() {
+                write_u64(&mut stream, v.begin.0);
+                match &v.data {
+                    Some(row) => {
+                        stream.push(1);
+                        write_u32(&mut stream, row.len() as u32);
+                        for val in row {
+                            write_value(&mut stream, val);
+                        }
+                    }
+                    None => stream.push(0),
+                }
+            }
+        }
+    }
+    let chunk_bytes = chunk_bytes.max(1);
+    let total_bytes = stream.len() as u64;
+    let mut chunks = Vec::new();
+    let mut chunk_checksums = Vec::new();
+    for chunk in stream.chunks(chunk_bytes) {
+        chunk_checksums.push(crc32(chunk));
+        chunks.push(chunk.to_vec());
+    }
+    Snapshot {
+        manifest: SnapshotManifest {
+            version,
+            horizon,
+            tables,
+            chunk_checksums,
+            total_bytes,
+        },
+        chunks,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Import
+// ----------------------------------------------------------------------
+
+/// Rebuilds an engine from a manifest and its chunks.
+///
+/// Every chunk is verified against its manifest checksum first
+/// ([`Error::Codec`] on any mismatch — the caller re-fetches the bad
+/// chunk); then the catalog, data, and secondary indexes are rebuilt and
+/// the engine's version is set to the manifest's snapshot version.
+pub fn import(manifest: &SnapshotManifest, chunks: &[Vec<u8>]) -> Result<Engine> {
+    if chunks.len() != manifest.chunk_checksums.len() {
+        return Err(Error::Codec(format!(
+            "snapshot: {} chunks delivered, manifest expects {}",
+            chunks.len(),
+            manifest.chunk_checksums.len()
+        )));
+    }
+    let mut stream = Vec::with_capacity(manifest.total_bytes as usize);
+    for (i, chunk) in chunks.iter().enumerate() {
+        manifest.verify_chunk(i, chunk)?;
+        stream.extend_from_slice(chunk);
+    }
+    if stream.len() as u64 != manifest.total_bytes {
+        return Err(Error::Codec(format!(
+            "snapshot: stream is {} bytes, manifest expects {}",
+            stream.len(),
+            manifest.total_bytes
+        )));
+    }
+
+    let mut engine = Engine::new();
+    let mut table_ids = Vec::with_capacity(manifest.tables.len());
+    for meta in &manifest.tables {
+        let id = engine
+            .create_table(meta.schema.clone())
+            .map_err(|e| Error::Codec(format!("snapshot: cannot recreate table: {e}")))?;
+        table_ids.push(id);
+    }
+
+    let mut r = Reader::new(&stream);
+    for (&id, meta) in table_ids.iter().zip(&manifest.tables) {
+        let n_keys = r.u64()?;
+        for _ in 0..n_keys {
+            let key = r.value()?;
+            let n_versions = r.u32()? as usize;
+            if n_versions == 0 {
+                return Err(Error::Codec(format!(
+                    "snapshot: key {key} of {} has no versions",
+                    meta.schema.name
+                )));
+            }
+            for _ in 0..n_versions {
+                let begin = Version(r.u64()?);
+                let data: Option<Row> = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let n_cols = r.u32()? as usize;
+                        let mut row = Vec::with_capacity(n_cols.min(4096));
+                        for _ in 0..n_cols {
+                            row.push(r.value()?);
+                        }
+                        Some(row)
+                    }
+                    t => return Err(Error::Codec(format!("snapshot: bad version tag {t}"))),
+                };
+                engine.install_version(id, key.clone(), data, begin);
+            }
+        }
+        for &col in &meta.indexed_columns {
+            if col >= meta.schema.columns.len() {
+                return Err(Error::Codec(format!(
+                    "snapshot: indexed column {col} out of range for {}",
+                    meta.schema.name
+                )));
+            }
+            engine.create_index_by_position(id, col);
+        }
+    }
+    if !r.done() {
+        return Err(Error::Codec(
+            "snapshot: trailing bytes after last table".into(),
+        ));
+    }
+    engine.set_version(manifest.version);
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType, TableSchema};
+    use bargain_common::{TableId, Value, WriteOp, WriteSet};
+
+    fn row(id: i64, v: i64) -> Row {
+        vec![Value::Int(id), Value::Int(v)]
+    }
+
+    fn seeded_engine() -> (Engine, TableId) {
+        let mut e = Engine::new();
+        let t = e
+            .create_table(
+                TableSchema::new(
+                    "acct",
+                    vec![
+                        Column::new("id", ColumnType::Int),
+                        Column::new("bal", ColumnType::Int),
+                    ],
+                    0,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        e.create_index(t, "bal").unwrap();
+        e.load_rows(t, (1..=8).map(|i| row(i, 100)).collect())
+            .unwrap();
+        // Build some version history: updates at v1..v4, a delete at v5,
+        // a re-insert at v6.
+        for v in 1..=4u64 {
+            let mut ws = WriteSet::new();
+            ws.push(
+                TableId(0),
+                Value::Int(1),
+                WriteOp::Update(row(1, 100 + v as i64)),
+            );
+            e.apply_refresh(&ws, Version(v)).unwrap();
+        }
+        let mut del = WriteSet::new();
+        del.push(TableId(0), Value::Int(2), WriteOp::Delete);
+        e.apply_refresh(&del, Version(5)).unwrap();
+        let mut ins = WriteSet::new();
+        ins.push(TableId(0), Value::Int(9), WriteOp::Insert(row(9, 900)));
+        e.apply_refresh(&ins, Version(6)).unwrap();
+        (e, t)
+    }
+
+    /// The canonical equality check: same visible rows at the snapshot
+    /// version, same schema, same indexes.
+    fn assert_equivalent(a: &Engine, b: &Engine, t: TableId) {
+        assert_eq!(a.version(), b.version());
+        let at = a.table(t).unwrap();
+        let bt = b.table(t).unwrap();
+        assert_eq!(at.schema(), bt.schema());
+        let av: Vec<_> = at.scan_at(a.version()).collect();
+        let bv: Vec<_> = bt.scan_at(b.version()).collect();
+        assert_eq!(av, bv);
+        assert_eq!(at.indexed_columns(), bt.indexed_columns());
+    }
+
+    #[test]
+    fn round_trip_preserves_state_and_version() {
+        let (e, t) = seeded_engine();
+        let snap = export(&e, DEFAULT_CHUNK_BYTES);
+        assert_eq!(snap.manifest.version, Version(6));
+        let imported = import(&snap.manifest, &snap.chunks).unwrap();
+        assert_equivalent(&e, &imported, t);
+        // The deleted key reads absent; the re-inserted key reads live.
+        let bt = imported.table(t).unwrap();
+        assert_eq!(bt.get(&Value::Int(2), Version(6)), None);
+        assert_eq!(bt.get(&Value::Int(9), Version(6)), Some(&row(9, 900)));
+    }
+
+    #[test]
+    fn imported_engine_continues_the_version_sequence() {
+        let (e, t) = seeded_engine();
+        let snap = export(&e, DEFAULT_CHUNK_BYTES);
+        let mut imported = import(&snap.manifest, &snap.chunks).unwrap();
+        // certified_since(V) replay: the next version applies cleanly.
+        let mut ws = WriteSet::new();
+        ws.push(t, Value::Int(3), WriteOp::Update(row(3, 333)));
+        imported.apply_refresh(&ws, Version(7)).unwrap();
+        assert_eq!(imported.version(), Version(7));
+        let bt = imported.table(t).unwrap();
+        assert_eq!(bt.get(&Value::Int(3), Version(7)), Some(&row(3, 333)));
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let (e, _) = seeded_engine();
+        let snap = export(&e, 64);
+        let bytes = snap.manifest.encode();
+        let back = SnapshotManifest::decode(&bytes).unwrap();
+        assert_eq!(back, snap.manifest);
+    }
+
+    #[test]
+    fn manifest_corruption_rejected() {
+        let (e, _) = seeded_engine();
+        let snap = export(&e, 64);
+        let mut bytes = snap.manifest.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = SnapshotManifest::decode(&bytes).unwrap_err();
+        assert!(matches!(err, Error::Codec(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn corrupt_chunk_rejected_with_its_index() {
+        let (e, _) = seeded_engine();
+        let mut snap = export(&e, 64);
+        assert!(snap.chunks.len() > 2, "want a multi-chunk stream");
+        snap.chunks[1][0] ^= 0xFF;
+        let err = import(&snap.manifest, &snap.chunks).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("chunk 1") && text.contains("checksum"),
+            "error should name the torn chunk: {text}"
+        );
+        // Per-chunk verification isolates the bad chunk.
+        assert!(snap.manifest.verify_chunk(0, &snap.chunks[0]).is_ok());
+        assert!(snap.manifest.verify_chunk(1, &snap.chunks[1]).is_err());
+    }
+
+    #[test]
+    fn missing_chunk_rejected() {
+        let (e, _) = seeded_engine();
+        let snap = export(&e, 64);
+        let short = &snap.chunks[..snap.chunks.len() - 1];
+        assert!(import(&snap.manifest, short).is_err());
+    }
+
+    #[test]
+    fn export_prunes_to_live_horizon() {
+        let (e, t) = seeded_engine();
+        // No open transactions: horizon == version, so key 1 keeps only
+        // its newest version and key 2's dead tombstone chain vanishes.
+        let snap = export(&e, DEFAULT_CHUNK_BYTES);
+        assert_eq!(snap.manifest.horizon, Version(6));
+        let imported = import(&snap.manifest, &snap.chunks).unwrap();
+        let bt = imported.table(t).unwrap();
+        assert_eq!(bt.key_count(), 8); // 9 keys - deleted key 2
+                                       // Only the visible image of key 1 shipped.
+        let chain_len: usize = bt
+            .chains()
+            .filter(|(k, _)| **k == Value::Int(1))
+            .map(|(_, c)| c.len())
+            .sum();
+        assert_eq!(chain_len, 1);
+        assert_equivalent(&e, &imported, t);
+    }
+
+    #[test]
+    fn export_respects_open_snapshot_horizon() {
+        let (mut e, t) = seeded_engine();
+        // A reader pinned at v0 forces full history to ship.
+        let reader = e.begin_at(Version::ZERO);
+        let snap = export(&e, DEFAULT_CHUNK_BYTES);
+        assert_eq!(snap.manifest.horizon, Version::ZERO);
+        let imported = import(&snap.manifest, &snap.chunks).unwrap();
+        let bt = imported.table(t).unwrap();
+        // Key 1's full chain (load + 4 updates) survives, and old
+        // snapshots still read the original image.
+        assert_eq!(bt.get(&Value::Int(1), Version::ZERO), Some(&row(1, 100)));
+        assert_eq!(bt.get(&Value::Int(1), Version(6)), Some(&row(1, 104)));
+        assert_eq!(bt.get(&Value::Int(2), Version(4)), Some(&row(2, 100)));
+        assert_eq!(bt.get(&Value::Int(2), Version(6)), None);
+        e.abort(reader).ok();
+    }
+
+    #[test]
+    fn empty_engine_round_trips() {
+        let e = Engine::new();
+        let snap = export(&e, DEFAULT_CHUNK_BYTES);
+        assert_eq!(snap.manifest.version, Version::ZERO);
+        assert!(snap.chunks.is_empty());
+        let imported = import(&snap.manifest, &snap.chunks).unwrap();
+        assert_eq!(imported.version(), Version::ZERO);
+        assert!(imported.catalog().is_empty());
+    }
+
+    #[test]
+    fn single_byte_chunks_still_round_trip() {
+        let (e, t) = seeded_engine();
+        let snap = export(&e, 1);
+        assert_eq!(snap.chunks.len() as u64, snap.manifest.total_bytes);
+        let imported = import(&snap.manifest, &snap.chunks).unwrap();
+        assert_equivalent(&e, &imported, t);
+    }
+}

@@ -131,6 +131,18 @@ impl Table {
             .filter_map(move |(k, c)| c.read_at(snapshot).map(|r| (k, r)))
     }
 
+    /// Iterates over every key's version chain in key order. Snapshot
+    /// export walks this to ship the table's full (pruned) history.
+    pub fn chains(&self) -> impl Iterator<Item = (&Value, &VersionChain)> {
+        self.rows.iter()
+    }
+
+    /// The column positions carrying a secondary index, in creation order.
+    #[must_use]
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        self.indexes.iter().map(|i| i.column).collect()
+    }
+
     /// Number of distinct keys with any version history (live or dead).
     #[must_use]
     pub fn key_count(&self) -> usize {

@@ -1,0 +1,487 @@
+//! Online elasticity over the wire: snapshot-ship bootstrap through the
+//! TCP frontend (chunk stream + catch-up feed), bootstrap restart across
+//! donor failures and corrupted transfers, and replicas joining/leaving a
+//! live served cluster while remote clients hammer it through a
+//! fault-injecting proxy.
+//!
+//! The invariants, checked from the client side of the wire:
+//!
+//! - **No lost acked commits**: every increment acknowledged as committed
+//!   is in the final state, across a join *and* a decommission mid-traffic.
+//! - **Admission gating**: reads observed after the join are still
+//!   strongly consistent (each client's own counter never regresses), so
+//!   an unadmitted joiner can never have served them.
+//! - **Restartable bootstrap**: a donor dying mid-stream or a corrupted
+//!   chunk fails the attempt — detected by checksums, never imported —
+//!   and the fetch restarts cleanly against the next donor.
+
+use bargain::cluster::{Cluster, ClusterConfig, JoinOptions};
+use bargain::common::{ConsistencyMode, Error, ReplicaId, Value};
+use bargain::net::{
+    bootstrap::{bootstrap_engine, catch_up, BootstrapConfig},
+    ChaosProxy, ConnectPolicy, Connection, NetFaultKind, NetFaultPlan, NetServer, NetServerConfig,
+    RemoteSession,
+};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const LEDGER_DDL: &str = "CREATE TABLE ledger (id INT PRIMARY KEY, val INT)";
+
+fn chaos_policy() -> ConnectPolicy {
+    ConnectPolicy {
+        max_attempts: 12,
+        initial_backoff: Duration::from_millis(15),
+        max_backoff: Duration::from_millis(200),
+        max_total: Some(Duration::from_secs(10)),
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        ..ConnectPolicy::default()
+    }
+}
+
+/// Starts a cluster with a zeroed ledger of `rows` counters behind a TCP
+/// frontend.
+fn ledger_server(mode: ConsistencyMode, replicas: usize, rows: i64) -> (NetServer, String) {
+    let cluster = Cluster::start(ClusterConfig {
+        replicas,
+        mode,
+        ..ClusterConfig::default()
+    });
+    cluster.execute_ddl(LEDGER_DDL).expect("ledger DDL");
+    {
+        let mut admin = cluster.connect();
+        for id in 0..rows {
+            admin
+                .run_sql(&[(
+                    "INSERT INTO ledger (id, val) VALUES (?, ?)",
+                    vec![Value::Int(id), Value::Int(0)],
+                )])
+                .expect("seed ledger row");
+        }
+    }
+    let server = NetServer::start("127.0.0.1:0", cluster).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// Reads one ledger counter out of a *bootstrapped engine* (not through
+/// the cluster): the joiner-side view of the shipped state.
+fn engine_counter(engine: &mut bargain::storage::Engine, id: i64) -> i64 {
+    let table = engine.resolve_table("ledger").expect("ledger shipped");
+    let h = engine.begin();
+    let row = engine
+        .get(h, table, &Value::Int(id))
+        .expect("get")
+        .expect("row shipped");
+    engine.commit_read_only(h).expect("read-only commit");
+    match row[1] {
+        Value::Int(v) => v,
+        ref other => panic!("expected Int, got {other:?}"),
+    }
+}
+
+fn read_counter(session: &mut RemoteSession, id: i64) -> i64 {
+    let (_, results) = session
+        .run_sql(&[("SELECT val FROM ledger WHERE id = ?", vec![Value::Int(id)])])
+        .expect("read");
+    match results[0].rows().expect("rows")[0][0] {
+        Value::Int(v) => v,
+        ref other => panic!("expected Int, got {other:?}"),
+    }
+}
+
+/// The full bootstrap round trip over a clean wire: a multi-chunk snapshot
+/// streams through the reactor (with a deliberately tight write-buffer cap
+/// so backpressure engages), the manifest verifies every chunk, and the
+/// catch-up feed brings the engine to the cluster's recent past — then a
+/// second catch-up round picks up commits made after the bootstrap.
+#[test]
+fn tcp_bootstrap_builds_a_caught_up_engine() {
+    let cluster = Cluster::start(ClusterConfig {
+        replicas: 2,
+        mode: ConsistencyMode::LazyFine,
+        ..ClusterConfig::default()
+    });
+    cluster.execute_ddl(LEDGER_DDL).unwrap();
+    cluster
+        .execute_ddl("CREATE TABLE blob (id INT PRIMARY KEY, data TEXT)")
+        .unwrap();
+    {
+        let mut admin = cluster.connect();
+        for id in 0..4 {
+            admin
+                .run_sql(&[(
+                    "INSERT INTO ledger (id, val) VALUES (?, ?)",
+                    vec![Value::Int(id), Value::Int(0)],
+                )])
+                .unwrap();
+        }
+        // ~160 KiB of blob state: forces a many-chunk stream at the 4 KiB
+        // chunk floor, and overflows the 16 KiB reply cap below so the
+        // reactor's backpressure actually paces the transfer.
+        for id in 0..40 {
+            admin
+                .run_sql(&[(
+                    "INSERT INTO blob (id, data) VALUES (?, ?)",
+                    vec![Value::Int(id), Value::Text("x".repeat(4 * 1024))],
+                )])
+                .unwrap();
+        }
+        admin
+            .run_sql(&[(
+                "UPDATE ledger SET val = ? WHERE id = ?",
+                vec![Value::Int(7), Value::Int(1)],
+            )])
+            .unwrap();
+    }
+    let server = NetServer::start_with_config(
+        "127.0.0.1:0",
+        cluster,
+        NetServerConfig {
+            max_conn_write_buffer: 16 * 1024,
+            ..NetServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let config = BootstrapConfig {
+        chunk_bytes: 4 * 1024,
+        ..BootstrapConfig::default()
+    };
+    let booted =
+        bootstrap_engine(std::slice::from_ref(&addr), &config).expect("bootstrap over TCP");
+    assert_eq!(booted.donor, addr);
+    assert!(booted.snapshot_version.0 > 0);
+    assert!(booted.version >= booted.snapshot_version);
+    let mut engine = booted.engine;
+    assert_eq!(engine.version(), booted.version);
+    assert_eq!(engine_counter(&mut engine, 1), 7, "snapshot state shipped");
+
+    // Commits after the bootstrap arrive via another catch-up round.
+    let mut writer = RemoteSession::connect(&addr).unwrap();
+    writer
+        .run_sql(&[(
+            "UPDATE ledger SET val = ? WHERE id = ?",
+            vec![Value::Int(8), Value::Int(2)],
+        )])
+        .unwrap();
+    let mut conn = Connection::connect(addr.as_str(), &ConnectPolicy::default()).unwrap();
+    let applied = catch_up(&mut conn, &mut engine).expect("catch-up round");
+    assert!(applied >= 1, "the new commit must be in the feed");
+    assert_eq!(engine_counter(&mut engine, 2), 8, "caught up past the cut");
+
+    server.stop();
+}
+
+/// A dead first donor costs one attempt: the fetch restarts against the
+/// next donor in the list and succeeds there.
+#[test]
+fn bootstrap_restarts_from_the_next_donor_when_the_first_is_dead() {
+    let (server, live) = ledger_server(ConsistencyMode::LazyCoarse, 2, 3);
+    // A port that refuses connections: bind, note the address, release.
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+
+    let config = BootstrapConfig {
+        max_attempts: 2,
+        policy: ConnectPolicy {
+            max_attempts: 2,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(10),
+            max_total: Some(Duration::from_secs(2)),
+            ..ConnectPolicy::default()
+        },
+        ..BootstrapConfig::default()
+    };
+    let booted =
+        bootstrap_engine(&[dead.clone(), live.clone()], &config).expect("second donor serves");
+    assert_eq!(booted.donor, live, "the live donor must have served");
+
+    // Both donors dead: the failure is the retryable class with the full
+    // story in the message.
+    let err = bootstrap_engine(&[dead.clone(), dead], &config).unwrap_err();
+    assert!(matches!(err, Error::Unavailable(_)), "{err}");
+    assert!(err.to_string().contains("retry-after"), "{err}");
+
+    server.stop();
+}
+
+/// A donor that dies mid-stream (truncated chunk, then connection kill —
+/// the wire view of a donor crash) and a corrupted chunk (checksum
+/// mismatch) each fail the attempt without importing anything; the
+/// bootstrap restarts from the second, healthy donor.
+#[test]
+fn bootstrap_survives_mid_stream_death_and_corruption() {
+    let (server, direct) = ledger_server(ConsistencyMode::LazyFine, 2, 3);
+    {
+        let mut admin = RemoteSession::connect(&direct).unwrap();
+        admin
+            .run_sql(&[(
+                "UPDATE ledger SET val = ? WHERE id = ?",
+                vec![Value::Int(41), Value::Int(0)],
+            )])
+            .unwrap();
+    }
+
+    for (what, kind) in [
+        // bytes: 1 tears whatever frame crosses the proxy first — the
+        // proxy only truncates when the cut lands strictly inside a
+        // forwarded chunk, so the prefix must undercut even tiny frames.
+        ("mid-stream death", NetFaultKind::Truncate { bytes: 1 }),
+        ("chunk corruption", NetFaultKind::CorruptFrame),
+    ] {
+        // Armed immediately: the fault hits the first transfer through the
+        // proxy, i.e. our bootstrap attempt.
+        let plan = NetFaultPlan::none().with(0, kind);
+        let proxy = ChaosProxy::start(&direct, plan).expect("proxy starts");
+        let proxy_addr = proxy.local_addr().to_string();
+
+        let config = BootstrapConfig {
+            max_attempts: 2,
+            policy: ConnectPolicy {
+                max_attempts: 2,
+                initial_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(10),
+                read_timeout: Some(Duration::from_secs(2)),
+                ..ConnectPolicy::default()
+            },
+            ..BootstrapConfig::default()
+        };
+        let booted = bootstrap_engine(&[proxy_addr, direct.clone()], &config)
+            .unwrap_or_else(|e| panic!("{what}: bootstrap must survive by restarting: {e}"));
+        assert_eq!(
+            booted.donor, direct,
+            "{what}: the healthy donor must have served the restart"
+        );
+        let mut engine = booted.engine;
+        assert_eq!(
+            engine_counter(&mut engine, 0),
+            41,
+            "{what}: the imported state is the donor's, intact"
+        );
+        proxy.stop();
+    }
+    server.stop();
+}
+
+/// What one chaos client observed: increments acknowledged committed, and
+/// increments whose outcome stayed unknown after the session's own
+/// exactly-once retry loop gave up.
+struct ClientTally {
+    acked: i64,
+    in_doubt: i64,
+}
+
+/// One closed-loop client incrementing its own ledger row through the
+/// chaos proxy, asserting online that its own counter never regresses
+/// below its acks (a read served by an unadmitted joiner, or a commit lost
+/// in a decommission, would trip this immediately).
+fn elastic_chaos_client(proxy_addr: &str, k: i64, txns: usize, spacing: Duration) -> ClientTally {
+    let mut session =
+        RemoteSession::connect_with(proxy_addr, &chaos_policy()).expect("client connects");
+    let incr = session
+        .prepare(
+            "elastic.incr",
+            &["UPDATE ledger SET val = val + 1 WHERE id = ?"],
+        )
+        .expect("prepare increment");
+    let read = session
+        .prepare("elastic.read", &["SELECT val FROM ledger WHERE id = ?"])
+        .expect("prepare read");
+
+    let mut tally = ClientTally {
+        acked: 0,
+        in_doubt: 0,
+    };
+    for t in 0..txns {
+        std::thread::sleep(spacing);
+        match session.run(incr, vec![vec![Value::Int(k)]]) {
+            Ok((outcome, _)) => {
+                assert!(outcome.committed);
+                tally.acked += 1;
+            }
+            Err(Error::Timeout(_))
+            | Err(Error::ConnectionClosed(_))
+            | Err(Error::Io(_))
+            | Err(Error::Codec(_)) => tally.in_doubt += 1,
+            Err(Error::Unavailable(reason)) if reason.contains("retry-after") => {
+                // Shed or mid-membership-change: definitively not committed.
+            }
+            Err(e) => panic!("client {k} txn {t}: unexpected error: {e}"),
+        }
+        if t % 3 == 2 {
+            if let Ok((_, results)) = session.run(read, vec![vec![Value::Int(k)]]) {
+                let seen = match results[0].rows().expect("rows")[0][0] {
+                    Value::Int(v) => v,
+                    ref other => panic!("expected Int, got {other:?}"),
+                };
+                assert!(
+                    seen >= tally.acked,
+                    "client {k}: read {seen} < {} acked — a stale replica (unadmitted \
+                     joiner?) served a strongly consistent read",
+                    tally.acked
+                );
+            }
+        }
+    }
+    tally
+}
+
+/// The headline elasticity sweep: a replica joins and another leaves a
+/// live served cluster *mid-schedule*, while four remote clients drive
+/// keyed traffic through seeded link chaos. Zero lost acked commits, no
+/// duplicates, no stale reads — across the membership changes.
+fn run_elastic_chaos_schedule(mode: ConsistencyMode, seed: u64) {
+    const CLIENTS: i64 = 4;
+    const TXNS: usize = 14;
+
+    let (server, server_addr) = ledger_server(mode, 3, CLIENTS);
+    let plan = NetFaultPlan::random(seed, 1_000);
+    assert!(!plan.is_empty(), "seeded plans always inject something");
+    let proxy = ChaosProxy::start(&server_addr, plan).expect("proxy starts");
+    let proxy_addr = proxy.local_addr().to_string();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for k in 0..CLIENTS {
+        let proxy_addr = proxy_addr.clone();
+        handles.push(std::thread::spawn(move || {
+            elastic_chaos_client(&proxy_addr, k, TXNS, Duration::from_millis(60))
+        }));
+    }
+
+    // Mid-schedule membership changes, admin-side while the chaos runs:
+    // grow 3 -> 4, then drain one original away, 4 -> 3.
+    let elastic = {
+        let done = Arc::clone(&done);
+        let join_opts = JoinOptions {
+            admit_timeout: Duration::from_secs(20),
+            ..JoinOptions::default()
+        };
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            let joiner = server
+                .cluster()
+                .join_replica(&join_opts)
+                .expect("join under chaos traffic");
+            assert_eq!(joiner, ReplicaId(3));
+            std::thread::sleep(Duration::from_millis(200));
+            server
+                .cluster()
+                .decommission_replica(ReplicaId(0))
+                .expect("decommission under chaos traffic");
+            // Park until the clients finish, then hand the server back.
+            while !done.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            server
+        })
+    };
+
+    let tallies: Vec<ClientTally> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    done.store(true, Ordering::SeqCst);
+    let server = elastic.join().expect("elasticity thread");
+    proxy.stop();
+
+    assert_eq!(server.cluster().replicas(), 3, "grew by one, shrank by one");
+
+    // Verify through a direct, chaos-free connection.
+    let mut reader = RemoteSession::connect(&server_addr).expect("direct read session");
+    let mut total_acked = 0;
+    for (k, tally) in tallies.iter().enumerate() {
+        let v = read_counter(&mut reader, k as i64);
+        assert!(
+            v >= tally.acked,
+            "seed {seed} {mode}: client {k} acked {} but the ledger shows {v} — an \
+             acknowledged commit was lost across the membership changes",
+            tally.acked
+        );
+        assert!(
+            v <= tally.acked + tally.in_doubt,
+            "seed {seed} {mode}: client {k} ledger shows {v}, more than acked {} plus \
+             in-doubt {} — a retried transaction was applied twice",
+            tally.acked,
+            tally.in_doubt
+        );
+        total_acked += tally.acked;
+    }
+    assert!(
+        total_acked > 0,
+        "seed {seed} {mode}: chaos + elasticity must not starve the workload"
+    );
+    server.stop();
+}
+
+#[test]
+fn elastic_chaos_sweep_lazy_coarse() {
+    for seed in [41, 42] {
+        run_elastic_chaos_schedule(ConsistencyMode::LazyCoarse, seed);
+    }
+}
+
+#[test]
+fn elastic_chaos_sweep_lazy_fine() {
+    for seed in [43, 44] {
+        run_elastic_chaos_schedule(ConsistencyMode::LazyFine, seed);
+    }
+}
+
+/// Pipelined bootstrap coexistence: a joiner streams a snapshot on one
+/// connection while a client on another connection keeps transacting —
+/// the stream must not block unrelated traffic (it rides one connection's
+/// write queue only).
+#[test]
+fn snapshot_stream_does_not_block_other_connections() {
+    let (server, addr) = ledger_server(ConsistencyMode::LazyCoarse, 2, 2);
+    server
+        .cluster()
+        .execute_ddl("CREATE TABLE blob (id INT PRIMARY KEY, data TEXT)")
+        .unwrap();
+    {
+        let mut admin = RemoteSession::connect(&addr).unwrap();
+        for id in 0..16 {
+            admin
+                .run_sql(&[(
+                    "INSERT INTO blob (id, data) VALUES (?, ?)",
+                    vec![Value::Int(id), Value::Text("y".repeat(4 * 1024))],
+                )])
+                .unwrap();
+        }
+    }
+
+    // Start the stream but read it slowly on a side thread...
+    let stream_addr = addr.clone();
+    let streamer = std::thread::spawn(move || {
+        let config = BootstrapConfig {
+            chunk_bytes: 4 * 1024,
+            ..BootstrapConfig::default()
+        };
+        bootstrap_engine(&[stream_addr], &config).expect("bootstrap")
+    });
+    // ...while a foreground client commits at full speed.
+    let mut session = RemoteSession::connect(&addr).unwrap();
+    let incr = session
+        .prepare(
+            "coexist.incr",
+            &["UPDATE ledger SET val = val + 1 WHERE id = ?"],
+        )
+        .unwrap();
+    let started = Instant::now();
+    for _ in 0..20 {
+        let (outcome, _) = session.run(incr, vec![vec![Value::Int(0)]]).unwrap();
+        assert!(outcome.committed);
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "a concurrent snapshot stream must not head-of-line-block commits"
+    );
+    let booted = streamer.join().unwrap();
+    assert!(booted.snapshot_version.0 > 0);
+    assert_eq!(read_counter(&mut session, 0), 20);
+    server.stop();
+}
